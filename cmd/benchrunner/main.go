@@ -1,0 +1,163 @@
+// benchrunner regenerates every table and figure of the paper's evaluation
+// (§VI) and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	benchrunner -exp table1            # Table I
+//	benchrunner -exp fig6              # Figure 6 (n = 4, 7, 10)
+//	benchrunner -exp table2            # Table II
+//	benchrunner -exp fig7              # Figure 7 timeline
+//	benchrunner -exp fig8              # Figure 8 replica-update times
+//	benchrunner -exp ablate            # pipeline ablation
+//	benchrunner -exp verify            # end-to-end chain verification
+//	benchrunner -exp all
+//
+// -paper scales clients and measurement windows up toward the paper's
+// methodology (2400 clients; slower but sharper numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smartchain/internal/harness"
+	"smartchain/internal/storage"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|verify|all")
+		clients = flag.Int("clients", 240, "closed-loop clients")
+		measure = flag.Duration("measure", 2*time.Second, "measured window per configuration")
+		warmup  = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+		paper   = flag.Bool("paper", false, "paper-scale run (2400 clients, 10s windows)")
+		ssd     = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
+	)
+	flag.Parse()
+
+	opts := harness.ExpOptions{
+		Clients: *clients,
+		Warmup:  *warmup,
+		Measure: *measure,
+	}
+	if *paper {
+		opts.Clients = 2400
+		opts.Measure = 10 * time.Second
+		opts.Warmup = 2 * time.Second
+	}
+	if *ssd {
+		opts.Disk = storage.SSDProfile
+	}
+
+	if err := run(*exp, opts, *paper); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts harness.ExpOptions, paper bool) error {
+	all := exp == "all"
+	ran := false
+	if all || exp == "table1" {
+		ran = true
+		fmt.Println("== Table I: SMaRtCoin throughput by verification and storage strategy ==")
+		rows, err := harness.TableI(opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	}
+	if all || exp == "fig6" {
+		ran = true
+		fmt.Println("== Figure 6: throughput by consortium size and persistence guarantee ==")
+		rows, err := harness.Fig6([]int{4, 7, 10}, opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	}
+	if all || exp == "table2" {
+		ran = true
+		fmt.Println("== Table II: SMARTCHAIN vs Tendermint vs Fabric ==")
+		rows, err := harness.TableII(opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	}
+	if all || exp == "fig7" {
+		ran = true
+		fmt.Println("== Figure 7: throughput evolution across events ==")
+		f7 := harness.Fig7Options{Clients: opts.Clients / 2}
+		if paper {
+			f7.RunFor = 120 * time.Second
+			f7.PrepopUTXO = 1_000_000
+		}
+		points, err := harness.Fig7(f7)
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			marker := ""
+			if p.Event != "" {
+				marker = "   <-- " + p.Event
+			}
+			fmt.Printf("  t=%6.1fs  %8.0f tx/s  height=%d%s\n",
+				p.T.Seconds(), p.TxPerSec, p.LiveHeight, marker)
+		}
+	}
+	if all || exp == "fig8" {
+		ran = true
+		fmt.Println("== Figure 8: time to update a replica ==")
+		blockCounts := []int{1000, 2000, 4000, 6000, 8000, 10000}
+		txPerBlock := 64
+		if paper {
+			txPerBlock = 512
+		}
+		for _, ckpt := range []int{0, 500, 1000, 2000} {
+			name := "no-ckpt"
+			if ckpt > 0 {
+				name = fmt.Sprintf("%d-ckpt", ckpt)
+			}
+			fmt.Printf("  %s:\n", name)
+			for _, blocks := range blockCounts {
+				d, err := harness.Fig8Point(blocks, ckpt, txPerBlock)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("    %6d blocks  %8.2fs\n", blocks, d.Seconds())
+			}
+		}
+	}
+	if all || exp == "ablate" {
+		ran = true
+		fmt.Println("== Ablation: Algorithm 1 pipeline decoupling ==")
+		rows, err := harness.AblationPipeline(opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+	}
+	if all || exp == "verify" {
+		ran = true
+		fmt.Println("== End-to-end: strong-variant chain verification ==")
+		sum, err := harness.VerifyChainAfterLoad(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  verified chain: height=%d blocks=%d txs=%d certified=%d view-changes=%d\n",
+			sum.Height, sum.Blocks, sum.Transactions, sum.Certified, sum.ViewChanges)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}
+
+func printRows(rows []harness.Row) {
+	for _, r := range rows {
+		fmt.Printf("  %s\n", r)
+	}
+}

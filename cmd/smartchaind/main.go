@@ -1,0 +1,159 @@
+// smartchaind runs one SMARTCHAIN replica over TCP with file-backed stable
+// storage. A deployment is described by a genesis seed (chain id + replica
+// count) shared by all replicas; identities are derived deterministically
+// from it, which keeps this demo daemon self-contained (a production
+// deployment would provision keys out of band).
+//
+// Example 4-replica deployment on one machine:
+//
+//	smartchaind -id 0 -listen :7000 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002,3=localhost:7003 -data /tmp/sc0 &
+//	smartchaind -id 1 -listen :7001 -peers ... -data /tmp/sc1 &
+//	smartchaind -id 2 -listen :7002 -peers ... -data /tmp/sc2 &
+//	smartchaind -id 3 -listen :7003 -peers ... -data /tmp/sc3 &
+//
+// Then drive it with cmd/smartcoin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/coin"
+	"smartchain/internal/core"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smartchaind:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id       = flag.Int("id", 0, "replica ID")
+		listen   = flag.String("listen", ":7000", "listen address")
+		peersArg = flag.String("peers", "", "comma-separated id=host:port pairs for every replica")
+		dataDir  = flag.String("data", "./smartchain-data", "data directory (chain log, snapshots, key file)")
+		chainID  = flag.String("chain", "smartchain-demo", "chain identifier (genesis seed)")
+		n        = flag.Int("n", 4, "number of genesis replicas")
+		strong   = flag.Bool("strong", true, "strong (0-Persistence) variant")
+		secret   = flag.String("secret", "smartchain-demo-secret", "shared link-authentication secret")
+		minters  = flag.Int("minters", 8, "number of seeded minter identities authorized in genesis")
+	)
+	flag.Parse()
+
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+		return err
+	}
+
+	genesis := demoGenesis(*chainID, *n, *minters)
+	net, err := transport.NewTCPNetwork(int32(*id), *listen, []byte(*secret), peers)
+	if err != nil {
+		return err
+	}
+	log, err := storage.OpenFileLog(filepath.Join(*dataDir, "chain.log"))
+	if err != nil {
+		return err
+	}
+
+	persistence := core.PersistenceWeak
+	if *strong {
+		persistence = core.PersistenceStrong
+	}
+	minterKeys := demoMinters(*chainID, *minters)
+	node, err := core.NewNode(core.Config{
+		Self:                int32(*id),
+		Genesis:             genesis,
+		Permanent:           crypto.SeededKeyPair(*chainID+"/perm", int64(*id)),
+		InitialConsensusKey: crypto.SeededKeyPair(*chainID+"/cons0", int64(*id)),
+		Transport:           net,
+		Log:                 log,
+		Snapshots:           storage.NewFileSnapshotStore(filepath.Join(*dataDir, "snapshot")),
+		KeyFile:             storage.NewFileSnapshotStore(filepath.Join(*dataDir, "consensus.key")),
+		App:                 coin.NewService(minterKeys),
+		Persistence:         persistence,
+		Storage:             smr.StorageSync,
+		Verify:              smr.VerifyParallel,
+		Pipeline:            true,
+		ConsensusTimeout:    time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	if err := node.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("smartchaind: replica %d up on %s (chain %q, %s variant)\n",
+		*id, net.Addr(), *chainID, persistence)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("smartchaind: shutting down")
+	node.Stop()
+	_ = net.Close()
+	return log.Close()
+}
+
+// demoGenesis derives the shared genesis content from the chain seed.
+func demoGenesis(chainID string, n, minters int) blockchain.Genesis {
+	replicas := make([]blockchain.ReplicaInfo, 0, n)
+	for i := 0; i < n; i++ {
+		replicas = append(replicas, blockchain.ReplicaInfo{
+			ID:           int32(i),
+			PermanentPub: crypto.SeededKeyPair(chainID+"/perm", int64(i)).Public(),
+			ConsensusPub: crypto.SeededKeyPair(chainID+"/cons0", int64(i)).Public(),
+		})
+	}
+	return blockchain.Genesis{
+		ChainID:          chainID,
+		Replicas:         replicas,
+		Minters:          demoMinters(chainID, minters),
+		CheckpointPeriod: 1000,
+		MaxBatchSize:     512,
+	}
+}
+
+func demoMinters(chainID string, n int) []crypto.PublicKey {
+	out := make([]crypto.PublicKey, n)
+	for i := range out {
+		out[i] = crypto.SeededKeyPair(chainID+"/minter", int64(i)).Public()
+	}
+	return out
+}
+
+func parsePeers(arg string) (map[int32]string, error) {
+	peers := make(map[int32]string)
+	if arg == "" {
+		return peers, nil
+	}
+	for _, pair := range strings.Split(arg, ",") {
+		id, addr, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want id=host:port)", pair)
+		}
+		pid, err := strconv.Atoi(strings.TrimSpace(id))
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", id, err)
+		}
+		peers[int32(pid)] = strings.TrimSpace(addr)
+	}
+	return peers, nil
+}

@@ -1,0 +1,80 @@
+// Coin-transfer: the SMaRtCoin workload of the paper's evaluation (§VI-A) —
+// a MINT phase followed by single-input single-output SPENDs — run under
+// three persistence configurations to show the durability/throughput
+// trade-off of §V-C on your machine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"smartchain/internal/core"
+	"smartchain/internal/harness"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/workload"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/crypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	configs := []struct {
+		name        string
+		persistence core.Persistence
+		storage     smr.StorageMode
+	}{
+		{"strong + sync writes (0-Persistence)", core.PersistenceStrong, smr.StorageSync},
+		{"weak + sync writes (1-Persistence)", core.PersistenceWeak, smr.StorageSync},
+		{"weak + memory only (∞-Persistence)", core.PersistenceWeak, smr.StorageMemory},
+	}
+
+	const clients = 120
+	for _, cfg := range configs {
+		label := "coin-transfer/" + cfg.name
+		minters := workload.MinterKeys(label, clients)
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N: 4,
+			AppFactory: func() core.Application {
+				return coin.NewService(minters)
+			},
+			Persistence:      cfg.persistence,
+			Storage:          cfg.storage,
+			Verify:           smr.VerifyParallel,
+			Pipeline:         true,
+			DiskFactory:      storage.HDDProfile,
+			MaxBatch:         512,
+			ConsensusTimeout: 2 * time.Second,
+			ChainID:          label,
+		})
+		if err != nil {
+			return err
+		}
+		res := harness.Run(cluster, harness.Options{
+			Clients:  clients,
+			Warmup:   500 * time.Millisecond,
+			Duration: 2 * time.Second,
+			Scripts: func(i int) workload.Script {
+				return workload.NewCoinScript(label, int64(i))
+			},
+			WrapOp: core.WrapAppOp,
+		})
+		cluster.Stop()
+		fmt.Printf("%-40s %8.0f tx/s (±%.0f), mean latency %s\n",
+			cfg.name, res.Throughput, res.ThroughputStd, res.MeanLatency.Round(time.Millisecond))
+	}
+
+	// The crossover the paper highlights: memory-only is fastest but a full
+	// crash loses everything; strong costs ~13% over weak but survives it.
+	fmt.Println("\nstrong persists every replied transaction across a full crash;")
+	fmt.Println("weak can lose an unreplicated suffix; memory-only loses the chain.")
+	_ = crypto.ZeroHash // keep the import explicit for the demo build
+	return nil
+}

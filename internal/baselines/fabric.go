@@ -1,0 +1,266 @@
+package baselines
+
+import (
+	"sync"
+	"time"
+
+	"smartchain/internal/codec"
+	"smartchain/internal/consensus"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+)
+
+// Fabric models Hyperledger Fabric's execute-order-validate architecture
+// (paper §VII-a) at the level that matters for Table II:
+//
+//  1. Execute: the client collects endorsements — speculative executions
+//     signed by E endorsing peers — before submitting (FabricEndorse).
+//  2. Order: the endorsed transaction goes through the (BFT) ordering
+//     service; the chassis reuses the same consensus engine.
+//  3. Validate: on delivery, every peer re-checks each transaction's
+//     endorsement signatures *sequentially* and applies an MVCC read-set
+//     check; invalid or conflicting transactions are marked, the block is
+//     committed with a synchronous write, and only then do replies flow.
+//
+// The sequential validation phase plus the endorsement signatures (E per
+// transaction, checked one by one) is Fabric's documented commit-path
+// bottleneck, which is why it lands far below the other systems.
+type Fabric struct {
+	replica   *Replica
+	log       storage.Log
+	app       Executor
+	endorsers []*crypto.KeyPair // endorsement verification keys
+	quorum    int               // endorsements required per transaction
+	// validationCost models the serial per-transaction validation work our
+	// Ed25519 checks understate: Fabric validates X.509 certificate chains
+	// and ECDSA signatures through protobuf envelopes and evaluates the
+	// VSCC endorsement policy, measured at ~1–3 ms per transaction in the
+	// literature (Thakkar et al., "Performance Benchmarking and Optimizing
+	// Hyperledger Fabric", MASCOTS 2018). Default 1.5 ms.
+	validationCost time.Duration
+
+	mu     sync.Mutex
+	height int64
+	// mvcc tracks the version of each state key (coin ID); a transaction
+	// reading a stale version is invalidated, like Fabric's rw-set check.
+	mvcc map[crypto.Hash]int64
+}
+
+// Endorsement result codes.
+const (
+	FabricValid byte = iota + 1
+	FabricBadEndorsement
+	FabricMVCCConflict
+)
+
+// NewFabric builds a Fabric-style peer. endorsers are the shared
+// endorsement identities (the same set on every peer); quorum is the
+// endorsement policy ("E of N").
+func NewFabric(cfg ChassisConfig, log storage.Log, app Executor, endorsers []*crypto.KeyPair, quorum int) *Fabric {
+	f := &Fabric{
+		log:            log,
+		app:            app,
+		endorsers:      endorsers,
+		quorum:         quorum,
+		validationCost: 1500 * time.Microsecond,
+		mvcc:           make(map[crypto.Hash]int64),
+	}
+	cfg.Commit = f.commit
+	f.replica = NewReplica(cfg)
+	return f
+}
+
+// Replica exposes the underlying chassis.
+func (f *Fabric) Replica() *Replica { return f.replica }
+
+// Start launches the peer.
+func (f *Fabric) Start() { f.replica.Start() }
+
+// Stop shuts it down.
+func (f *Fabric) Stop() { f.replica.Stop() }
+
+// EndorsedTx is a client transaction plus its endorsement signatures and
+// declared read set (the keys whose versions the speculative execution
+// observed).
+type EndorsedTx struct {
+	Payload      []byte
+	ReadSet      []crypto.Hash
+	Endorsements []crypto.Signature
+}
+
+const ctxEndorse = "fabric/endorse/v1"
+
+// endorseDigest is what endorsers sign.
+func endorseDigest(payload []byte, readSet []crypto.Hash) []byte {
+	e := codec.NewEncoder(64 + len(payload))
+	e.WriteBytes(payload)
+	e.Uint32(uint32(len(readSet)))
+	for _, k := range readSet {
+		e.Bytes32(k)
+	}
+	return e.Bytes()
+}
+
+// FabricEndorse simulates the endorsement round: each of the first `quorum`
+// endorsers executes speculatively (modeled by the caller having produced
+// payload/readSet) and signs. In the real system this costs one round trip
+// per endorser plus an execution; the benchmark harness charges that
+// latency at the client.
+func FabricEndorse(endorsers []*crypto.KeyPair, quorum int, payload []byte, readSet []crypto.Hash) (EndorsedTx, error) {
+	tx := EndorsedTx{Payload: payload, ReadSet: readSet}
+	digest := endorseDigest(payload, readSet)
+	for i := 0; i < quorum && i < len(endorsers); i++ {
+		sig, err := endorsers[i].Sign(ctxEndorse, digest)
+		if err != nil {
+			return EndorsedTx{}, err
+		}
+		tx.Endorsements = append(tx.Endorsements, crypto.Signature{Signer: int32(i), Sig: sig})
+	}
+	return tx, nil
+}
+
+// Encode serializes an endorsed transaction (the request operation).
+func (tx *EndorsedTx) Encode() []byte {
+	e := codec.NewEncoder(128 + len(tx.Payload))
+	e.WriteBytes(tx.Payload)
+	e.Uint32(uint32(len(tx.ReadSet)))
+	for _, k := range tx.ReadSet {
+		e.Bytes32(k)
+	}
+	e.Uint32(uint32(len(tx.Endorsements)))
+	for _, s := range tx.Endorsements {
+		e.Int32(s.Signer)
+		e.WriteBytes(s.Sig)
+	}
+	return e.Bytes()
+}
+
+// DecodeEndorsedTx parses an encoded endorsed transaction.
+func DecodeEndorsedTx(data []byte) (EndorsedTx, error) {
+	d := codec.NewDecoder(data)
+	var tx EndorsedTx
+	tx.Payload = d.ReadBytesCopy()
+	nr := d.Uint32()
+	if d.Err() != nil || nr > 1<<16 {
+		return EndorsedTx{}, codec.ErrTruncated
+	}
+	for i := uint32(0); i < nr; i++ {
+		tx.ReadSet = append(tx.ReadSet, d.Bytes32())
+	}
+	ne := d.Uint32()
+	if d.Err() != nil || ne > 1<<8 {
+		return EndorsedTx{}, codec.ErrTruncated
+	}
+	for i := uint32(0); i < ne; i++ {
+		var s crypto.Signature
+		s.Signer = d.Int32()
+		s.Sig = d.ReadBytesCopy()
+		tx.Endorsements = append(tx.Endorsements, s)
+	}
+	if err := d.Finish(); err != nil {
+		return EndorsedTx{}, err
+	}
+	return tx, nil
+}
+
+// commit implements the validate-and-commit phase.
+func (f *Fabric) commit(dec consensus.Decision, batch smr.Batch, send func([]smr.Reply)) {
+	f.mu.Lock()
+	f.height++
+	height := f.height
+	f.mu.Unlock()
+
+	results := make([][]byte, len(batch.Requests))
+	var validReqs []smr.Request
+	var validIdx []int
+
+	// Sequential validation: one transaction at a time, endorsement
+	// signatures first, then the MVCC read-set check. The modeled
+	// per-transaction cost (see validationCost) is charged here, serially,
+	// exactly where Fabric pays it.
+	for i := range batch.Requests {
+		if f.validationCost > 0 {
+			time.Sleep(f.validationCost)
+		}
+		op := batch.Requests[i].Op
+		if len(op) > 0 && op[0] == 1 { // core.OpApp framing compatibility
+			op = op[1:]
+		}
+		tx, err := DecodeEndorsedTx(op)
+		if err != nil {
+			results[i] = []byte{FabricBadEndorsement}
+			continue
+		}
+		if !f.validEndorsements(&tx) {
+			results[i] = []byte{FabricBadEndorsement}
+			continue
+		}
+		if f.mvccConflict(&tx, height) {
+			results[i] = []byte{FabricMVCCConflict}
+			continue
+		}
+		r := batch.Requests[i]
+		r.Op = tx.Payload
+		validReqs = append(validReqs, r)
+		validIdx = append(validIdx, i)
+	}
+
+	// Apply the valid transactions and commit the block synchronously.
+	appResults := f.app.ExecuteBatch(validReqs)
+	for j, idx := range validIdx {
+		res := append([]byte{FabricValid}, appResults[j]...)
+		results[idx] = res
+	}
+	rec := codec.NewEncoder(32 + len(dec.Value))
+	rec.Int64(height)
+	rec.WriteBytes(dec.Value)
+	if f.log.Append(rec.Bytes()) != nil {
+		return
+	}
+	if f.log.Sync() != nil {
+		return
+	}
+	send(MakeReplies(f.replica.cfg.Self, batch, results))
+}
+
+// validEndorsements checks the policy quorum, one signature at a time.
+func (f *Fabric) validEndorsements(tx *EndorsedTx) bool {
+	digest := endorseDigest(tx.Payload, tx.ReadSet)
+	valid := 0
+	seen := make(map[int32]bool, len(tx.Endorsements))
+	for _, s := range tx.Endorsements {
+		if seen[s.Signer] || int(s.Signer) >= len(f.endorsers) {
+			continue
+		}
+		seen[s.Signer] = true
+		if crypto.Verify(f.endorsers[s.Signer].Public(), ctxEndorse, digest, s.Sig) {
+			valid++
+		}
+	}
+	return valid >= f.quorum
+}
+
+// mvccConflict applies the read-set version check and bumps written
+// versions. Transactions within one block conflict on shared keys exactly
+// like Fabric's serial validation would decide.
+func (f *Fabric) mvccConflict(tx *EndorsedTx, height int64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, k := range tx.ReadSet {
+		if f.mvcc[k] >= height {
+			return true // written earlier in this very block: stale read
+		}
+	}
+	for _, k := range tx.ReadSet {
+		f.mvcc[k] = height
+	}
+	return false
+}
+
+// Height returns the number of committed blocks.
+func (f *Fabric) Height() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.height
+}

@@ -1,0 +1,183 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+
+	"smartchain/internal/consensus"
+	"smartchain/internal/crypto"
+	"smartchain/internal/view"
+)
+
+// Verification errors.
+var (
+	ErrVerifyLinkage   = errors.New("blockchain: hash chain broken")
+	ErrVerifyRoots     = errors.New("blockchain: commitment roots mismatch")
+	ErrVerifyProof     = errors.New("blockchain: consensus proof invalid")
+	ErrVerifyCert      = errors.New("blockchain: block certificate invalid")
+	ErrVerifyUpdate    = errors.New("blockchain: view update invalid")
+	ErrVerifyUncertifd = errors.New("blockchain: block missing required certificate")
+)
+
+// VerifyOptions controls chain verification.
+type VerifyOptions struct {
+	// RequireCerts demands a valid certificate on every block (strong
+	// variant, 0-Persistence). Genesis is exempt: it is the trust anchor.
+	RequireCerts bool
+	// AllowUncertifiedTail permits the last N blocks to lack certificates
+	// even when RequireCerts is set: the PERSIST round of the newest block
+	// is asynchronous, so a correct replica's live chain legitimately has
+	// an uncertified tip.
+	AllowUncertifiedTail int
+}
+
+// Summary reports what a successful verification established.
+type Summary struct {
+	// Height is the number of the last verified block.
+	Height int64
+	// Blocks is the total number of verified blocks (including genesis).
+	Blocks int
+	// Transactions counts transactions across all verified blocks.
+	Transactions int
+	// ViewChanges counts reconfiguration blocks.
+	ViewChanges int
+	// Certified counts blocks carrying a valid certificate.
+	Certified int
+	// FinalView is the view in force after the last block.
+	FinalView view.View
+}
+
+// VerifyChain performs full third-party verification of a chain, the log
+// self-verifiability the paper's Observation 2 calls for: hash linkage,
+// commitment roots, consensus decision proofs, block certificates, and view
+// updates — tracking the consortium's key material across reconfiguration
+// blocks starting from nothing but the genesis block.
+func VerifyChain(blocks []Block, opts VerifyOptions) (Summary, error) {
+	var sum Summary
+	if len(blocks) == 0 {
+		return sum, ErrEmptyChain
+	}
+	g, err := ParseGenesisBlock(&blocks[0])
+	if err != nil {
+		return sum, err
+	}
+	cur := g.InitialView()
+	permanent := g.PermanentKeys()
+	prevHash := blocks[0].Hash()
+	lastReconfig, lastCheckpoint := int64(0), int64(-1)
+	sum.Blocks = 1
+
+	for i := 1; i < len(blocks); i++ {
+		b := &blocks[i]
+		n := b.Header.Number
+		if n != blocks[i-1].Header.Number+1 || b.Header.PrevHash != prevHash {
+			return sum, fmt.Errorf("%w: block %d", ErrVerifyLinkage, n)
+		}
+		if b.Header.LastReconfig != lastReconfig || b.Header.LastCheckpoint > n {
+			return sum, fmt.Errorf("%w: block %d back-links", ErrVerifyLinkage, n)
+		}
+		if b.Header.LastCheckpoint < lastCheckpoint {
+			return sum, fmt.Errorf("%w: block %d checkpoint link regressed", ErrVerifyLinkage, n)
+		}
+		lastCheckpoint = b.Header.LastCheckpoint
+
+		// Commitment roots must match the body.
+		batch, err := b.Body.Batch()
+		if err != nil {
+			return sum, fmt.Errorf("%w: block %d: %v", ErrVerifyRoots, n, err)
+		}
+		if b.Header.TxRoot != TxRootOf(&batch) || b.Header.ResultsRoot != ResultsRootOf(b.Body.Results) {
+			return sum, fmt.Errorf("%w: block %d", ErrVerifyRoots, n)
+		}
+		sum.Transactions += len(batch.Requests)
+
+		// The consensus decision proof, under the keys of the view the
+		// block was created in.
+		digest := crypto.HashBytes(b.Body.BatchData)
+		if err := consensus.VerifyDecisionProof(cur, b.Body.ConsensusID, b.Body.Epoch, digest, &b.Body.Proof, cur.Quorum()); err != nil {
+			return sum, fmt.Errorf("%w: block %d: %v", ErrVerifyProof, n, err)
+		}
+
+		// The block certificate (PERSIST quorum) under the same view.
+		// Counting is tolerant of signatures the verifier cannot check
+		// (announced-not-recorded keys); the quorum must be met by valid
+		// ones.
+		hh := b.Header.Hash()
+		if b.Cert.Count() > 0 {
+			if b.Cert.CountValid(cur, ContextPersist, hh) < cur.CertQuorum() {
+				return sum, fmt.Errorf("%w: block %d", ErrVerifyCert, n)
+			}
+			sum.Certified++
+		} else if opts.RequireCerts && i < len(blocks)-opts.AllowUncertifiedTail {
+			return sum, fmt.Errorf("%w: block %d", ErrVerifyUncertifd, n)
+		}
+
+		// View updates switch the key material for subsequent blocks.
+		if b.Body.Kind == KindReconfig {
+			if b.Body.Update == nil {
+				return sum, fmt.Errorf("%w: block %d missing update", ErrVerifyUpdate, n)
+			}
+			next, err := applyViewUpdate(cur, permanent, b.Body.Update)
+			if err != nil {
+				return sum, fmt.Errorf("%w: block %d: %v", ErrVerifyUpdate, n, err)
+			}
+			cur = next
+			lastReconfig = n
+			sum.ViewChanges++
+		}
+
+		prevHash = hh
+		sum.Blocks++
+		sum.Height = n
+	}
+	sum.FinalView = cur
+	return sum, nil
+}
+
+// applyViewUpdate validates a reconfiguration against the current view and
+// the known permanent keys, returning the next view. It enforces the
+// paper's §V-D rules: the update carries at least newN − newF consensus
+// keys, each certified by the permanent key of a member of the new view,
+// and all certified for exactly the new view ID (fresh keys — the
+// forgetting protocol means old-view keys are useless here).
+func applyViewUpdate(cur view.View, permanent map[int32]crypto.PublicKey, u *ViewUpdate) (view.View, error) {
+	if u.NewViewID != cur.ID+1 {
+		return view.View{}, fmt.Errorf("view id %d does not follow %d", u.NewViewID, cur.ID)
+	}
+	// Register joining replicas' permanent keys (first seen here).
+	for i := range u.Joining {
+		j := &u.Joining[i]
+		if existing, ok := permanent[j.ID]; ok && !existing.Equal(j.PermanentPub) {
+			return view.View{}, fmt.Errorf("replica %d permanent key conflict", j.ID)
+		}
+		permanent[j.ID] = j.PermanentPub
+	}
+	next := view.New(u.NewViewID, u.Members, nil)
+	if next.N() == 0 {
+		return view.View{}, fmt.Errorf("empty membership")
+	}
+	keys := make(map[int32]crypto.PublicKey, len(u.Keys))
+	for _, ck := range u.Keys {
+		if ck.ViewID != u.NewViewID {
+			return view.View{}, fmt.Errorf("key of %d certified for view %d, want %d", ck.Signer, ck.ViewID, u.NewViewID)
+		}
+		if !next.Contains(ck.Signer) {
+			return view.View{}, fmt.Errorf("key signer %d not in new view", ck.Signer)
+		}
+		if _, dup := keys[ck.Signer]; dup {
+			return view.View{}, fmt.Errorf("duplicate key for %d", ck.Signer)
+		}
+		pp, ok := permanent[ck.Signer]
+		if !ok {
+			return view.View{}, fmt.Errorf("no permanent key for %d", ck.Signer)
+		}
+		if err := ck.Verify(pp); err != nil {
+			return view.View{}, err
+		}
+		keys[ck.Signer] = ck.ConsensusPub
+	}
+	if len(keys) < next.JoinQuorum() {
+		return view.View{}, fmt.Errorf("only %d certified keys, need %d", len(keys), next.JoinQuorum())
+	}
+	return view.New(u.NewViewID, u.Members, keys), nil
+}

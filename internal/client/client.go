@@ -1,0 +1,162 @@
+// Package client implements the SMARTCHAIN client proxy (paper §II-B): it
+// signs operations, broadcasts them to the current view, and waits for
+// matching replies from a dissemination Byzantine quorum ⌈(n+f+1)/2⌉ —
+// the condition under which the operation is externally durable and its
+// result trustworthy despite up to f Byzantine replicas.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// Message types shared with the core package (duplicated here to keep the
+// client free of a core dependency; the values are part of the wire
+// contract).
+const (
+	msgRequest uint16 = 200
+	msgReply   uint16 = 201
+)
+
+// Errors returned by Invoke.
+var (
+	ErrTimeout = errors.New("client: quorum of matching replies not reached")
+	ErrClosed  = errors.New("client: proxy closed")
+)
+
+// Proxy is one client identity bound to a transport endpoint. It is safe
+// for sequential use; run one Proxy per closed-loop client goroutine.
+type Proxy struct {
+	id      int64
+	key     *crypto.KeyPair
+	ep      transport.Endpoint
+	timeout time.Duration
+	retry   time.Duration
+
+	mu      sync.Mutex
+	members []int32
+	quorum  int
+	seq     uint64
+}
+
+// Option configures a Proxy.
+type Option func(*Proxy)
+
+// WithTimeout sets the total per-invocation deadline (default 10 s).
+func WithTimeout(d time.Duration) Option {
+	return func(p *Proxy) { p.timeout = d }
+}
+
+// WithRetry sets the retransmission interval (default 1 s).
+func WithRetry(d time.Duration) Option {
+	return func(p *Proxy) { p.retry = d }
+}
+
+// New creates a proxy. The endpoint's ID doubles as the client ID; members
+// is the current view membership.
+func New(ep transport.Endpoint, key *crypto.KeyPair, members []int32, opts ...Option) *Proxy {
+	p := &Proxy{
+		id:      int64(ep.ID()),
+		key:     key,
+		ep:      ep,
+		timeout: 10 * time.Second,
+		retry:   time.Second,
+	}
+	p.SetMembers(members)
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// SetMembers updates the view membership the proxy talks to (after a
+// reconfiguration).
+func (p *Proxy) SetMembers(members []int32) {
+	ms := make([]int32, len(members))
+	copy(ms, members)
+	n := len(ms)
+	f := view.FaultTolerance(n)
+	p.mu.Lock()
+	p.members = ms
+	p.quorum = view.ByzantineQuorum(n, f)
+	p.mu.Unlock()
+}
+
+// ID returns the client's process ID.
+func (p *Proxy) ID() int64 { return p.id }
+
+// PublicKey returns the client's public key.
+func (p *Proxy) PublicKey() crypto.PublicKey { return p.key.Public() }
+
+// Invoke submits one operation and blocks until a Byzantine quorum of
+// replicas return the same result, retransmitting periodically. The
+// returned bytes are that matching result.
+func (p *Proxy) Invoke(op []byte) ([]byte, error) {
+	p.mu.Lock()
+	p.seq++
+	seq := p.seq
+	members := p.members
+	quorum := p.quorum
+	p.mu.Unlock()
+
+	req, err := smr.NewSignedRequest(p.id, seq, op, p.key)
+	if err != nil {
+		return nil, fmt.Errorf("client: sign: %w", err)
+	}
+	payload := req.Encode()
+	send := func() {
+		for _, m := range members {
+			_ = p.ep.Send(m, msgRequest, payload)
+		}
+	}
+	send()
+
+	// Count matching results from distinct replicas.
+	counts := make(map[string]map[int32]bool)
+	deadline := time.After(p.timeout)
+	retry := time.NewTicker(p.retry)
+	defer retry.Stop()
+	for {
+		select {
+		case m, ok := <-p.ep.Receive():
+			if !ok {
+				return nil, ErrClosed
+			}
+			if m.Type != msgReply {
+				continue
+			}
+			rep, err := smr.DecodeReply(m.Payload)
+			if err != nil || rep.ClientID != p.id || rep.Seq != seq || rep.ReplicaID != m.From {
+				continue
+			}
+			k := string(rep.Result)
+			if counts[k] == nil {
+				counts[k] = make(map[int32]bool)
+			}
+			counts[k][rep.ReplicaID] = true
+			if len(counts[k]) >= quorum {
+				out := make([]byte, len(rep.Result))
+				copy(out, rep.Result)
+				return out, nil
+			}
+		case <-retry.C:
+			send()
+		case <-deadline:
+			return nil, ErrTimeout
+		}
+	}
+}
+
+// InvokeOrdered is Invoke for callers that only care that the operation
+// committed, discarding the result.
+func (p *Proxy) InvokeOrdered(op []byte) error {
+	_, err := p.Invoke(op)
+	return err
+}

@@ -1,0 +1,229 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+)
+
+// fakeReplica answers requests with a canned result, optionally lying.
+type fakeReplica struct {
+	ep     transport.Endpoint
+	result func(req smr.Request) []byte
+	mu     sync.Mutex
+	seen   int
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Request) []byte) *fakeReplica {
+	r := &fakeReplica{
+		ep:     net.Endpoint(id),
+		result: result,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		for {
+			select {
+			case <-r.stop:
+				return
+			case m, ok := <-r.ep.Receive():
+				if !ok {
+					return
+				}
+				if m.Type != msgRequest {
+					continue
+				}
+				req, err := smr.DecodeRequest(m.Payload)
+				if err != nil {
+					continue
+				}
+				r.mu.Lock()
+				r.seen++
+				r.mu.Unlock()
+				if r.result == nil {
+					continue // silent replica
+				}
+				rep := smr.Reply{
+					ReplicaID: r.ep.ID(),
+					ClientID:  req.ClientID,
+					Seq:       req.Seq,
+					Result:    r.result(req),
+				}
+				_ = r.ep.Send(m.From, msgReply, rep.Encode())
+			}
+		}
+	}()
+	return r
+}
+
+func (r *fakeReplica) Stop() {
+	close(r.stop)
+	r.ep.Close()
+	<-r.done
+}
+
+func (r *fakeReplica) Seen() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+func TestInvokeQuorumOfMatchingReplies(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ok := func(smr.Request) []byte { return []byte("yes") }
+	var replicas []*fakeReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, ok))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	key := crypto.SeededKeyPair("cl", 1)
+	p := New(net.Endpoint(transport.ClientIDBase), key, []int32{0, 1, 2, 3},
+		WithTimeout(2*time.Second))
+	res, err := p.Invoke([]byte("op"))
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if string(res) != "yes" {
+		t.Fatalf("result: %q", res)
+	}
+	// All replicas eventually see the (broadcast) request; the quorum may
+	// complete before the slowest one processes its copy.
+	deadline := time.Now().Add(2 * time.Second)
+	for i, r := range replicas {
+		for r.Seen() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d never saw the request", i)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+func TestInvokeToleratesOneLyingReplica(t *testing.T) {
+	// n=4, f=1: quorum is 3 matching replies. One replica lies; the three
+	// honest ones still satisfy the client.
+	net := transport.NewMemNetwork()
+	honest := func(smr.Request) []byte { return []byte("truth") }
+	liar := func(smr.Request) []byte { return []byte("lie") }
+	var replicas []*fakeReplica
+	for i := int32(0); i < 3; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, honest))
+	}
+	replicas = append(replicas, startFakeReplica(net, 3, liar))
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 2),
+		[]int32{0, 1, 2, 3}, WithTimeout(2*time.Second))
+	res, err := p.Invoke([]byte("op"))
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if string(res) != "truth" {
+		t.Fatalf("client accepted minority result: %q", res)
+	}
+}
+
+func TestInvokeTimesOutBelowQuorum(t *testing.T) {
+	// Only 2 of 4 replicas answer: below the 3-reply quorum.
+	net := transport.NewMemNetwork()
+	ok := func(smr.Request) []byte { return []byte("yes") }
+	var replicas []*fakeReplica
+	replicas = append(replicas, startFakeReplica(net, 0, ok))
+	replicas = append(replicas, startFakeReplica(net, 1, ok))
+	replicas = append(replicas, startFakeReplica(net, 2, nil)) // silent
+	replicas = append(replicas, startFakeReplica(net, 3, nil)) // silent
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 3),
+		[]int32{0, 1, 2, 3}, WithTimeout(300*time.Millisecond), WithRetry(100*time.Millisecond))
+	if _, err := p.Invoke([]byte("op")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want ErrTimeout, got %v", err)
+	}
+	// Retransmission happened: the silent replicas saw > 1 request copy.
+	if replicas[2].Seen() < 2 {
+		t.Fatalf("no retransmission observed: %d", replicas[2].Seen())
+	}
+}
+
+func TestInvokeIgnoresStaleAndForeignReplies(t *testing.T) {
+	net := transport.NewMemNetwork()
+	// Replica 0 replies to the wrong sequence number first, then right.
+	tricky := startFakeReplica(net, 0, nil)
+	defer tricky.Stop()
+	var replicas []*fakeReplica
+	for i := int32(1); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, func(smr.Request) []byte { return []byte("ok") }))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	clientEp := net.Endpoint(transport.ClientIDBase)
+	p := New(clientEp, crypto.SeededKeyPair("cl", 4), []int32{0, 1, 2, 3},
+		WithTimeout(2*time.Second))
+
+	// Inject garbage replies before invoking: wrong seq, wrong client,
+	// impersonated replica ID.
+	garbage := smr.Reply{ReplicaID: 1, ClientID: int64(clientEp.ID()), Seq: 99, Result: []byte("stale")}
+	_ = tricky.ep.Send(clientEp.ID(), msgReply, garbage.Encode())
+	impersonated := smr.Reply{ReplicaID: 2, ClientID: int64(clientEp.ID()), Seq: 1, Result: []byte("fake")}
+	_ = tricky.ep.Send(clientEp.ID(), msgReply, impersonated.Encode()) // From=0 but claims replica 2
+
+	res, err := p.Invoke([]byte("op"))
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if string(res) != "ok" {
+		t.Fatalf("result: %q", res)
+	}
+}
+
+func TestSetMembersChangesQuorum(t *testing.T) {
+	net := transport.NewMemNetwork()
+	ok := func(smr.Request) []byte { return []byte("ok") }
+	var replicas []*fakeReplica
+	for i := int32(0); i < 7; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, ok))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 5),
+		[]int32{0, 1, 2, 3}, WithTimeout(2*time.Second))
+	if _, err := p.Invoke([]byte("a")); err != nil {
+		t.Fatalf("invoke in 4-view: %v", err)
+	}
+	p.SetMembers([]int32{0, 1, 2, 3, 4, 5, 6})
+	if _, err := p.Invoke([]byte("b")); err != nil {
+		t.Fatalf("invoke in 7-view: %v", err)
+	}
+	// The larger view's replicas were contacted too.
+	if replicas[6].Seen() == 0 {
+		t.Fatal("new member never contacted after SetMembers")
+	}
+}

@@ -1,0 +1,352 @@
+// Package coin implements SMaRtCoin (paper §IV-A): a UTXO-model digital
+// coin service, the "simplest useful blockchain application". It supports
+// MINT (authorized addresses create coins) and SPEND (coin owners transfer
+// them), with every transaction signed by its issuer.
+//
+// The service is deterministic: executing the same transaction sequence from
+// the same genesis state always yields the same state and results, which is
+// what state machine replication requires (paper §II-B).
+package coin
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+)
+
+// TxType discriminates the two SMaRtCoin transactions.
+type TxType byte
+
+const (
+	// TxMint creates value for an address on the authorized-minters list.
+	TxMint TxType = iota + 1
+	// TxSpend consumes input coins and produces output coins.
+	TxSpend
+)
+
+// ContextTx is the signature domain for coin transactions.
+const ContextTx = "smartcoin/tx/v1"
+
+// Execution result codes, the first byte of every result.
+const (
+	ResultOK byte = iota + 1
+	ResultErrUnauthorized
+	ResultErrUnknownCoin
+	ResultErrNotOwner
+	ResultErrValueMismatch
+	ResultErrBadSignature
+	ResultErrMalformed
+	ResultErrDoubleSpend
+)
+
+// Errors surfaced by transaction construction and validation.
+var (
+	ErrMalformedTx = errors.New("coin: malformed transaction")
+	ErrBadTxSig    = errors.New("coin: invalid transaction signature")
+)
+
+// CoinID uniquely identifies a coin: the hash of the transaction that
+// created it and the output index.
+type CoinID = crypto.Hash
+
+// Coin is one unspent transaction output.
+type Coin struct {
+	ID    CoinID
+	Owner crypto.PublicKey
+	Value uint64
+}
+
+// Output is a (recipient, amount) pair of a transaction.
+type Output struct {
+	Owner crypto.PublicKey
+	Value uint64
+}
+
+// Tx is a SMaRtCoin transaction. Request/reply sizes intentionally land in
+// the ballpark the paper reports (~180 B MINT, ~310 B single-input
+// single-output SPEND requests).
+type Tx struct {
+	Type    TxType
+	Issuer  crypto.PublicKey
+	Inputs  []CoinID // SPEND only
+	Outputs []Output
+	Nonce   uint64 // distinguishes otherwise-identical mints
+	Sig     []byte
+}
+
+func (tx *Tx) signedPortion() []byte {
+	e := codec.NewEncoder(64 + 40*len(tx.Inputs) + 48*len(tx.Outputs))
+	e.Byte(byte(tx.Type))
+	e.WriteBytes(tx.Issuer)
+	e.Uint32(uint32(len(tx.Inputs)))
+	for _, in := range tx.Inputs {
+		e.Bytes32(in)
+	}
+	e.Uint32(uint32(len(tx.Outputs)))
+	for _, out := range tx.Outputs {
+		e.WriteBytes(out.Owner)
+		e.Uint64(out.Value)
+	}
+	e.Uint64(tx.Nonce)
+	return e.Bytes()
+}
+
+// NewMint builds a signed MINT transaction creating outputs for the issuer.
+func NewMint(issuer *crypto.KeyPair, nonce uint64, values ...uint64) (Tx, error) {
+	tx := Tx{Type: TxMint, Issuer: issuer.Public(), Nonce: nonce}
+	for _, v := range values {
+		tx.Outputs = append(tx.Outputs, Output{Owner: issuer.Public(), Value: v})
+	}
+	return signTx(tx, issuer)
+}
+
+// NewSpend builds a signed SPEND transaction.
+func NewSpend(issuer *crypto.KeyPair, nonce uint64, inputs []CoinID, outputs []Output) (Tx, error) {
+	tx := Tx{Type: TxSpend, Issuer: issuer.Public(), Inputs: inputs, Outputs: outputs, Nonce: nonce}
+	return signTx(tx, issuer)
+}
+
+func signTx(tx Tx, key *crypto.KeyPair) (Tx, error) {
+	sig, err := key.Sign(ContextTx, tx.signedPortion())
+	if err != nil {
+		return Tx{}, fmt.Errorf("sign tx: %w", err)
+	}
+	tx.Sig = sig
+	return tx, nil
+}
+
+// VerifySig checks the transaction signature against the issuer key.
+func (tx *Tx) VerifySig() error {
+	if !crypto.Verify(tx.Issuer, ContextTx, tx.signedPortion(), tx.Sig) {
+		return ErrBadTxSig
+	}
+	return nil
+}
+
+// Hash returns the transaction identity (covers the signature).
+func (tx *Tx) Hash() crypto.Hash {
+	return crypto.HashBytes(tx.signedPortion(), tx.Sig)
+}
+
+// OutputID derives the coin ID of output index i of this transaction.
+func (tx *Tx) OutputID(i int) CoinID {
+	h := tx.Hash()
+	e := codec.NewEncoder(36)
+	e.Bytes32(h)
+	e.Uint32(uint32(i))
+	return crypto.HashBytes(e.Bytes())
+}
+
+// Encode serializes the transaction (the operation payload of a request).
+func (tx *Tx) Encode() []byte {
+	e := codec.NewEncoder(96 + 40*len(tx.Inputs) + 48*len(tx.Outputs))
+	e.WriteBytes(tx.signedPortion())
+	e.WriteBytes(tx.Sig)
+	return e.Bytes()
+}
+
+// Decode parses an encoded transaction.
+func Decode(data []byte) (Tx, error) {
+	outer := codec.NewDecoder(data)
+	body := outer.ReadBytes()
+	sig := outer.ReadBytesCopy()
+	if err := outer.Finish(); err != nil {
+		return Tx{}, fmt.Errorf("%w: %v", ErrMalformedTx, err)
+	}
+	d := codec.NewDecoder(body)
+	var tx Tx
+	tx.Type = TxType(d.Byte())
+	tx.Issuer = crypto.PublicKey(d.ReadBytesCopy())
+	nIn := d.Uint32()
+	if d.Err() != nil || nIn > 1<<16 {
+		return Tx{}, fmt.Errorf("%w: inputs", ErrMalformedTx)
+	}
+	for i := uint32(0); i < nIn; i++ {
+		tx.Inputs = append(tx.Inputs, d.Bytes32())
+	}
+	nOut := d.Uint32()
+	if d.Err() != nil || nOut > 1<<16 {
+		return Tx{}, fmt.Errorf("%w: outputs", ErrMalformedTx)
+	}
+	for i := uint32(0); i < nOut; i++ {
+		var o Output
+		o.Owner = crypto.PublicKey(d.ReadBytesCopy())
+		o.Value = d.Uint64()
+		tx.Outputs = append(tx.Outputs, o)
+	}
+	tx.Nonce = d.Uint64()
+	if err := d.Finish(); err != nil {
+		return Tx{}, fmt.Errorf("%w: %v", ErrMalformedTx, err)
+	}
+	if tx.Type != TxMint && tx.Type != TxSpend {
+		return Tx{}, fmt.Errorf("%w: type %d", ErrMalformedTx, tx.Type)
+	}
+	tx.Sig = sig
+	return tx, nil
+}
+
+// State is the SMaRtCoin service state: the UTXO set plus the minter list
+// (paper: "a table with the coins assigned to each address in memory and a
+// list of addresses authorized to create new coins").
+type State struct {
+	mu      sync.RWMutex
+	utxos   map[CoinID]Coin
+	minters map[string]bool // key: string(PublicKey)
+}
+
+// NewState creates a state authorizing the given minter addresses.
+func NewState(minters []crypto.PublicKey) *State {
+	s := &State{
+		utxos:   make(map[CoinID]Coin),
+		minters: make(map[string]bool, len(minters)),
+	}
+	for _, m := range minters {
+		s.minters[string(m)] = true
+	}
+	return s
+}
+
+// Apply executes one transaction, mutating the state, and returns the
+// result bytes stored in the block (result code, then created coin IDs).
+// Signature verification is NOT performed here: the SMR layer does it with
+// the configured strategy (sequential or parallel, Table I). A transaction
+// that reaches Apply is assumed signature-valid; Apply enforces the
+// semantic rules (authorization, ownership, conservation).
+func (s *State) Apply(tx *Tx) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch tx.Type {
+	case TxMint:
+		return s.applyMint(tx)
+	case TxSpend:
+		return s.applySpend(tx)
+	default:
+		return []byte{ResultErrMalformed}
+	}
+}
+
+func (s *State) applyMint(tx *Tx) []byte {
+	if !s.minters[string(tx.Issuer)] {
+		return []byte{ResultErrUnauthorized}
+	}
+	if len(tx.Outputs) == 0 {
+		return []byte{ResultErrMalformed}
+	}
+	return s.createOutputs(tx)
+}
+
+func (s *State) applySpend(tx *Tx) []byte {
+	if len(tx.Inputs) == 0 || len(tx.Outputs) == 0 {
+		return []byte{ResultErrMalformed}
+	}
+	var inSum uint64
+	seen := make(map[CoinID]bool, len(tx.Inputs))
+	for _, id := range tx.Inputs {
+		if seen[id] {
+			return []byte{ResultErrDoubleSpend}
+		}
+		seen[id] = true
+		c, ok := s.utxos[id]
+		if !ok {
+			return []byte{ResultErrUnknownCoin}
+		}
+		if !c.Owner.Equal(tx.Issuer) {
+			return []byte{ResultErrNotOwner}
+		}
+		inSum += c.Value
+	}
+	var outSum uint64
+	for _, o := range tx.Outputs {
+		outSum += o.Value
+	}
+	if inSum != outSum {
+		return []byte{ResultErrValueMismatch}
+	}
+	for _, id := range tx.Inputs {
+		delete(s.utxos, id)
+	}
+	return s.createOutputs(tx)
+}
+
+// createOutputs materializes tx's outputs and returns OK + coin IDs.
+func (s *State) createOutputs(tx *Tx) []byte {
+	out := make([]byte, 1, 1+crypto.HashSize*len(tx.Outputs))
+	out[0] = ResultOK
+	for i, o := range tx.Outputs {
+		id := tx.OutputID(i)
+		s.utxos[id] = Coin{ID: id, Owner: o.Owner, Value: o.Value}
+		out = append(out, id[:]...)
+	}
+	return out
+}
+
+// Balance sums the values of coins owned by addr.
+func (s *State) Balance(addr crypto.PublicKey) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum uint64
+	for _, c := range s.utxos {
+		if c.Owner.Equal(addr) {
+			sum += c.Value
+		}
+	}
+	return sum
+}
+
+// CoinsOf returns the coins owned by addr, sorted by ID for determinism.
+func (s *State) CoinsOf(addr crypto.PublicKey) []Coin {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Coin
+	for _, c := range s.utxos {
+		if c.Owner.Equal(addr) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return compareHash(out[i].ID, out[j].ID) < 0
+	})
+	return out
+}
+
+// TotalSupply sums every unspent coin.
+func (s *State) TotalSupply() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum uint64
+	for _, c := range s.utxos {
+		sum += c.Value
+	}
+	return sum
+}
+
+// UTXOCount returns the number of unspent coins.
+func (s *State) UTXOCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.utxos)
+}
+
+// Lookup returns the coin with the given ID, if it is unspent.
+func (s *State) Lookup(id CoinID) (Coin, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.utxos[id]
+	return c, ok
+}
+
+func compareHash(a, b crypto.Hash) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,473 @@
+package coin
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+)
+
+func minterKey(i int64) *crypto.KeyPair { return crypto.SeededKeyPair("minter", i) }
+func userKey(i int64) *crypto.KeyPair   { return crypto.SeededKeyPair("user", i) }
+
+func newTestState() (*State, *crypto.KeyPair) {
+	m := minterKey(0)
+	return NewState([]crypto.PublicKey{m.Public()}), m
+}
+
+func mustMint(t *testing.T, s *State, key *crypto.KeyPair, nonce uint64, values ...uint64) []CoinID {
+	t.Helper()
+	tx, err := NewMint(key, nonce, values...)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	res := s.Apply(&tx)
+	code, coins, err := ParseResult(res)
+	if err != nil || code != ResultOK {
+		t.Fatalf("mint result: code=%d err=%v", code, err)
+	}
+	return coins
+}
+
+func TestMintCreatesCoins(t *testing.T) {
+	s, m := newTestState()
+	coins := mustMint(t, s, m, 1, 100, 50)
+	if len(coins) != 2 {
+		t.Fatalf("got %d coins", len(coins))
+	}
+	if s.Balance(m.Public()) != 150 {
+		t.Fatalf("balance: %d", s.Balance(m.Public()))
+	}
+	if s.TotalSupply() != 150 || s.UTXOCount() != 2 {
+		t.Fatalf("supply=%d count=%d", s.TotalSupply(), s.UTXOCount())
+	}
+	c, ok := s.Lookup(coins[0])
+	if !ok || c.Value != 100 || !c.Owner.Equal(m.Public()) {
+		t.Fatalf("lookup: %+v ok=%v", c, ok)
+	}
+}
+
+func TestMintUnauthorized(t *testing.T) {
+	s, _ := newTestState()
+	intruder := userKey(1)
+	tx, err := NewMint(intruder, 1, 100)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	res := s.Apply(&tx)
+	if res[0] != ResultErrUnauthorized {
+		t.Fatalf("code: %d", res[0])
+	}
+	if s.TotalSupply() != 0 {
+		t.Fatal("unauthorized mint must not create value")
+	}
+}
+
+func TestSpendTransfersOwnership(t *testing.T) {
+	s, m := newTestState()
+	alice, bob := userKey(1), userKey(2)
+	coins := mustMint(t, s, m, 1, 100)
+
+	// minter → alice
+	tx, err := NewSpend(m, 2, coins, []Output{{Owner: alice.Public(), Value: 100}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	res := s.Apply(&tx)
+	code, newCoins, _ := ParseResult(res)
+	if code != ResultOK || len(newCoins) != 1 {
+		t.Fatalf("spend result: %d %d", code, len(newCoins))
+	}
+	if s.Balance(alice.Public()) != 100 || s.Balance(m.Public()) != 0 {
+		t.Fatalf("balances: alice=%d minter=%d", s.Balance(alice.Public()), s.Balance(m.Public()))
+	}
+
+	// alice → bob (60) + change to alice (40)
+	tx2, err := NewSpend(alice, 1, newCoins, []Output{
+		{Owner: bob.Public(), Value: 60},
+		{Owner: alice.Public(), Value: 40},
+	})
+	if err != nil {
+		t.Fatalf("spend2: %v", err)
+	}
+	res2 := s.Apply(&tx2)
+	if res2[0] != ResultOK {
+		t.Fatalf("spend2 code: %d", res2[0])
+	}
+	if s.Balance(bob.Public()) != 60 || s.Balance(alice.Public()) != 40 {
+		t.Fatalf("balances: bob=%d alice=%d", s.Balance(bob.Public()), s.Balance(alice.Public()))
+	}
+	if s.TotalSupply() != 100 {
+		t.Fatalf("supply must be conserved: %d", s.TotalSupply())
+	}
+}
+
+func TestSpendRejectsNonOwner(t *testing.T) {
+	s, m := newTestState()
+	coins := mustMint(t, s, m, 1, 100)
+	thief := userKey(9)
+	tx, err := NewSpend(thief, 1, coins, []Output{{Owner: thief.Public(), Value: 100}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if res := s.Apply(&tx); res[0] != ResultErrNotOwner {
+		t.Fatalf("code: %d", res[0])
+	}
+	if s.Balance(m.Public()) != 100 {
+		t.Fatal("theft must not move funds")
+	}
+}
+
+func TestSpendRejectsDoubleSpend(t *testing.T) {
+	s, m := newTestState()
+	coins := mustMint(t, s, m, 1, 100)
+	spend := func() byte {
+		tx, err := NewSpend(m, 2, coins, []Output{{Owner: m.Public(), Value: 100}})
+		if err != nil {
+			t.Fatalf("spend: %v", err)
+		}
+		return s.Apply(&tx)[0]
+	}
+	if code := spend(); code != ResultOK {
+		t.Fatalf("first spend: %d", code)
+	}
+	if code := spend(); code != ResultErrUnknownCoin {
+		t.Fatalf("second spend of same coin: %d", code)
+	}
+	// Duplicate input inside a single tx, on a live coin.
+	fresh := mustMint(t, s, m, 4, 100)
+	tx, err := NewSpend(m, 3, []CoinID{fresh[0], fresh[0]}, []Output{{Owner: m.Public(), Value: 200}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if res := s.Apply(&tx); res[0] != ResultErrDoubleSpend {
+		t.Fatalf("intra-tx double spend: %d", res[0])
+	}
+}
+
+func TestSpendRejectsValueMismatch(t *testing.T) {
+	s, m := newTestState()
+	coins := mustMint(t, s, m, 1, 100)
+	for _, outValue := range []uint64{99, 101} {
+		tx, err := NewSpend(m, 2, coins, []Output{{Owner: m.Public(), Value: outValue}})
+		if err != nil {
+			t.Fatalf("spend: %v", err)
+		}
+		if res := s.Apply(&tx); res[0] != ResultErrValueMismatch {
+			t.Fatalf("out=%d code: %d", outValue, res[0])
+		}
+	}
+}
+
+func TestSpendUnknownCoin(t *testing.T) {
+	s, _ := newTestState()
+	u := userKey(1)
+	fake := crypto.HashBytes([]byte("no-such-coin"))
+	tx, err := NewSpend(u, 1, []CoinID{fake}, []Output{{Owner: u.Public(), Value: 1}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if res := s.Apply(&tx); res[0] != ResultErrUnknownCoin {
+		t.Fatalf("code: %d", res[0])
+	}
+}
+
+func TestMalformedTransactions(t *testing.T) {
+	s, m := newTestState()
+	// Mint with no outputs.
+	mintNoOut, err := NewMint(m, 1)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	if res := s.Apply(&mintNoOut); res[0] != ResultErrMalformed {
+		t.Fatalf("empty mint: %d", res[0])
+	}
+	// Spend with no inputs.
+	spendNoIn, err := NewSpend(m, 1, nil, []Output{{Owner: m.Public(), Value: 1}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if res := s.Apply(&spendNoIn); res[0] != ResultErrMalformed {
+		t.Fatalf("inputless spend: %d", res[0])
+	}
+	// Unknown type.
+	bad := Tx{Type: TxType(99)}
+	if res := s.Apply(&bad); res[0] != ResultErrMalformed {
+		t.Fatalf("unknown type: %d", res[0])
+	}
+}
+
+func TestTxSignatureVerification(t *testing.T) {
+	m := minterKey(0)
+	tx, err := NewMint(m, 1, 10)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	if err := tx.VerifySig(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	tampered := tx
+	tampered.Nonce = 2
+	if err := tampered.VerifySig(); err == nil {
+		t.Fatal("tampered nonce must fail")
+	}
+	tampered = tx
+	tampered.Outputs = []Output{{Owner: m.Public(), Value: 9999}}
+	if err := tampered.VerifySig(); err == nil {
+		t.Fatal("tampered outputs must fail")
+	}
+}
+
+func TestTxEncodeDecodeRoundTrip(t *testing.T) {
+	m := minterKey(0)
+	u := userKey(1)
+	in := crypto.HashBytes([]byte("input"))
+	tx, err := NewSpend(m, 7, []CoinID{in}, []Output{
+		{Owner: u.Public(), Value: 42},
+		{Owner: m.Public(), Value: 8},
+	})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	got, err := Decode(tx.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Type != TxSpend || !got.Issuer.Equal(m.Public()) || got.Nonce != 7 ||
+		len(got.Inputs) != 1 || got.Inputs[0] != in ||
+		len(got.Outputs) != 2 || got.Outputs[0].Value != 42 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if err := got.VerifySig(); err != nil {
+		t.Fatalf("decoded tx must verify: %v", err)
+	}
+	if got.Hash() != tx.Hash() {
+		t.Fatal("hash must survive round trip")
+	}
+	if _, err := Decode([]byte("garbage")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+}
+
+func TestRequestSizesMatchPaperBallpark(t *testing.T) {
+	// Paper §IV-B: MINT requests ≈180 B, SPEND ≈310 B (single input,
+	// single output). Our encodings should land within 2× of those.
+	m := minterKey(0)
+	mint, err := NewMint(m, 1, 100)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	mintReq, err := smr.NewSignedRequest(1, 1, mint.Encode(), m)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+	mintSize := len(mintReq.Encode())
+	if mintSize < 90 || mintSize > 360 {
+		t.Fatalf("mint request size %d out of plausible range", mintSize)
+	}
+	spend, err := NewSpend(m, 2, []CoinID{crypto.HashBytes([]byte("c"))}, []Output{{Owner: m.Public(), Value: 100}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	spendReq, err := smr.NewSignedRequest(1, 2, spend.Encode(), m)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+	spendSize := len(spendReq.Encode())
+	if spendSize < 155 || spendSize > 620 {
+		t.Fatalf("spend request size %d out of plausible range", spendSize)
+	}
+	if spendSize <= mintSize {
+		t.Fatal("spend requests must be larger than mint requests")
+	}
+}
+
+func TestValueConservationProperty(t *testing.T) {
+	// Property: no sequence of SPEND transactions changes total supply,
+	// regardless of how they are constructed.
+	s, m := newTestState()
+	mustMint(t, s, m, 1, 100, 200, 300)
+	initial := s.TotalSupply()
+
+	f := func(splits []uint8) bool {
+		coins := s.CoinsOf(m.Public())
+		if len(coins) == 0 {
+			return s.TotalSupply() == initial
+		}
+		c := coins[0]
+		// Split the coin into up to 3 outputs that sum to its value.
+		n := 1
+		if len(splits) > 0 {
+			n = int(splits[0]%3) + 1
+		}
+		outs := make([]Output, 0, n)
+		remaining := c.Value
+		for i := 0; i < n-1; i++ {
+			part := remaining / 2
+			outs = append(outs, Output{Owner: m.Public(), Value: part})
+			remaining -= part
+		}
+		outs = append(outs, Output{Owner: m.Public(), Value: remaining})
+		tx, err := NewSpend(m, uint64(len(splits))+10, []CoinID{c.ID}, outs)
+		if err != nil {
+			return false
+		}
+		res := s.Apply(&tx)
+		return res[0] == ResultOK && s.TotalSupply() == initial
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceExecuteBatch(t *testing.T) {
+	m := minterKey(0)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+
+	mint, err := NewMint(m, 1, 500)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	req, err := smr.NewSignedRequest(1, 1, mint.Encode(), m)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+	// A request whose envelope key differs from the tx issuer.
+	intruder := userKey(5)
+	hijack, err := smr.NewSignedRequest(2, 1, mint.Encode(), intruder)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+	// A request with garbage op.
+	garbage, err := smr.NewSignedRequest(3, 1, []byte("junk"), intruder)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+
+	results := svc.ExecuteBatch([]smr.Request{req, hijack, garbage})
+	if results[0][0] != ResultOK {
+		t.Fatalf("mint result: %d", results[0][0])
+	}
+	if results[1][0] != ResultErrBadSignature {
+		t.Fatalf("hijack result: %d", results[1][0])
+	}
+	if results[2][0] != ResultErrMalformed {
+		t.Fatalf("garbage result: %d", results[2][0])
+	}
+	if svc.State().Balance(m.Public()) != 500 {
+		t.Fatalf("balance: %d", svc.State().Balance(m.Public()))
+	}
+}
+
+func TestServiceVerifyOp(t *testing.T) {
+	m := minterKey(0)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+	mint, err := NewMint(m, 1, 5)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	req, err := smr.NewSignedRequest(1, 1, mint.Encode(), m)
+	if err != nil {
+		t.Fatalf("req: %v", err)
+	}
+	if !svc.VerifyOp(&req) {
+		t.Fatal("valid op must verify")
+	}
+	bad := req
+	tampered := mint
+	tampered.Sig = make([]byte, crypto.SignatureSize)
+	bad.Op = tampered.Encode()
+	if svc.VerifyOp(&bad) {
+		t.Fatal("forged tx sig must not verify")
+	}
+	bad.Op = []byte("junk")
+	if svc.VerifyOp(&bad) {
+		t.Fatal("garbage op must not verify")
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	m := minterKey(0)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+	alice := userKey(1)
+	mint, err := NewMint(m, 1, 100, 200)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	svc.State().Apply(&mint)
+	coins := svc.State().CoinsOf(m.Public())
+	spend, err := NewSpend(m, 2, []CoinID{coins[0].ID}, []Output{{Owner: alice.Public(), Value: coins[0].Value}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	svc.State().Apply(&spend)
+
+	snap := svc.Snapshot()
+	// Snapshots are deterministic.
+	if !bytes.Equal(snap, svc.Snapshot()) {
+		t.Fatal("snapshot must be deterministic")
+	}
+
+	restored := NewService(nil)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if restored.State().TotalSupply() != svc.State().TotalSupply() {
+		t.Fatal("supply differs after restore")
+	}
+	if restored.State().Balance(alice.Public()) != svc.State().Balance(alice.Public()) {
+		t.Fatal("balance differs after restore")
+	}
+	if !bytes.Equal(restored.Snapshot(), snap) {
+		t.Fatal("restored snapshot differs")
+	}
+	// Minters carried over: the original minter can still mint.
+	mint2, err := NewMint(m, 3, 5)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	if res := restored.State().Apply(&mint2); res[0] != ResultOK {
+		t.Fatalf("minting after restore: %d", res[0])
+	}
+	if err := restored.Restore([]byte("garbage")); err == nil {
+		t.Fatal("garbage snapshot must not restore")
+	}
+}
+
+func TestPrepopulate(t *testing.T) {
+	svc := NewService(nil)
+	owner := userKey(1)
+	ids := svc.Prepopulate(owner.Public(), 1000, 7)
+	if len(ids) != 1000 {
+		t.Fatalf("ids: %d", len(ids))
+	}
+	if svc.State().UTXOCount() != 1000 {
+		t.Fatalf("count: %d", svc.State().UTXOCount())
+	}
+	if svc.State().Balance(owner.Public()) != 7000 {
+		t.Fatalf("balance: %d", svc.State().Balance(owner.Public()))
+	}
+	// Prepopulated coins are spendable.
+	tx, err := NewSpend(owner, 1, []CoinID{ids[0]}, []Output{{Owner: owner.Public(), Value: 7}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if res := svc.State().Apply(&tx); res[0] != ResultOK {
+		t.Fatalf("spend prepopulated: %d", res[0])
+	}
+}
+
+func TestParseResultErrors(t *testing.T) {
+	if _, _, err := ParseResult(nil); err == nil {
+		t.Fatal("empty result must error")
+	}
+	if _, _, err := ParseResult(make([]byte, 10)); err == nil {
+		t.Fatal("ragged result must error")
+	}
+	code, coins, err := ParseResult([]byte{ResultOK})
+	if err != nil || code != ResultOK || len(coins) != 0 {
+		t.Fatalf("bare code: %d %d %v", code, len(coins), err)
+	}
+}

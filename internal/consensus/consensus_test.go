@@ -1,0 +1,488 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// harness wires n engines over a MemNetwork.
+type harness struct {
+	t       *testing.T
+	net     *transport.MemNetwork
+	view    view.View
+	keys    []*crypto.KeyPair
+	engines []*Engine
+	eps     []transport.Endpoint
+	stops   []chan struct{}
+}
+
+func newHarness(t *testing.T, n int, timeout time.Duration, validate func(int64, []byte) bool) *harness {
+	t.Helper()
+	h := &harness{t: t, net: transport.NewMemNetwork()}
+	members := make([]int32, n)
+	pubs := make(map[int32]crypto.PublicKey, n)
+	h.keys = make([]*crypto.KeyPair, n)
+	for i := 0; i < n; i++ {
+		members[i] = int32(i)
+		h.keys[i] = crypto.SeededKeyPair("consensus-test", int64(i))
+		pubs[int32(i)] = h.keys[i].Public()
+	}
+	h.view = view.New(0, members, pubs)
+	h.engines = make([]*Engine, n)
+	h.eps = make([]transport.Endpoint, n)
+	h.stops = make([]chan struct{}, n)
+	for i := 0; i < n; i++ {
+		ep := h.net.Endpoint(int32(i))
+		h.eps[i] = ep
+		eng := New(Config{
+			Self:     int32(i),
+			View:     h.view,
+			Signer:   h.keys[i],
+			Send:     func(to int32, typ uint16, p []byte) { _ = ep.Send(to, typ, p) },
+			Timeout:  timeout,
+			Validate: validate,
+			RequestValue: func(int64) []byte {
+				return []byte("fallback")
+			},
+		})
+		h.engines[i] = eng
+		eng.Start()
+		stop := make(chan struct{})
+		h.stops[i] = stop
+		go func(ep transport.Endpoint, eng *Engine, stop chan struct{}) {
+			for {
+				select {
+				case m, ok := <-ep.Receive():
+					if !ok {
+						return
+					}
+					eng.HandleMessage(m)
+				case <-stop:
+					return
+				}
+			}
+		}(ep, eng, stop)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func (h *harness) Close() {
+	for i, eng := range h.engines {
+		if eng != nil {
+			eng.Stop()
+		}
+		select {
+		case <-h.stops[i]:
+		default:
+			close(h.stops[i])
+		}
+		h.eps[i].Close()
+	}
+}
+
+// kill detaches replica i from the network and stops its engine.
+func (h *harness) kill(i int) {
+	h.engines[i].Stop()
+	close(h.stops[i])
+	h.net.Detach(int32(i))
+}
+
+func (h *harness) decideAll(instance int64, proposal []byte, except map[int]bool) map[int]Decision {
+	h.t.Helper()
+	leader := int(h.view.Leader(0))
+	for i, eng := range h.engines {
+		if except[i] {
+			continue
+		}
+		if i == leader {
+			eng.StartInstance(instance, proposal)
+		} else {
+			eng.StartInstance(instance, nil)
+		}
+	}
+	return h.collect(instance, except)
+}
+
+func (h *harness) collect(instance int64, except map[int]bool) map[int]Decision {
+	h.t.Helper()
+	out := make(map[int]Decision)
+	deadline := time.After(10 * time.Second)
+	for i, eng := range h.engines {
+		if except[i] {
+			continue
+		}
+		select {
+		case d := <-eng.Decisions():
+			if d.Instance != instance {
+				h.t.Fatalf("replica %d decided instance %d, want %d", i, d.Instance, instance)
+			}
+			out[i] = d
+		case <-deadline:
+			h.t.Fatalf("replica %d did not decide instance %d", i, instance)
+		}
+	}
+	return out
+}
+
+func TestNormalCaseDecision(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	value := []byte("batch-1")
+	decisions := h.decideAll(1, value, nil)
+	for i, d := range decisions {
+		if !bytes.Equal(d.Value, value) {
+			t.Fatalf("replica %d decided %q, want %q", i, d.Value, value)
+		}
+		if d.Epoch != 0 {
+			t.Fatalf("replica %d decided in epoch %d, want 0", i, d.Epoch)
+		}
+		if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch, crypto.HashBytes(d.Value), &d.Proof, h.view.Quorum()); err != nil {
+			t.Fatalf("replica %d proof invalid: %v", i, err)
+		}
+	}
+}
+
+func TestSequenceOfInstances(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	for inst := int64(1); inst <= 5; inst++ {
+		value := []byte(fmt.Sprintf("batch-%d", inst))
+		decisions := h.decideAll(inst, value, nil)
+		for i, d := range decisions {
+			if !bytes.Equal(d.Value, value) {
+				t.Fatalf("instance %d replica %d: %q", inst, i, d.Value)
+			}
+		}
+	}
+}
+
+func TestDecisionWithOneCrashedFollower(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	h.kill(3) // follower (leader of epoch 0 is member 0)
+	except := map[int]bool{3: true}
+	decisions := h.decideAll(1, []byte("minus-one"), except)
+	if len(decisions) != 3 {
+		t.Fatalf("got %d decisions", len(decisions))
+	}
+}
+
+func TestLeaderFailureTriggersSynchronization(t *testing.T) {
+	h := newHarness(t, 4, 150*time.Millisecond, nil)
+	h.kill(0) // epoch-0 leader is replica 0
+	except := map[int]bool{0: true}
+	for i, eng := range h.engines {
+		if except[i] {
+			continue
+		}
+		eng.StartInstance(1, nil) // nobody proposes: the dead leader should have
+	}
+	decisions := h.collect(1, except)
+	for i, d := range decisions {
+		if d.Epoch == 0 {
+			t.Fatalf("replica %d decided in epoch 0 despite dead leader", i)
+		}
+		// New leader had no certified value, so it proposed its fallback.
+		if !bytes.Equal(d.Value, []byte("fallback")) {
+			t.Fatalf("replica %d decided %q", i, d.Value)
+		}
+		if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch, crypto.HashBytes(d.Value), &d.Proof, h.view.Quorum()); err != nil {
+			t.Fatalf("replica %d proof: %v", i, err)
+		}
+	}
+	// All correct replicas must agree.
+	var first Decision
+	got := false
+	for _, d := range decisions {
+		if !got {
+			first, got = d, true
+			continue
+		}
+		if !bytes.Equal(d.Value, first.Value) || d.Epoch != first.Epoch {
+			t.Fatalf("divergent decisions: %+v vs %+v", d, first)
+		}
+	}
+}
+
+func TestLeaderFailureAfterProposeKeepsValue(t *testing.T) {
+	// The leader proposes, the proposal spreads, and then the leader dies.
+	// If any replica assembled a write certificate, the synchronization
+	// phase must re-propose the SAME value (agreement across epochs).
+	h := newHarness(t, 4, 300*time.Millisecond, nil)
+	value := []byte("must-survive")
+	// Leader proposes to everyone, then we immediately kill it. The other
+	// three replicas can reach a write quorum among themselves.
+	for i, eng := range h.engines {
+		if i == 0 {
+			eng.StartInstance(1, value)
+		} else {
+			eng.StartInstance(1, nil)
+		}
+	}
+	time.Sleep(50 * time.Millisecond) // let the proposal and writes spread
+	h.kill(0)
+	decisions := h.collect(1, map[int]bool{0: true})
+	for i, d := range decisions {
+		if !bytes.Equal(d.Value, value) {
+			t.Fatalf("replica %d decided %q, want %q (value must survive leader change)", i, d.Value, value)
+		}
+	}
+}
+
+func TestValidateRejectsProposal(t *testing.T) {
+	// All replicas reject the poisoned value; the leader's proposal dies
+	// and a synchronization phase elects replica 1, which proposes its
+	// fallback.
+	validate := func(_ int64, v []byte) bool { return !bytes.Equal(v, []byte("poison")) }
+	h := newHarness(t, 4, 150*time.Millisecond, validate)
+	for i, eng := range h.engines {
+		if i == 0 {
+			eng.StartInstance(1, []byte("poison"))
+		} else {
+			eng.StartInstance(1, nil)
+		}
+	}
+	decisions := h.collect(1, map[int]bool{0: true})
+	for i, d := range decisions {
+		if bytes.Equal(d.Value, []byte("poison")) {
+			t.Fatalf("replica %d decided the rejected value", i)
+		}
+	}
+	_ = decisions
+}
+
+func TestProofSignerAreViewMembers(t *testing.T) {
+	h := newHarness(t, 7, time.Second, nil)
+	decisions := h.decideAll(1, []byte("v"), nil)
+	for _, d := range decisions {
+		if d.Proof.Count() < h.view.Quorum() {
+			t.Fatalf("proof too small: %d", d.Proof.Count())
+		}
+		for _, s := range d.Proof.Signers() {
+			if !h.view.Contains(s) {
+				t.Fatalf("proof signer %d not in view", s)
+			}
+		}
+	}
+}
+
+func TestSevenReplicasTolerateTwoCrashes(t *testing.T) {
+	h := newHarness(t, 7, time.Second, nil)
+	h.kill(5)
+	h.kill(6)
+	except := map[int]bool{5: true, 6: true}
+	decisions := h.decideAll(1, []byte("n7f2"), except)
+	if len(decisions) != 5 {
+		t.Fatalf("got %d decisions", len(decisions))
+	}
+}
+
+func TestVerifyDecisionProofRejections(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	decisions := h.decideAll(1, []byte("v"), nil)
+	d := decisions[0]
+	digest := crypto.HashBytes(d.Value)
+
+	if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch, digest, nil, 3); err == nil {
+		t.Fatal("nil proof must fail")
+	}
+	if err := VerifyDecisionProof(h.view, d.Instance+1, d.Epoch, digest, &d.Proof, 3); err == nil {
+		t.Fatal("wrong instance must fail")
+	}
+	if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch+1, digest, &d.Proof, 3); err == nil {
+		t.Fatal("wrong epoch must fail")
+	}
+	bad := crypto.HashBytes([]byte("other"))
+	if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch, bad, &d.Proof, 3); err == nil {
+		t.Fatal("wrong digest must fail")
+	}
+	if err := VerifyDecisionProof(h.view, d.Instance, d.Epoch, digest, &d.Proof, d.Proof.Count()+1); err == nil {
+		t.Fatal("higher quorum must fail")
+	}
+	// A proof from another key set must fail.
+	otherKeys := make(map[int32]crypto.PublicKey)
+	for i := 0; i < 4; i++ {
+		otherKeys[int32(i)] = crypto.SeededKeyPair("other", int64(i)).Public()
+	}
+	otherView := view.New(1, []int32{0, 1, 2, 3}, otherKeys)
+	if err := VerifyDecisionProof(otherView, d.Instance, d.Epoch, digest, &d.Proof, 3); err == nil {
+		t.Fatal("foreign keys must fail")
+	}
+}
+
+func TestMessageEncodingRoundTrips(t *testing.T) {
+	key := crypto.SeededKeyPair("enc", 1)
+	digest := crypto.HashBytes([]byte("v"))
+
+	vm := voteMsg{Instance: 7, Epoch: 2, Digest: digest, Voter: 3, Sig: key.MustSign(ctxWrite, voteMessage(7, 2, digest))}
+	got, err := decodeVote(vm.encode())
+	if err != nil {
+		t.Fatalf("vote: %v", err)
+	}
+	if got.Instance != 7 || got.Epoch != 2 || got.Digest != digest || got.Voter != 3 || !bytes.Equal(got.Sig, vm.Sig) {
+		t.Fatalf("vote round trip: %+v", got)
+	}
+
+	cert := writeCert{Instance: 7, Epoch: 2, Digest: digest, Sigs: []crypto.Signature{{Signer: 1, Sig: vm.Sig}}}
+	sm := stopMsg{Instance: 7, NextEpoch: 3, Voter: 1, HasCert: true, Cert: cert, Value: []byte("v")}
+	sm.Sig = key.MustSign(ctxStop, sm.signedPortion())
+	gotStop, err := decodeStop(sm.encode())
+	if err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if gotStop.Instance != 7 || gotStop.NextEpoch != 3 || !gotStop.HasCert ||
+		gotStop.Cert.Digest != digest || !bytes.Equal(gotStop.Value, []byte("v")) {
+		t.Fatalf("stop round trip: %+v", gotStop)
+	}
+
+	pm := proposeMsg{Instance: 7, Epoch: 3, Value: []byte("value"), Justif: []stopMsg{sm}}
+	gotProp, err := decodePropose(pm.encode())
+	if err != nil {
+		t.Fatalf("propose: %v", err)
+	}
+	if gotProp.Instance != 7 || gotProp.Epoch != 3 || !bytes.Equal(gotProp.Value, []byte("value")) || len(gotProp.Justif) != 1 {
+		t.Fatalf("propose round trip: %+v", gotProp)
+	}
+
+	// Truncations must fail, not panic.
+	for _, enc := range [][]byte{vm.encode(), sm.encode(), pm.encode()} {
+		for cut := 1; cut < len(enc); cut += 7 {
+			_, _ = decodeVote(enc[:cut])
+			_, _ = decodeStop(enc[:cut])
+			_, _ = decodePropose(enc[:cut])
+		}
+	}
+}
+
+func TestStopMsgVerifyRejectsInconsistencies(t *testing.T) {
+	n := 4
+	keys := make([]*crypto.KeyPair, n)
+	pubs := make(map[int32]crypto.PublicKey, n)
+	for i := range keys {
+		keys[i] = crypto.SeededKeyPair("sv", int64(i))
+		pubs[int32(i)] = keys[i].Public()
+	}
+	v := view.New(0, []int32{0, 1, 2, 3}, pubs)
+	value := []byte("v")
+	digest := crypto.HashBytes(value)
+
+	// Build a valid write cert for epoch 0.
+	cert := writeCert{Instance: 1, Epoch: 0, Digest: digest}
+	for i := 0; i < 3; i++ {
+		sig := keys[i].MustSign(ctxWrite, voteMessage(1, 0, digest))
+		cert.Sigs = append(cert.Sigs, crypto.Signature{Signer: int32(i), Sig: sig})
+	}
+	mkStop := func(mutate func(*stopMsg)) stopMsg {
+		sm := stopMsg{Instance: 1, NextEpoch: 1, Voter: 0, HasCert: true, Cert: cert, Value: value}
+		if mutate != nil {
+			mutate(&sm)
+		}
+		sm.Sig = keys[0].MustSign(ctxStop, sm.signedPortion())
+		return sm
+	}
+
+	good := mkStop(nil)
+	if err := good.verify(v, v.Quorum()); err != nil {
+		t.Fatalf("good stop must verify: %v", err)
+	}
+	// Value not matching cert digest.
+	badValue := mkStop(func(s *stopMsg) { s.Value = []byte("other") })
+	if err := badValue.verify(v, v.Quorum()); err == nil {
+		t.Fatal("stop with mismatched value must fail")
+	}
+	// Cert epoch not below next epoch.
+	badEpoch := mkStop(func(s *stopMsg) { s.Cert.Epoch = 1 })
+	if err := badEpoch.verify(v, v.Quorum()); err == nil {
+		t.Fatal("stop with cert epoch ≥ next epoch must fail")
+	}
+	// Forged signature.
+	forged := good
+	forged.Sig = make([]byte, crypto.SignatureSize)
+	if err := forged.verify(v, v.Quorum()); err == nil {
+		t.Fatal("forged stop signature must fail")
+	}
+	// Cert with too few signatures.
+	weak := mkStop(func(s *stopMsg) { s.Cert.Sigs = s.Cert.Sigs[:2] })
+	if err := weak.verify(v, v.Quorum()); err == nil {
+		t.Fatal("sub-quorum cert must fail")
+	}
+}
+
+func TestEngineIgnoresForeignAndForgedVotes(t *testing.T) {
+	// A non-member, and a member forging another member's vote, must not
+	// contribute to quorums or crash the engine.
+	h := newHarness(t, 4, time.Second, nil)
+	intruderEp := h.net.Endpoint(99)
+	defer intruderEp.Close()
+
+	digest := crypto.HashBytes([]byte("evil"))
+	intruderKey := crypto.SeededKeyPair("intruder", 99)
+	vm := voteMsg{Instance: 1, Epoch: 0, Digest: digest, Voter: 99, Sig: intruderKey.MustSign(ctxAccept, voteMessage(1, 0, digest))}
+	for i := 0; i < 4; i++ {
+		_ = intruderEp.Send(int32(i), MsgAccept, vm.encode())
+	}
+	// Member 99 impersonating member 2 (From mismatch).
+	vm2 := voteMsg{Instance: 1, Epoch: 0, Digest: digest, Voter: 2, Sig: make([]byte, crypto.SignatureSize)}
+	for i := 0; i < 4; i++ {
+		_ = intruderEp.Send(int32(i), MsgAccept, vm2.encode())
+	}
+	// Normal consensus still works afterwards.
+	decisions := h.decideAll(1, []byte("legit"), nil)
+	for i, d := range decisions {
+		if !bytes.Equal(d.Value, []byte("legit")) {
+			t.Fatalf("replica %d decided %q", i, d.Value)
+		}
+	}
+}
+
+func TestNonLeaderProposeIgnored(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	// Replica 2 (not leader of epoch 0) sends a PROPOSE.
+	rogueEp := h.net.Endpoint(50)
+	defer rogueEp.Close()
+	pm := proposeMsg{Instance: 1, Epoch: 0, Value: []byte("rogue")}
+	// Sent "from" endpoint 50 which is not leader; engines must ignore it.
+	for i := 0; i < 4; i++ {
+		_ = rogueEp.Send(int32(i), MsgPropose, pm.encode())
+	}
+	decisions := h.decideAll(1, []byte("legit"), nil)
+	for i, d := range decisions {
+		if !bytes.Equal(d.Value, []byte("legit")) {
+			t.Fatalf("replica %d decided rogue value %q", i, d.Value)
+		}
+	}
+}
+
+func TestBufferedFutureInstanceMessages(t *testing.T) {
+	// A replica that starts instance 2 late must still decide thanks to
+	// buffering of early-arriving messages.
+	h := newHarness(t, 4, time.Second, nil)
+	h.decideAll(1, []byte("first"), nil)
+
+	// Start instance 2 on all but replica 3.
+	for i, eng := range h.engines {
+		if i == 3 {
+			continue
+		}
+		if i == 0 {
+			eng.StartInstance(2, []byte("second"))
+		} else {
+			eng.StartInstance(2, nil)
+		}
+	}
+	h.collect(2, map[int]bool{3: true})
+	// Replica 3 starts late; buffered PROPOSE/WRITE/ACCEPT replay.
+	h.engines[3].StartInstance(2, nil)
+	select {
+	case d := <-h.engines[3].Decisions():
+		if d.Instance != 2 || !bytes.Equal(d.Value, []byte("second")) {
+			t.Fatalf("late replica decided %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late replica never decided instance 2")
+	}
+}

@@ -1,0 +1,685 @@
+package consensus
+
+import (
+	"sync/atomic"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// Decision is the outcome of one consensus instance: the decided value plus
+// a transferable proof (a Byzantine quorum of signed ACCEPT votes). The
+// proof is what the blockchain layer stores next to each batch so that "a
+// single log is enough" for recovery (paper §IV, Observation 2).
+type Decision struct {
+	Instance int64
+	Epoch    int64
+	Value    []byte
+	Proof    crypto.Certificate
+}
+
+// Config parameterizes an Engine for one view. Reconfiguration replaces the
+// whole engine rather than mutating it: views are immutable, and so are the
+// consensus keys bound to them.
+type Config struct {
+	// Self is this replica's ID.
+	Self int32
+	// View is the membership the engine operates in.
+	View view.View
+	// Signer is this replica's consensus key for the view.
+	Signer *crypto.KeyPair
+	// Send transmits a message to one peer (narrowed transport).
+	Send func(to int32, typ uint16, payload []byte)
+	// Timeout is the base progress timeout before a synchronization phase
+	// is triggered. It doubles on every consecutive epoch change for the
+	// same instance and resets on decision (eventual synchrony handling).
+	Timeout time.Duration
+	// Validate vets a leader proposal before the replica endorses it.
+	// Typical use: check the batch parses and its requests are plausible.
+	// A nil Validate accepts everything.
+	Validate func(instance int64, value []byte) bool
+	// RequestValue supplies a value when this replica becomes leader via a
+	// synchronization phase with no certified value to re-propose. A nil
+	// or empty return proposes the empty value (an empty batch).
+	RequestValue func(instance int64) []byte
+	// HasPending reports whether this replica knows of requests awaiting
+	// ordering. When neither a proposal nor pending work exists, progress
+	// timeouts re-arm instead of triggering a synchronization phase, so an
+	// idle system does not churn through leader changes. Nil means
+	// "always pending" (timeouts always escalate).
+	HasPending func() bool
+}
+
+// Engine runs consensus for a single view. All state is owned by the event
+// loop goroutine; the public methods communicate with it via channels.
+type Engine struct {
+	cfg    Config
+	quorum int
+
+	regency   atomic.Int64 // current epoch, mirrored for Leader()
+	events    chan event
+	decisions chan Decision
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+type event struct {
+	kind  eventKind
+	msg   transport.Message
+	inst  int64
+	value []byte
+	epoch int64 // for timeout staleness check
+	keyID int32
+	key   crypto.PublicKey
+}
+
+type eventKind int
+
+const (
+	evMessage eventKind = iota + 1
+	evStart
+	evTimeout
+	evPropose
+	evUpdateKey
+)
+
+// instState is the per-instance protocol state, owned by the loop.
+type instState struct {
+	baseEpoch  int64 // epoch the instance started in
+	epoch      int64 // epoch this replica currently operates in
+	proposal   []byte
+	digest     crypto.Hash
+	sentWrite  bool
+	sentAccept bool
+	decided    bool
+
+	// votes: epoch → digest → voter → signature.
+	writes  map[int64]map[crypto.Hash]map[int32][]byte
+	accepts map[int64]map[crypto.Hash]map[int32][]byte
+	// stops: nextEpoch → voter → message.
+	stops map[int64]map[int32]stopMsg
+	// myWriteCert is the strongest write certificate this replica
+	// assembled (evidence a value may have been decided).
+	myWriteCert *writeCert
+	myCertValue []byte
+}
+
+func newInstState(epoch int64) *instState {
+	return &instState{
+		baseEpoch: epoch,
+		epoch:     epoch,
+		writes:    make(map[int64]map[crypto.Hash]map[int32][]byte),
+		accepts:   make(map[int64]map[crypto.Hash]map[int32][]byte),
+		stops:     make(map[int64]map[int32]stopMsg),
+	}
+}
+
+// New creates an engine. Start must be called to run it.
+func New(cfg Config) *Engine {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 500 * time.Millisecond
+	}
+	return &Engine{
+		cfg:       cfg,
+		quorum:    cfg.View.Quorum(),
+		events:    make(chan event, 4096),
+		decisions: make(chan Decision, 16),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// Start launches the event loop.
+func (e *Engine) Start() {
+	go e.loop()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (e *Engine) Stop() {
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	<-e.done
+}
+
+// Decisions returns the channel of decided instances, in instance order.
+func (e *Engine) Decisions() <-chan Decision { return e.decisions }
+
+// StartInstance begins instance i. If this replica is the current leader,
+// value is its proposal (nil on followers). Instances below i are garbage
+// collected, so StartInstance doubles as "skip forward" after state
+// transfer.
+func (e *Engine) StartInstance(i int64, value []byte) {
+	e.enqueue(event{kind: evStart, inst: i, value: value})
+}
+
+// ProposeValue offers a value for instance i after it has started. It takes
+// effect only if this replica currently leads the instance's epoch and no
+// proposal has been adopted yet; otherwise it is ignored (the requests it
+// contains are also queued at the real leader, which proposes its own
+// copy).
+func (e *Engine) ProposeValue(i int64, value []byte) {
+	e.enqueue(event{kind: evPropose, inst: i, value: value})
+}
+
+// Leader returns the member leading the current epoch (regency). The value
+// is a snapshot: by the time the caller acts on it, a synchronization phase
+// may have moved leadership on — callers use it only as a hint.
+func (e *Engine) Leader() int32 {
+	return e.cfg.View.Leader(e.regency.Load())
+}
+
+// UpdateKey installs a late-announced consensus key for a view member
+// (paper §V-D: members outside the reconfiguration quorum announce fresh
+// keys in their first messages of the new view).
+func (e *Engine) UpdateKey(id int32, key crypto.PublicKey) {
+	e.enqueue(event{kind: evUpdateKey, keyID: id, key: key})
+}
+
+// HandleMessage feeds a consensus wire message into the engine. It is safe
+// to call from any goroutine.
+func (e *Engine) HandleMessage(m transport.Message) {
+	e.enqueue(event{kind: evMessage, msg: m})
+}
+
+func (e *Engine) enqueue(ev event) {
+	select {
+	case e.events <- ev:
+	case <-e.stop:
+	}
+}
+
+// loop owns all protocol state.
+func (e *Engine) loop() {
+	defer close(e.done)
+	defer close(e.decisions)
+
+	var (
+		current  int64 = -1
+		states         = make(map[int64]*instState)
+		buffered       = make(map[int64][]transport.Message)
+		regency  int64 // current epoch across instances (Mod-SMaRt regency)
+		timer    *time.Timer
+		timeout  = e.cfg.Timeout
+	)
+
+	armTimer := func(inst, epoch int64) {
+		if timer != nil {
+			timer.Stop()
+		}
+		d := timeout
+		timer = time.AfterFunc(d, func() {
+			e.enqueue(event{kind: evTimeout, inst: inst, epoch: epoch})
+		})
+	}
+
+	st := func(i int64) *instState {
+		s, ok := states[i]
+		if !ok {
+			s = newInstState(regency)
+			states[i] = s
+		}
+		return s
+	}
+
+	// sendWrite signs and broadcasts this replica's WRITE vote, recording
+	// it locally too.
+	sendWrite := func(i int64, s *instState) {
+		sig := e.cfg.Signer.MustSign(ctxWrite, voteMessage(i, s.epoch, s.digest))
+		if sig == nil {
+			return
+		}
+		s.sentWrite = true
+		e.recordWrite(s, i, voteMsg{Instance: i, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig})
+		m := voteMsg{Instance: i, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig}
+		payload := m.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgWrite, payload)
+		}
+	}
+
+	sendAccept := func(i int64, s *instState) {
+		sig := e.cfg.Signer.MustSign(ctxAccept, voteMessage(i, s.epoch, s.digest))
+		if sig == nil {
+			return
+		}
+		s.sentAccept = true
+		e.recordAccept(s, i, voteMsg{Instance: i, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig})
+		m := voteMsg{Instance: i, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig}
+		payload := m.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgAccept, payload)
+		}
+	}
+
+	// maybeProgress checks quorum conditions after any vote lands.
+	maybeProgress := func(i int64, s *instState) {
+		if s.decided || s.proposal == nil {
+			return
+		}
+		// WRITE quorum → assemble write certificate, send ACCEPT.
+		if !s.sentAccept && s.sentWrite {
+			if votes := s.writes[s.epoch][s.digest]; len(votes) >= e.quorum {
+				cert := &writeCert{Instance: i, Epoch: s.epoch, Digest: s.digest}
+				for voter, sig := range votes {
+					cert.Sigs = append(cert.Sigs, crypto.Signature{Signer: voter, Sig: sig})
+				}
+				if s.myWriteCert == nil || cert.Epoch > s.myWriteCert.Epoch {
+					s.myWriteCert = cert
+					s.myCertValue = s.proposal
+				}
+				sendAccept(i, s)
+			}
+		}
+		// ACCEPT quorum → decide.
+		if votes := s.accepts[s.epoch][s.digest]; len(votes) >= e.quorum {
+			s.decided = true
+			proof := crypto.Certificate{Digest: s.digest}
+			for voter, sig := range votes {
+				proof.Add(crypto.Signature{Signer: voter, Sig: sig})
+			}
+			dec := Decision{Instance: i, Epoch: s.epoch, Value: s.proposal, Proof: proof}
+			if timer != nil {
+				timer.Stop()
+			}
+			timeout = e.cfg.Timeout // progress: reset backoff
+			select {
+			case e.decisions <- dec:
+			case <-e.stop:
+				return
+			}
+		}
+	}
+
+	// adoptProposal installs a validated proposal and votes WRITE. A nil
+	// value is normalized to the empty value so "proposal present" is
+	// always distinguishable from "no proposal yet".
+	adoptProposal := func(i int64, s *instState, value []byte) {
+		if value == nil {
+			value = []byte{}
+		}
+		s.proposal = value
+		s.digest = crypto.HashBytes(value)
+		if !s.sentWrite {
+			sendWrite(i, s)
+		}
+		maybeProgress(i, s)
+	}
+
+	// startSync broadcasts this replica's STOP for next epoch.
+	startSync := func(i int64, s *instState, next int64) {
+		if next <= s.epoch {
+			return
+		}
+		if _, voted := s.stops[next][e.cfg.Self]; voted {
+			return
+		}
+		sm := stopMsg{Instance: i, NextEpoch: next, Voter: e.cfg.Self}
+		if s.myWriteCert != nil {
+			sm.HasCert = true
+			sm.Cert = *s.myWriteCert
+			sm.Value = s.myCertValue
+		}
+		sig := e.cfg.Signer.MustSign(ctxStop, sm.signedPortion())
+		if sig == nil {
+			return
+		}
+		sm.Sig = sig
+		if s.stops[next] == nil {
+			s.stops[next] = make(map[int32]stopMsg)
+		}
+		s.stops[next][e.cfg.Self] = sm
+		payload := sm.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgStop, payload)
+		}
+	}
+
+	// enterEpoch moves the instance into epoch next after a stop quorum.
+	enterEpoch := func(i int64, s *instState, next int64) {
+		stops := s.stops[next]
+		regency = next
+		e.regency.Store(next)
+		s.epoch = next
+		s.sentWrite = false
+		s.sentAccept = false
+		s.proposal = nil
+		s.digest = crypto.ZeroHash
+		timeout *= 2 // back off: the network may still be asynchronous
+		armTimer(i, next)
+
+		if e.cfg.View.Leader(next) != e.cfg.Self {
+			return
+		}
+		// New leader: re-propose the value of the highest-epoch write
+		// certificate among the stop quorum; otherwise propose fresh.
+		var best *stopMsg
+		justif := make([]stopMsg, 0, len(stops))
+		for voter := range stops {
+			sm := stops[voter]
+			justif = append(justif, sm)
+			if sm.HasCert && (best == nil || sm.Cert.Epoch > best.Cert.Epoch) {
+				best = &sm
+			}
+		}
+		var value []byte
+		if best != nil {
+			value = best.Value
+		} else if e.cfg.RequestValue != nil {
+			value = e.cfg.RequestValue(i)
+		}
+		pm := proposeMsg{Instance: i, Epoch: next, Value: value, Justif: justif}
+		payload := pm.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgPropose, payload)
+		}
+		adoptProposal(i, s, value)
+	}
+
+	handleMsg := func(m transport.Message, currentInst int64) {
+		inst, ok := peekInstance(m)
+		if !ok {
+			return
+		}
+		if currentInst < 0 || inst > currentInst {
+			// Future instance: buffer within a bounded window.
+			if currentInst >= 0 && inst > currentInst+32 {
+				return
+			}
+			if len(buffered[inst]) < 8*e.cfg.View.N() {
+				buffered[inst] = append(buffered[inst], m)
+			}
+			return
+		}
+		if inst < currentInst {
+			return // stale: decided long ago
+		}
+		s := st(inst)
+		switch m.Type {
+		case MsgPropose:
+			e.onPropose(m, s, inst, adoptProposal)
+		case MsgWrite:
+			e.onWrite(m, s, inst, maybeProgress)
+		case MsgAccept:
+			e.onAccept(m, s, inst, maybeProgress)
+		case MsgStop:
+			e.onStop(m, s, inst, startSync, enterEpoch)
+		}
+	}
+
+	for {
+		select {
+		case <-e.stop:
+			if timer != nil {
+				timer.Stop()
+			}
+			return
+		case ev := <-e.events:
+			switch ev.kind {
+			case evStart:
+				if ev.inst <= current {
+					continue
+				}
+				// GC all instances below the new one.
+				for k := range states {
+					if k < ev.inst {
+						delete(states, k)
+					}
+				}
+				current = ev.inst
+				s := st(current)
+				armTimer(current, s.epoch)
+				if e.cfg.View.Leader(s.epoch) == e.cfg.Self && ev.value != nil && !s.decided {
+					pm := proposeMsg{Instance: current, Epoch: s.epoch, Value: ev.value}
+					payload := pm.encode()
+					for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+						e.cfg.Send(peer, MsgPropose, payload)
+					}
+					adoptProposal(current, s, ev.value)
+				}
+				// Replay buffered messages for this instance.
+				for _, m := range buffered[current] {
+					handleMsg(m, current)
+				}
+				delete(buffered, current)
+				for k := range buffered {
+					if k < current {
+						delete(buffered, k)
+					}
+				}
+			case evMessage:
+				handleMsg(ev.msg, current)
+			case evPropose:
+				if ev.inst != current {
+					continue
+				}
+				s := st(current)
+				if s.decided || s.proposal != nil {
+					continue
+				}
+				if e.cfg.View.Leader(s.epoch) != e.cfg.Self {
+					continue
+				}
+				pm := proposeMsg{Instance: current, Epoch: s.epoch, Value: ev.value}
+				if s.epoch > s.baseEpoch {
+					// A justification is required after a synchronization
+					// phase; enterEpoch handles that path. Late external
+					// proposals are ignored there.
+					continue
+				}
+				payload := pm.encode()
+				for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+					e.cfg.Send(peer, MsgPropose, payload)
+				}
+				adoptProposal(current, s, ev.value)
+			case evUpdateKey:
+				if e.cfg.View.Contains(ev.keyID) {
+					e.cfg.View = e.cfg.View.WithKey(ev.keyID, ev.key)
+				}
+			case evTimeout:
+				if ev.inst != current {
+					continue
+				}
+				s := st(current)
+				if s.decided || ev.epoch != s.epoch {
+					continue
+				}
+				// Idle system: no proposal, no votes, no stop campaign, and
+				// nothing pending locally — re-arm instead of churning
+				// through leader changes.
+				idle := s.proposal == nil && len(s.writes) == 0 && len(s.stops) == 0
+				if idle && e.cfg.HasPending != nil && !e.cfg.HasPending() {
+					armTimer(current, s.epoch)
+					continue
+				}
+				startSync(current, s, s.epoch+1)
+				armTimer(current, s.epoch)
+			}
+		}
+	}
+}
+
+// peekInstance reads the leading instance field shared by every consensus
+// message without a full decode.
+func peekInstance(m transport.Message) (int64, bool) {
+	switch m.Type {
+	case MsgPropose, MsgWrite, MsgAccept:
+		if len(m.Payload) < 8 {
+			return 0, false
+		}
+		return int64(beUint64(m.Payload)), true
+	case MsgStop:
+		// stopMsg is framed: 4-byte body length, then body starting with
+		// the instance.
+		if len(m.Payload) < 12 {
+			return 0, false
+		}
+		return int64(beUint64(m.Payload[4:])), true
+	default:
+		return 0, false
+	}
+}
+
+func beUint64(b []byte) uint64 {
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+// onPropose validates and adopts a leader proposal.
+func (e *Engine) onPropose(m transport.Message, s *instState, inst int64, adopt func(int64, *instState, []byte)) {
+	pm, err := decodePropose(m.Payload)
+	if err != nil {
+		return
+	}
+	if m.From != e.cfg.View.Leader(pm.Epoch) {
+		return // not from the leader of that epoch
+	}
+	if pm.Epoch < s.epoch || s.decided {
+		return
+	}
+	switch {
+	case pm.Epoch > s.epoch:
+		// The leader is ahead of us: its justification (a quorum of valid
+		// STOPs) both advances our epoch and proves the value is safe.
+		if !e.validSyncProposal(&pm, s) {
+			return
+		}
+		s.epoch = pm.Epoch
+		s.sentWrite = false
+		s.sentAccept = false
+		s.proposal = nil
+	case pm.Epoch > s.baseEpoch:
+		// Same epoch, but the instance went through a synchronization
+		// phase: still demand the justification before endorsing.
+		if !e.validSyncProposal(&pm, s) {
+			return
+		}
+	}
+	if s.proposal != nil {
+		return // already have a proposal for this epoch
+	}
+	if e.cfg.Validate != nil && !e.cfg.Validate(inst, pm.Value) {
+		return
+	}
+	adopt(inst, s, pm.Value)
+}
+
+// validSyncProposal checks the justification of a post-synchronization
+// proposal: ≥ quorum distinct valid STOPs for (instance, epoch), and the
+// proposed value honors the strongest write certificate among them.
+func (e *Engine) validSyncProposal(pm *proposeMsg, s *instState) bool {
+	voters := make(map[int32]bool, len(pm.Justif))
+	var best *stopMsg
+	for i := range pm.Justif {
+		sm := &pm.Justif[i]
+		if sm.Instance != pm.Instance || sm.NextEpoch != pm.Epoch {
+			return false
+		}
+		if voters[sm.Voter] || !e.cfg.View.Contains(sm.Voter) {
+			return false
+		}
+		if err := sm.verify(e.cfg.View, e.quorum); err != nil {
+			return false
+		}
+		voters[sm.Voter] = true
+		if sm.HasCert && (best == nil || sm.Cert.Epoch > best.Cert.Epoch) {
+			best = sm
+		}
+	}
+	if len(voters) < e.quorum {
+		return false
+	}
+	if best != nil && crypto.HashBytes(pm.Value) != best.Cert.Digest {
+		return false
+	}
+	return true
+}
+
+// onWrite records a WRITE vote.
+func (e *Engine) onWrite(m transport.Message, s *instState, inst int64, progress func(int64, *instState)) {
+	vm, err := decodeVote(m.Payload)
+	if err != nil || vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
+		return
+	}
+	if vm.Epoch < s.epoch || s.decided {
+		return
+	}
+	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
+	if !ok || !crypto.Verify(pub, ctxWrite, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+		return
+	}
+	e.recordWrite(s, inst, vm)
+	progress(inst, s)
+}
+
+// onAccept records an ACCEPT vote.
+func (e *Engine) onAccept(m transport.Message, s *instState, inst int64, progress func(int64, *instState)) {
+	vm, err := decodeVote(m.Payload)
+	if err != nil || vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
+		return
+	}
+	if vm.Epoch < s.epoch || s.decided {
+		return
+	}
+	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
+	if !ok || !crypto.Verify(pub, ctxAccept, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+		return
+	}
+	e.recordAccept(s, inst, vm)
+	progress(inst, s)
+}
+
+// onStop records a STOP vote and drives the synchronization phase: join on
+// f+1, switch epochs on quorum.
+func (e *Engine) onStop(m transport.Message, s *instState, inst int64,
+	join func(int64, *instState, int64), enter func(int64, *instState, int64)) {
+	sm, err := decodeStop(m.Payload)
+	if err != nil || sm.Voter != m.From || !e.cfg.View.Contains(sm.Voter) {
+		return
+	}
+	if sm.NextEpoch <= s.epoch || s.decided {
+		return
+	}
+	if err := sm.verify(e.cfg.View, e.quorum); err != nil {
+		return
+	}
+	if s.stops[sm.NextEpoch] == nil {
+		s.stops[sm.NextEpoch] = make(map[int32]stopMsg)
+	}
+	if _, dup := s.stops[sm.NextEpoch][sm.Voter]; dup {
+		return
+	}
+	s.stops[sm.NextEpoch][sm.Voter] = sm
+
+	count := len(s.stops[sm.NextEpoch])
+	if count >= e.cfg.View.F()+1 {
+		join(inst, s, sm.NextEpoch) // echo our own STOP (no-op if done)
+	}
+	if len(s.stops[sm.NextEpoch]) >= e.quorum {
+		enter(inst, s, sm.NextEpoch)
+	}
+}
+
+func (e *Engine) recordWrite(s *instState, inst int64, vm voteMsg) {
+	if s.writes[vm.Epoch] == nil {
+		s.writes[vm.Epoch] = make(map[crypto.Hash]map[int32][]byte)
+	}
+	if s.writes[vm.Epoch][vm.Digest] == nil {
+		s.writes[vm.Epoch][vm.Digest] = make(map[int32][]byte)
+	}
+	s.writes[vm.Epoch][vm.Digest][vm.Voter] = vm.Sig
+}
+
+func (e *Engine) recordAccept(s *instState, inst int64, vm voteMsg) {
+	if s.accepts[vm.Epoch] == nil {
+		s.accepts[vm.Epoch] = make(map[crypto.Hash]map[int32][]byte)
+	}
+	if s.accepts[vm.Epoch][vm.Digest] == nil {
+		s.accepts[vm.Epoch][vm.Digest] = make(map[int32][]byte)
+	}
+	s.accepts[vm.Epoch][vm.Digest][vm.Voter] = vm.Sig
+}

@@ -1,0 +1,336 @@
+// Package consensus implements the Byzantine consensus core of SMARTCHAIN:
+// a Mod-SMaRt-style protocol (paper §II-C1, Fig. 1) that decides a sequence
+// of values (batches) through PROPOSE → WRITE → ACCEPT rounds, producing a
+// transferable decision proof (a quorum of signed ACCEPTs) for every
+// decision, and a synchronization phase (regency/epoch change) that replaces
+// a faulty or slow leader while preserving agreement.
+//
+// Instances are decided strictly in order (α = 1, as in BFT-SMaRt): the
+// layer above starts instance i+1 only after instance i decides.
+package consensus
+
+import (
+	"fmt"
+
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+)
+
+// Wire message types. The consensus layer owns the 100–119 range of
+// transport message types.
+const (
+	MsgPropose uint16 = 100 + iota
+	MsgWrite
+	MsgAccept
+	MsgStop
+)
+
+// Signature domain-separation contexts.
+const (
+	ctxWrite  = "smartchain/consensus/write/v1"
+	ctxAccept = "smartchain/consensus/accept/v1"
+	ctxStop   = "smartchain/consensus/stop/v1"
+)
+
+// voteMessage returns the canonical byte string signed by WRITE and ACCEPT
+// votes: it binds instance, epoch, and value digest so a signature can never
+// be replayed across instances or epochs.
+func voteMessage(instance, epoch int64, digest crypto.Hash) []byte {
+	e := codec.NewEncoder(48)
+	e.Int64(instance)
+	e.Int64(epoch)
+	e.Bytes32(digest)
+	return e.Bytes()
+}
+
+// AcceptSignedMessage exposes the ACCEPT vote format so third parties
+// (blockchain verifiers) can validate decision proofs.
+func AcceptSignedMessage(instance, epoch int64, digest crypto.Hash) []byte {
+	return voteMessage(instance, epoch, digest)
+}
+
+// VerifyDecisionProof checks that proof contains at least quorum valid
+// ACCEPT signatures for (instance, epoch, digest) under keys. This is what
+// makes a single replica's log trustworthy: every logged value carries the
+// cryptographic evidence that it was decided (paper Observation 2).
+//
+// Counting is tolerant: signatures from unknown signers (e.g. members whose
+// fresh keys were announced out-of-band rather than recorded on-chain),
+// duplicates, and invalid signatures are skipped rather than rejected —
+// garbage cannot help an adversary reach the quorum of valid signatures.
+func VerifyDecisionProof(keys crypto.KeyResolver, instance, epoch int64, digest crypto.Hash, proof *crypto.Certificate, quorum int) error {
+	if proof == nil {
+		return fmt.Errorf("consensus: nil decision proof")
+	}
+	if proof.Digest != digest {
+		return fmt.Errorf("consensus: proof digest mismatch")
+	}
+	msg := AcceptSignedMessage(instance, epoch, digest)
+	seen := make(map[int32]bool, len(proof.Sigs))
+	valid := 0
+	for _, s := range proof.Sigs {
+		if seen[s.Signer] {
+			continue
+		}
+		pub, ok := keys.PublicKeyOf(s.Signer)
+		if !ok {
+			continue
+		}
+		if !crypto.Verify(pub, ctxAccept, msg, s.Sig) {
+			continue
+		}
+		seen[s.Signer] = true
+		valid++
+	}
+	if valid < quorum {
+		return fmt.Errorf("consensus: proof has %d valid signatures, need %d", valid, quorum)
+	}
+	return nil
+}
+
+// proposeMsg is the leader's proposal for (instance, epoch). For epoch > the
+// starting epoch of the instance it carries a justification: the quorum of
+// signed STOP messages that elected this epoch, proving the value choice is
+// safe.
+type proposeMsg struct {
+	Instance int64
+	Epoch    int64
+	Value    []byte
+	Justif   []stopMsg
+}
+
+func (m *proposeMsg) encode() []byte {
+	e := codec.NewEncoder(64 + len(m.Value))
+	e.Int64(m.Instance)
+	e.Int64(m.Epoch)
+	e.WriteBytes(m.Value)
+	e.Uint32(uint32(len(m.Justif)))
+	for i := range m.Justif {
+		e.WriteBytes(m.Justif[i].encode())
+	}
+	return e.Bytes()
+}
+
+func decodePropose(data []byte) (proposeMsg, error) {
+	d := codec.NewDecoder(data)
+	var m proposeMsg
+	m.Instance = d.Int64()
+	m.Epoch = d.Int64()
+	m.Value = d.ReadBytesCopy()
+	n := d.Uint32()
+	if d.Err() != nil {
+		return proposeMsg{}, fmt.Errorf("decode propose: %w", d.Err())
+	}
+	if n > 4096 {
+		return proposeMsg{}, fmt.Errorf("decode propose: implausible justification size %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		sm, err := decodeStop(d.ReadBytes())
+		if err != nil {
+			return proposeMsg{}, fmt.Errorf("decode propose justification: %w", err)
+		}
+		m.Justif = append(m.Justif, sm)
+	}
+	if err := d.Finish(); err != nil {
+		return proposeMsg{}, fmt.Errorf("decode propose: %w", err)
+	}
+	return m, nil
+}
+
+// voteMsg is a WRITE or ACCEPT vote: a signed endorsement of a digest for
+// (instance, epoch).
+type voteMsg struct {
+	Instance int64
+	Epoch    int64
+	Digest   crypto.Hash
+	Voter    int32
+	Sig      []byte
+}
+
+func (m *voteMsg) encode() []byte {
+	e := codec.NewEncoder(128)
+	e.Int64(m.Instance)
+	e.Int64(m.Epoch)
+	e.Bytes32(m.Digest)
+	e.Int32(m.Voter)
+	e.WriteBytes(m.Sig)
+	return e.Bytes()
+}
+
+func decodeVote(data []byte) (voteMsg, error) {
+	d := codec.NewDecoder(data)
+	var m voteMsg
+	m.Instance = d.Int64()
+	m.Epoch = d.Int64()
+	m.Digest = d.Bytes32()
+	m.Voter = d.Int32()
+	m.Sig = d.ReadBytesCopy()
+	if err := d.Finish(); err != nil {
+		return voteMsg{}, fmt.Errorf("decode vote: %w", err)
+	}
+	return m, nil
+}
+
+// writeCert is a quorum of signed WRITE votes for one digest in one epoch:
+// the transferable evidence that a value *may have been* decided, which the
+// synchronization phase must honor (single-decree PBFT view-change logic).
+type writeCert struct {
+	Instance int64
+	Epoch    int64
+	Digest   crypto.Hash
+	Sigs     []crypto.Signature
+}
+
+func (c *writeCert) encode() []byte {
+	e := codec.NewEncoder(64 + 100*len(c.Sigs))
+	e.Int64(c.Instance)
+	e.Int64(c.Epoch)
+	e.Bytes32(c.Digest)
+	e.Uint32(uint32(len(c.Sigs)))
+	for _, s := range c.Sigs {
+		e.Int32(s.Signer)
+		e.WriteBytes(s.Sig)
+	}
+	return e.Bytes()
+}
+
+func decodeWriteCert(d *codec.Decoder) (writeCert, error) {
+	var c writeCert
+	c.Instance = d.Int64()
+	c.Epoch = d.Int64()
+	c.Digest = d.Bytes32()
+	n := d.Uint32()
+	if d.Err() != nil {
+		return writeCert{}, d.Err()
+	}
+	if n > 4096 {
+		return writeCert{}, fmt.Errorf("implausible write cert size %d", n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var s crypto.Signature
+		s.Signer = d.Int32()
+		s.Sig = d.ReadBytesCopy()
+		c.Sigs = append(c.Sigs, s)
+	}
+	if err := d.Err(); err != nil {
+		return writeCert{}, err
+	}
+	return c, nil
+}
+
+// verify checks the write certificate carries quorum valid WRITE signatures.
+func (c *writeCert) verify(keys crypto.KeyResolver, quorum int) error {
+	msg := voteMessage(c.Instance, c.Epoch, c.Digest)
+	seen := make(map[int32]bool, len(c.Sigs))
+	valid := 0
+	for _, s := range c.Sigs {
+		if seen[s.Signer] {
+			return fmt.Errorf("consensus: duplicate signer %d in write cert", s.Signer)
+		}
+		seen[s.Signer] = true
+		pub, ok := keys.PublicKeyOf(s.Signer)
+		if !ok {
+			return fmt.Errorf("consensus: write cert signer %d unknown", s.Signer)
+		}
+		if !crypto.Verify(pub, ctxWrite, msg, s.Sig) {
+			return fmt.Errorf("consensus: write cert signature of %d invalid", s.Signer)
+		}
+		valid++
+	}
+	if valid < quorum {
+		return fmt.Errorf("consensus: write cert has %d signatures, need %d", valid, quorum)
+	}
+	return nil
+}
+
+// stopMsg is a replica's signed vote to move instance to nextEpoch,
+// carrying its strongest write certificate (if any) and, when it holds one,
+// the corresponding proposed value so the next leader can re-propose it.
+type stopMsg struct {
+	Instance  int64
+	NextEpoch int64
+	Voter     int32
+	HasCert   bool
+	Cert      writeCert
+	Value     []byte // the value matching Cert.Digest, empty if HasCert is false
+	Sig       []byte // over signedPortion
+}
+
+func (m *stopMsg) signedPortion() []byte {
+	e := codec.NewEncoder(96 + len(m.Value))
+	e.Int64(m.Instance)
+	e.Int64(m.NextEpoch)
+	e.Int32(m.Voter)
+	e.Bool(m.HasCert)
+	if m.HasCert {
+		e.WriteBytes(m.Cert.encode())
+		e.WriteBytes(m.Value)
+	}
+	return e.Bytes()
+}
+
+func (m *stopMsg) encode() []byte {
+	e := codec.NewEncoder(128 + len(m.Value))
+	e.WriteBytes(m.signedPortion())
+	e.WriteBytes(m.Sig)
+	return e.Bytes()
+}
+
+func decodeStop(data []byte) (stopMsg, error) {
+	outer := codec.NewDecoder(data)
+	body := outer.ReadBytes()
+	sig := outer.ReadBytesCopy()
+	if err := outer.Finish(); err != nil {
+		return stopMsg{}, fmt.Errorf("decode stop: %w", err)
+	}
+	d := codec.NewDecoder(body)
+	var m stopMsg
+	m.Instance = d.Int64()
+	m.NextEpoch = d.Int64()
+	m.Voter = d.Int32()
+	m.HasCert = d.Bool()
+	if m.HasCert {
+		cd := codec.NewDecoder(d.ReadBytes())
+		cert, err := decodeWriteCert(cd)
+		if err != nil {
+			return stopMsg{}, fmt.Errorf("decode stop cert: %w", err)
+		}
+		if err := cd.Finish(); err != nil {
+			return stopMsg{}, fmt.Errorf("decode stop cert: %w", err)
+		}
+		m.Cert = cert
+		m.Value = d.ReadBytesCopy()
+	}
+	if err := d.Finish(); err != nil {
+		return stopMsg{}, fmt.Errorf("decode stop: %w", err)
+	}
+	m.Sig = sig
+	return m, nil
+}
+
+// verify checks the stop signature and, if present, the carried write
+// certificate and value consistency.
+func (m *stopMsg) verify(keys crypto.KeyResolver, quorum int) error {
+	pub, ok := keys.PublicKeyOf(m.Voter)
+	if !ok {
+		return fmt.Errorf("consensus: stop voter %d unknown", m.Voter)
+	}
+	if !crypto.Verify(pub, ctxStop, m.signedPortion(), m.Sig) {
+		return fmt.Errorf("consensus: stop signature of %d invalid", m.Voter)
+	}
+	if m.HasCert {
+		if m.Cert.Instance != m.Instance {
+			return fmt.Errorf("consensus: stop cert instance mismatch")
+		}
+		if m.Cert.Epoch >= m.NextEpoch {
+			return fmt.Errorf("consensus: stop cert epoch %d not below next epoch %d", m.Cert.Epoch, m.NextEpoch)
+		}
+		if crypto.HashBytes(m.Value) != m.Cert.Digest {
+			return fmt.Errorf("consensus: stop value does not match cert digest")
+		}
+		if err := m.Cert.verify(keys, quorum); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/crypto"
+	"smartchain/internal/reconfig"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/transport"
+)
+
+// ClusterConfig parameterizes an in-process deployment. The Cluster is the
+// substrate for the integration tests, the examples, and the benchmark
+// harness: every replica is a full Node with its own (simulated or real)
+// stable storage, connected through a MemNetwork with fault injection.
+type ClusterConfig struct {
+	// N is the number of genesis replicas.
+	N int
+	// AppFactory builds one application instance per replica; instances
+	// must be deterministic and identical.
+	AppFactory func() Application
+	// Persistence, Storage, Verify, Pipeline mirror Config.
+	Persistence Persistence
+	Storage     smr.StorageMode
+	Verify      smr.VerifyMode
+	Pipeline    bool
+	// DiskFactory models each replica's storage device (nil = no device
+	// timing; storage is still crash-consistent).
+	DiskFactory func() *storage.SimDisk
+	// CheckpointPeriod is z, in blocks (0 disables checkpoints).
+	CheckpointPeriod int64
+	// MaxBatch caps block size (default 512).
+	MaxBatch int
+	// Minters authorizes application-level minters in genesis.
+	Minters []crypto.PublicKey
+	// ConsensusTimeout for the engines (default 500 ms).
+	ConsensusTimeout time.Duration
+	// NetLatency adds one-way delivery delay between processes.
+	NetLatency time.Duration
+	// ChainID names the deployment.
+	ChainID string
+	// Policy admits join candidates (nil = admit all).
+	Policy reconfig.Policy
+}
+
+// ClusterNode bundles one replica with its persistent resources, which
+// survive Crash/Recover cycles like a machine's disk would.
+type ClusterNode struct {
+	ID        int32
+	Node      *Node
+	App       Application
+	Permanent *crypto.KeyPair
+	Log       *storage.SimLog
+	Snapshots storage.SnapshotStore
+	KeyFile   storage.SnapshotStore
+	crashed   bool
+}
+
+// Cluster is an in-process SMARTCHAIN deployment.
+type Cluster struct {
+	cfg     ClusterConfig
+	Net     *transport.MemNetwork
+	Genesis blockchain.Genesis
+	Nodes   map[int32]*ClusterNode
+
+	nextClientID int32
+}
+
+// NewCluster builds and starts an N-replica deployment with deterministic
+// (seeded) identities.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.N < 1 {
+		return nil, fmt.Errorf("core: cluster needs at least one replica")
+	}
+	if cfg.AppFactory == nil {
+		return nil, fmt.Errorf("core: cluster needs an application factory")
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 512
+	}
+	if cfg.ChainID == "" {
+		cfg.ChainID = "smartchain-cluster"
+	}
+	var netOpts []transport.MemOption
+	if cfg.NetLatency > 0 {
+		netOpts = append(netOpts, transport.WithLatency(cfg.NetLatency))
+	}
+	c := &Cluster{
+		cfg:          cfg,
+		Net:          transport.NewMemNetwork(netOpts...),
+		Nodes:        make(map[int32]*ClusterNode, cfg.N),
+		nextClientID: transport.ClientIDBase,
+	}
+
+	replicas := make([]blockchain.ReplicaInfo, 0, cfg.N)
+	permKeys := make(map[int32]*crypto.KeyPair, cfg.N)
+	consKeys := make(map[int32]*crypto.KeyPair, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		id := int32(i)
+		perm := crypto.SeededKeyPair(cfg.ChainID+"/perm", int64(i))
+		cons := crypto.SeededKeyPair(cfg.ChainID+"/cons0", int64(i))
+		permKeys[id] = perm
+		consKeys[id] = cons
+		replicas = append(replicas, blockchain.ReplicaInfo{
+			ID:           id,
+			PermanentPub: perm.Public(),
+			ConsensusPub: cons.Public(),
+		})
+	}
+	c.Genesis = blockchain.Genesis{
+		ChainID:          cfg.ChainID,
+		Replicas:         replicas,
+		Minters:          cfg.Minters,
+		CheckpointPeriod: cfg.CheckpointPeriod,
+		MaxBatchSize:     cfg.MaxBatch,
+	}
+
+	for i := 0; i < cfg.N; i++ {
+		id := int32(i)
+		cn := &ClusterNode{
+			ID:        id,
+			Permanent: permKeys[id],
+			Log:       storage.NewSimLog(c.newDisk()),
+			Snapshots: storage.NewMemSnapshotStore(c.newDisk()),
+			KeyFile:   storage.NewMemSnapshotStore(nil),
+		}
+		c.Nodes[id] = cn
+		if err := c.startNode(cn, consKeys[id], nil); err != nil {
+			c.Stop()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) newDisk() *storage.SimDisk {
+	if c.cfg.DiskFactory == nil {
+		return nil
+	}
+	return c.cfg.DiskFactory()
+}
+
+// startNode builds and starts the Node process for a ClusterNode.
+func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPeers []int32) error {
+	cn.App = c.cfg.AppFactory()
+	node, err := NewNode(Config{
+		Self:                cn.ID,
+		Genesis:             c.Genesis,
+		Permanent:           cn.Permanent,
+		InitialConsensusKey: initialKey,
+		Transport:           c.Net.Endpoint(cn.ID),
+		Log:                 cn.Log,
+		Snapshots:           cn.Snapshots,
+		KeyFile:             cn.KeyFile,
+		App:                 cn.App,
+		Policy:              c.cfg.Policy,
+		Persistence:         c.cfg.Persistence,
+		Storage:             c.cfg.Storage,
+		Verify:              c.cfg.Verify,
+		Pipeline:            c.cfg.Pipeline,
+		MaxBatch:            c.cfg.MaxBatch,
+		ConsensusTimeout:    c.cfg.ConsensusTimeout,
+		SyncPeers:           syncPeers,
+	})
+	if err != nil {
+		return err
+	}
+	cn.Node = node
+	cn.crashed = false
+	return node.Start()
+}
+
+// Members returns the IDs of the current view according to replica 0 (or
+// any live replica).
+func (c *Cluster) Members() []int32 {
+	for _, cn := range c.Nodes {
+		if cn.Node != nil && !cn.crashed {
+			v := cn.Node.View()
+			out := make([]int32, len(v.Members))
+			copy(out, v.Members)
+			return out
+		}
+	}
+	return nil
+}
+
+// Crash stops replica id abruptly: the process dies, unsynced storage is
+// lost (SimLog crash semantics), and the network endpoint disappears.
+func (c *Cluster) Crash(id int32) error {
+	cn, ok := c.Nodes[id]
+	if !ok || cn.Node == nil {
+		return fmt.Errorf("core: unknown replica %d", id)
+	}
+	// Detach first so the dying node cannot flush anything else out.
+	c.Net.Detach(id)
+	cn.Node.Stop()
+	cn.Log.Crash()
+	cn.crashed = true
+	return nil
+}
+
+// CrashAll crashes every replica at once (the full-crash scenario of
+// Observation 2).
+func (c *Cluster) CrashAll() {
+	for id := range c.Nodes {
+		if !c.Nodes[id].crashed {
+			_ = c.Crash(id)
+		}
+	}
+}
+
+// Recover restarts a crashed replica from its surviving stable storage,
+// with a state-transfer round against the other replicas.
+func (c *Cluster) Recover(id int32) error {
+	cn, ok := c.Nodes[id]
+	if !ok {
+		return fmt.Errorf("core: unknown replica %d", id)
+	}
+	if !cn.crashed {
+		return fmt.Errorf("core: replica %d is not crashed", id)
+	}
+	var peers []int32
+	for pid, p := range c.Nodes {
+		if pid != id && !p.crashed {
+			peers = append(peers, pid)
+		}
+	}
+	return c.startNode(cn, nil, peers)
+}
+
+// Join spawns a brand-new replica and drives the decentralized join
+// protocol. On success the new replica is a consortium member with its
+// state transferred.
+func (c *Cluster) Join(id int32, timeout time.Duration) error {
+	if _, exists := c.Nodes[id]; exists {
+		return fmt.Errorf("core: replica %d already exists", id)
+	}
+	members := c.Members()
+	cn := &ClusterNode{
+		ID:        id,
+		Permanent: crypto.SeededKeyPair(c.cfg.ChainID+"/perm", int64(id)),
+		Log:       storage.NewSimLog(c.newDisk()),
+		Snapshots: storage.NewMemSnapshotStore(c.newDisk()),
+		KeyFile:   storage.NewMemSnapshotStore(nil),
+	}
+	c.Nodes[id] = cn
+	if err := c.startNode(cn, nil, members); err != nil {
+		return err
+	}
+	if err := cn.Node.RequestJoin(members, nil, timeout); err != nil {
+		return err
+	}
+	return cn.Node.WaitMembership(members, timeout)
+}
+
+// Leave makes replica id depart voluntarily.
+func (c *Cluster) Leave(id int32, timeout time.Duration) error {
+	cn, ok := c.Nodes[id]
+	if !ok || cn.Node == nil {
+		return fmt.Errorf("core: unknown replica %d", id)
+	}
+	if err := cn.Node.RequestLeave(timeout); err != nil {
+		return err
+	}
+	deadline := time.Now().Add(timeout)
+	for !cn.Node.Retired() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: leave of %d not installed within %v", id, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// Exclude drives the removal of target: every other member submits its
+// remove vote.
+func (c *Cluster) Exclude(target int32, timeout time.Duration) error {
+	tn, ok := c.Nodes[target]
+	if !ok {
+		return fmt.Errorf("core: unknown replica %d", target)
+	}
+	for id, cn := range c.Nodes {
+		if id == target || cn.crashed || cn.Node == nil || cn.Node.Retired() {
+			continue
+		}
+		if err := cn.Node.VoteRemove(target); err != nil {
+			return err
+		}
+	}
+	_ = tn
+	deadline := time.Now().Add(timeout)
+	for {
+		// The target may be crashed/Byzantine and never observe its own
+		// exclusion; what matters is the view of the remaining members.
+		others := 0
+		excluded := 0
+		for id, cn := range c.Nodes {
+			if id == target || cn.crashed || cn.Node == nil {
+				continue
+			}
+			others++
+			if !cn.Node.View().Contains(target) {
+				excluded++
+			}
+		}
+		if others > 0 && excluded == others {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: exclusion of %d not installed within %v", target, timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// ClientEndpoint creates a fresh client endpoint with a unique ID.
+func (c *Cluster) ClientEndpoint() transport.Endpoint {
+	id := c.nextClientID
+	c.nextClientID++
+	return c.Net.Endpoint(id)
+}
+
+// Stop shuts every replica down.
+func (c *Cluster) Stop() {
+	for _, cn := range c.Nodes {
+		if cn.Node != nil && !cn.crashed {
+			cn.Node.Stop()
+		}
+	}
+}
+
+// WaitHeight blocks until every live member reaches at least height h.
+func (c *Cluster) WaitHeight(h int64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		allAt := true
+		for _, cn := range c.Nodes {
+			if cn.crashed || cn.Node == nil || cn.Node.Retired() {
+				continue
+			}
+			if cn.Node.Ledger().Height() < h {
+				allAt = false
+				break
+			}
+		}
+		if allAt {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: height %d not reached within %v", h, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

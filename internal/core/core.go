@@ -1,0 +1,459 @@
+// Package core implements the SMARTCHAIN node (paper §V, Algorithm 1): the
+// blockchain layer composed over the Mod-SMaRt consensus engine, with the
+// weak (1-Persistence) and strong (0-Persistence) durability variants, the
+// decentralized reconfiguration protocol, state checkpoints, and state
+// transfer. It also provides an in-process Cluster harness used by the
+// examples, the integration tests, and the benchmark suite.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/consensus"
+	"smartchain/internal/crypto"
+	"smartchain/internal/reconfig"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// Core-layer transport message types (consensus owns 100–119).
+const (
+	MsgRequest     uint16 = 200 // client → replicas: encoded smr.Request
+	MsgReply       uint16 = 201 // replica → client: encoded smr.Reply
+	MsgPersist     uint16 = 210 // PERSIST phase signature share
+	MsgStateReq    uint16 = 220 // state transfer request
+	MsgStateRep    uint16 = 221 // state transfer response
+	MsgJoinAsk     uint16 = 230 // candidate → member: reconfig.JoinRequest
+	MsgJoinVote    uint16 = 231 // member → candidate: reconfig.Vote
+	MsgKeyAnnounce uint16 = 232 // fresh consensus key after a view change
+)
+
+// Operation kinds: the first byte of every request Op routes it to the
+// application or to the reconfiguration machinery.
+const (
+	OpApp byte = iota + 1
+	OpReconfig
+	OpRemoveVote
+)
+
+// WrapAppOp frames an application payload as a request operation.
+func WrapAppOp(payload []byte) []byte {
+	return append([]byte{OpApp}, payload...)
+}
+
+// Persistence selects the blockchain durability variant (paper §V-C).
+type Persistence int
+
+const (
+	// PersistenceWeak is 1-Persistence: replies follow the local durable
+	// write; a full-crash can lose an externally-undelivered suffix.
+	PersistenceWeak Persistence = iota + 1
+	// PersistenceStrong is 0-Persistence: replies follow a PERSIST quorum;
+	// every replied transaction survives a full crash-recover.
+	PersistenceStrong
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (p Persistence) String() string {
+	switch p {
+	case PersistenceWeak:
+		return "weak"
+	case PersistenceStrong:
+		return "strong"
+	default:
+		return "unknown"
+	}
+}
+
+// Application is the replicated service hosted by the node. coin.Service is
+// the canonical implementation.
+type Application interface {
+	// ExecuteBatch applies ordered requests, returning one result each.
+	ExecuteBatch(reqs []smr.Request) [][]byte
+	// Snapshot serializes the service state deterministically.
+	Snapshot() []byte
+	// Restore replaces the state with a snapshot.
+	Restore(snapshot []byte) error
+	// VerifyOp deeply verifies one request's operation (e.g. the embedded
+	// transaction signature); used by the verification pool.
+	VerifyOp(req *smr.Request) bool
+}
+
+// Config parameterizes a node.
+type Config struct {
+	// Self is this replica's process ID.
+	Self int32
+	// Genesis is the chain's genesis content (identical on all nodes).
+	Genesis blockchain.Genesis
+	// Permanent is this replica's permanent key pair.
+	Permanent *crypto.KeyPair
+	// InitialConsensusKey is the view-0 consensus key if this replica is a
+	// genesis member (must match the genesis block), nil otherwise.
+	InitialConsensusKey *crypto.KeyPair
+	// Transport is this replica's network endpoint.
+	Transport transport.Endpoint
+	// Log is the stable storage holding the blockchain.
+	Log storage.Log
+	// Snapshots stores service checkpoints outside the chain.
+	Snapshots storage.SnapshotStore
+	// App is the replicated service.
+	App Application
+	// Policy admits or rejects join candidates. Nil means admit all.
+	Policy reconfig.Policy
+	// Persistence selects the weak or strong variant.
+	Persistence Persistence
+	// Storage selects sync/async/memory ledger writes.
+	Storage smr.StorageMode
+	// Verify selects the signature verification strategy.
+	Verify smr.VerifyMode
+	// Pipeline enables SMARTCHAIN's decoupling of block persistence from
+	// the ordering pipeline (Algorithm 1). With Pipeline off the node
+	// behaves like the naive SMaRtCoin-on-BFT-SMaRt baseline of Table I:
+	// each block is executed, written, synced, and replied to before the
+	// next consensus instance starts.
+	Pipeline bool
+	// MaxBatch caps requests per block; 0 uses the genesis value.
+	MaxBatch int
+	// ConsensusTimeout is the leader-progress timeout.
+	ConsensusTimeout time.Duration
+	// KeyGen generates fresh consensus keys on view changes (nil = random).
+	KeyGen func() (*crypto.KeyPair, error)
+	// KeyFile persists this replica's current consensus private key across
+	// recoverable crashes. It must be local-only storage, never shared.
+	KeyFile storage.SnapshotStore
+	// SyncPeers, when non-empty, makes Start run a state-transfer round
+	// against these peers before ordering begins (recovering replicas and
+	// join candidates catching up).
+	SyncPeers []int32
+}
+
+// Node is one SMARTCHAIN replica.
+type Node struct {
+	cfg    Config
+	app    Application
+	policy reconfig.Policy
+
+	mu            sync.Mutex
+	curView       view.View
+	permanentKeys map[int32]crypto.PublicKey
+	engine        *consensus.Engine
+	keys          *reconfig.KeyStore
+	removeTracker *reconfig.RemoveTracker
+	retired       bool
+
+	ledger   *blockchain.Ledger
+	logger   *smr.DurableLogger
+	batcher  *smr.Batcher
+	verifier *smr.VerifierPool
+	persist  *persistCollector
+
+	// joinVotes and stateSink intercept protocol replies for in-flight
+	// join/leave and state-transfer flows (guarded by mu).
+	joinVotes func(reconfig.Vote)
+	stateSink func(transport.Message)
+
+	decisions chan consensus.Decision // forwarded from the live engine
+
+	nextInstance int64
+
+	stop      chan struct{}
+	done      chan struct{}
+	recvDone  chan struct{}
+	stopOnce  sync.Once
+	startedAt time.Time
+
+	// Stats (atomics: read by the harness while the node runs).
+	executedTxs    atomic.Int64
+	blocksBuilt    atomic.Int64
+	viewChanges    atomic.Int64
+	lastReplyBlock atomic.Int64
+}
+
+// Errors returned by node operations.
+var (
+	ErrNotMember = errors.New("core: replica is not a member of the current view")
+	ErrRetired   = errors.New("core: replica has left the consortium")
+)
+
+// NewNode creates a node positioned at the genesis block. Recovery from an
+// existing log/snapshot happens inside Start.
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.App == nil {
+		return nil, errors.New("core: config requires an application")
+	}
+	if cfg.Transport == nil {
+		return nil, errors.New("core: config requires a transport endpoint")
+	}
+	if cfg.Log == nil {
+		cfg.Log = storage.NewMemLog()
+	}
+	if cfg.Snapshots == nil {
+		cfg.Snapshots = storage.NewMemSnapshotStore(nil)
+	}
+	if cfg.Persistence == 0 {
+		cfg.Persistence = PersistenceWeak
+	}
+	if cfg.Storage == 0 {
+		cfg.Storage = smr.StorageSync
+	}
+	if cfg.Verify == 0 {
+		cfg.Verify = smr.VerifyParallel
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = cfg.Genesis.MaxBatchSize
+	}
+	if cfg.ConsensusTimeout <= 0 {
+		cfg.ConsensusTimeout = 500 * time.Millisecond
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = reconfig.AdmitAll()
+	}
+	n := &Node{
+		cfg:           cfg,
+		app:           cfg.App,
+		policy:        policy,
+		permanentKeys: cfg.Genesis.PermanentKeys(),
+		curView:       cfg.Genesis.InitialView(),
+		removeTracker: reconfig.NewRemoveTracker(),
+		ledger:        blockchain.NewLedger(cfg.Genesis),
+		batcher:       smr.NewBatcher(cfg.MaxBatch),
+		verifier:      smr.NewVerifierPool(cfg.Verify, 0),
+		decisions:     make(chan consensus.Decision, 16),
+		nextInstance:  1,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+		recvDone:      make(chan struct{}),
+	}
+	n.persist = newPersistCollector(n)
+	n.keys = reconfig.NewKeyStore(cfg.Self, cfg.Permanent, 0, cfg.InitialConsensusKey, cfg.KeyGen)
+	return n, nil
+}
+
+// Start brings the node online: recover local state (snapshot + chain log),
+// start the verification pool, logger, consensus engine, and the receive
+// and ordering loops. When SyncPeers is set, a state-transfer round runs
+// before ordering begins.
+func (n *Node) Start() error {
+	n.startedAt = time.Now()
+	if err := n.recoverLocal(); err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	n.logger = smr.NewDurableLogger(n.cfg.Log, n.cfg.Storage)
+
+	go n.receiveLoop()
+
+	if len(n.cfg.SyncPeers) > 0 {
+		// Best effort: a lone recovering replica must still come up.
+		_ = n.SyncFromPeers(n.cfg.SyncPeers, 2*time.Second)
+	}
+
+	n.mu.Lock()
+	isMember := n.curView.Contains(n.cfg.Self) && !n.retired
+	eng := n.engine
+	n.mu.Unlock()
+	if isMember && eng == nil {
+		n.startEngineLocked()
+	}
+
+	go n.driverLoop()
+	return nil
+}
+
+// startEngineLocked builds and starts a consensus engine for the current
+// view. Caller must NOT hold n.mu (the name refers to engine state being
+// re-entered under mu internally).
+func (n *Node) startEngineLocked() {
+	n.mu.Lock()
+	v := n.curView
+	signer, _ := n.keys.Current()
+	old := n.engine
+	ep := n.cfg.Transport
+	eng := consensus.New(consensus.Config{
+		Self:    n.cfg.Self,
+		View:    v,
+		Signer:  signer,
+		Send:    func(to int32, typ uint16, p []byte) { _ = ep.Send(to, typ, p) },
+		Timeout: n.cfg.ConsensusTimeout,
+		Validate: func(inst int64, value []byte) bool {
+			if len(value) == 0 {
+				return true
+			}
+			_, err := smr.DecodeBatch(value)
+			return err == nil
+		},
+		RequestValue: func(int64) []byte {
+			if b, ok := n.batcher.TryNext(); ok {
+				return b.Encode()
+			}
+			return nil
+		},
+		HasPending: func() bool { return n.batcher.Pending() > 0 },
+	})
+	n.engine = eng
+	n.mu.Unlock()
+
+	if old != nil {
+		old.Stop()
+	}
+	eng.Start()
+	// Forward decisions from this engine into the node's decision stream.
+	go func() {
+		for d := range eng.Decisions() {
+			select {
+			case n.decisions <- d:
+			case <-n.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop shuts the node down, draining the logger so durable state is
+// consistent. Safe to call multiple times.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.batcher.Close()
+		n.mu.Lock()
+		eng := n.engine
+		n.mu.Unlock()
+		if eng != nil {
+			eng.Stop()
+		}
+		<-n.done
+		<-n.recvDone
+		n.verifier.Close()
+		if n.logger != nil {
+			n.logger.Close()
+		}
+	})
+}
+
+// View returns the currently installed view.
+func (n *Node) View() view.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.curView
+}
+
+// Ledger exposes the chain tracker (height, cached blocks, …).
+func (n *Node) Ledger() *blockchain.Ledger { return n.ledger }
+
+// Retired reports whether the node has been reconfigured out of the
+// consortium.
+func (n *Node) Retired() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retired
+}
+
+// Stats is a snapshot of the node's counters.
+type Stats struct {
+	ExecutedTxs int64
+	Blocks      int64
+	ViewChanges int64
+	Height      int64
+}
+
+// Stats returns current counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		ExecutedTxs: n.executedTxs.Load(),
+		Blocks:      n.blocksBuilt.Load(),
+		ViewChanges: n.viewChanges.Load(),
+		Height:      n.ledger.Height(),
+	}
+}
+
+// SubmitLocal injects a request as if received from the network (useful for
+// tests and for a replica submitting its own reconfiguration transactions).
+func (n *Node) SubmitLocal(req smr.Request) {
+	n.enqueueRequest(req)
+}
+
+// enqueueRequest verifies (per the configured strategy) and queues a
+// request for ordering.
+func (n *Node) enqueueRequest(req smr.Request) {
+	switch n.cfg.Verify {
+	case smr.VerifyNone:
+		n.batcher.Add(req)
+	case smr.VerifySequential:
+		// Sequential strategy: verification happens inside the execution
+		// path (see executeBatch); queue as-is.
+		n.batcher.Add(req)
+	default:
+		n.verifier.Submit(req, func(r smr.Request, ok bool) {
+			if !ok {
+				return
+			}
+			if len(r.Op) > 0 && r.Op[0] == OpApp {
+				unwrapped := r
+				unwrapped.Op = r.Op[1:]
+				if !n.app.VerifyOp(&unwrapped) {
+					return
+				}
+			}
+			n.batcher.Add(r)
+		})
+	}
+}
+
+// receiveLoop dispatches transport messages to the right handler.
+func (n *Node) receiveLoop() {
+	defer close(n.recvDone)
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m, ok := <-n.cfg.Transport.Receive():
+			if !ok {
+				return
+			}
+			n.dispatch(m)
+		}
+	}
+}
+
+func (n *Node) dispatch(m transport.Message) {
+	switch {
+	case m.Type >= 100 && m.Type < 120:
+		n.mu.Lock()
+		eng := n.engine
+		member := n.curView.Contains(m.From)
+		n.mu.Unlock()
+		if eng != nil && member {
+			eng.HandleMessage(m)
+		}
+	case m.Type == MsgRequest:
+		req, err := smr.DecodeRequest(m.Payload)
+		if err != nil {
+			return
+		}
+		n.enqueueRequest(req)
+	case m.Type == MsgPersist:
+		n.persist.onMessage(m)
+	case m.Type == MsgStateReq:
+		n.serveStateTransfer(m)
+	case m.Type == MsgStateRep:
+		n.mu.Lock()
+		sink := n.stateSink
+		n.mu.Unlock()
+		if sink != nil {
+			sink(m)
+		}
+	case m.Type == MsgJoinAsk:
+		n.onJoinAsk(m)
+	case m.Type == MsgJoinVote:
+		n.onJoinVote(m)
+	case m.Type == MsgKeyAnnounce:
+		n.onKeyAnnounce(m)
+	}
+}

@@ -1,0 +1,341 @@
+package core
+
+import (
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/consensus"
+	"smartchain/internal/reconfig"
+	"smartchain/internal/smr"
+)
+
+// Result codes the node produces itself (application result codes are
+// app-defined; these cover requests that never reach the application).
+var (
+	resultBadSignature  = []byte{0xF0}
+	resultBadOperation  = []byte{0xF1}
+	resultReconfigOK    = []byte{0x01}
+	resultReconfigError = []byte{0xF2}
+)
+
+// driverLoop is the ordering driver: it runs consensus instances strictly
+// in sequence (α = 1), turning each decision into a block per Algorithm 1.
+func (n *Node) driverLoop() {
+	defer close(n.done)
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		n.mu.Lock()
+		eng := n.engine
+		member := n.curView.Contains(n.cfg.Self) && !n.retired
+		n.mu.Unlock()
+		if !member || eng == nil {
+			// Not (yet) a participant: candidates wait to be joined,
+			// retired nodes only serve state transfer.
+			select {
+			case <-n.stop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			continue
+		}
+
+		inst := n.nextInstance
+		eng.StartInstance(inst, nil)
+
+		// Leader hint: offer a batch. If we are wrong about leadership the
+		// engine ignores the value; the requests are also queued at the
+		// real leader (clients broadcast requests to the whole view).
+		proposed := false
+		for !proposed {
+			if eng.Leader() != n.cfg.Self {
+				break
+			}
+			if batch, ok := n.batcher.TryNext(); ok {
+				eng.ProposeValue(inst, batch.Encode())
+				proposed = true
+				break
+			}
+			// Nothing to propose yet: wait for work or a decision (the
+			// leadership may move away while we wait).
+			select {
+			case <-n.stop:
+				return
+			case <-n.batcher.Ready():
+				// Loop and retry TryNext.
+			case d := <-n.decisions:
+				n.handleDecision(d)
+				proposed = true // instance concluded without us
+			}
+		}
+		if n.nextInstance != inst {
+			continue // decision already processed in the propose wait
+		}
+
+		// A replica that fell behind (e.g. just recovered while the rest
+		// of the view moved on) sees no decisions for instances the others
+		// already closed; after a quiet period it re-syncs via state
+		// transfer instead of waiting forever.
+		resync := 4 * n.cfg.ConsensusTimeout
+		if resync < 2*time.Second {
+			resync = 2 * time.Second
+		}
+		select {
+		case <-n.stop:
+			return
+		case d := <-n.decisions:
+			n.handleDecision(d)
+		case <-time.After(resync):
+			n.mu.Lock()
+			peers := n.curView.Others(n.cfg.Self)
+			n.mu.Unlock()
+			if len(peers) > 0 && n.batcherOrPeersBusy() {
+				_ = n.SyncFromPeers(peers, time.Second)
+			}
+		}
+	}
+}
+
+// batcherOrPeersBusy gates re-sync: an idle system with nothing pending has
+// no reason to transfer state.
+func (n *Node) batcherOrPeersBusy() bool {
+	return n.batcher.Pending() > 0 || n.ledger.Height() > n.lastReplyBlock.Load()
+}
+
+// handleDecision advances the instance counter and runs Algorithm 1 for the
+// decided batch.
+func (n *Node) handleDecision(d consensus.Decision) {
+	if d.Instance != n.nextInstance {
+		// Stale decision from a replaced engine; instances are sequential.
+		if d.Instance < n.nextInstance {
+			return
+		}
+	}
+	n.nextInstance = d.Instance + 1
+	if len(d.Value) == 0 {
+		return // leader-change filler decision: no block
+	}
+	batch, err := smr.DecodeBatch(d.Value)
+	if err != nil {
+		return // validated at proposal time; cannot happen with correct quorum
+	}
+	n.batcher.MarkDelivered(batch.Requests)
+
+	results, update := n.executeBatch(batch.Requests)
+	n.executedTxs.Add(int64(len(batch.Requests)))
+
+	kind := blockchain.KindTransactions
+	if update != nil {
+		kind = blockchain.KindReconfig
+	}
+	blk, err := n.ledger.BuildBlock(kind, d.Instance, d.Epoch, d.Value, d.Proof, results, update)
+	if err != nil {
+		return
+	}
+	if err := n.ledger.Commit(&blk); err != nil {
+		return
+	}
+	n.blocksBuilt.Add(1)
+
+	replies := make([]smr.Reply, len(batch.Requests))
+	for i := range batch.Requests {
+		replies[i] = smr.Reply{
+			ReplicaID: n.cfg.Self,
+			ClientID:  batch.Requests[i].ClientID,
+			Seq:       batch.Requests[i].Seq,
+			Result:    results[i],
+		}
+	}
+
+	record := blockchain.EncodeBlockRecord(&blk)
+	strong := n.cfg.Persistence == PersistenceStrong
+
+	// Reconfiguration blocks are a barrier: their durability and PERSIST
+	// certificate must complete under the OLD view's keys before the key
+	// rotation erases them. The durable logger is FIFO, so waiting here
+	// also drains every earlier block's callback (and thus its PERSIST
+	// signing) under the correct keys.
+	syncInline := !n.cfg.Pipeline || update != nil
+
+	if !syncInline {
+		// SMARTCHAIN path (Algorithm 1): hand the block to the durability
+		// logger and continue immediately; the logger group-commits and
+		// the callback triggers replies (weak) or the PERSIST round
+		// (strong). Ordering of the next instance overlaps storage.
+		b := blk
+		n.logger.Append(record, func(err error) {
+			if err != nil {
+				return
+			}
+			if strong {
+				n.persist.localDurable(&b, replies, nil)
+			} else {
+				n.sendReplies(replies)
+			}
+		})
+	} else {
+		// Naive SMaRtCoin-on-BFT-SMaRt path (Table I): everything inline —
+		// write, sync, (persist round,) reply — before the next instance.
+		done := make(chan error, 1)
+		n.logger.Append(record, func(err error) { done <- err })
+		if err := <-done; err == nil {
+			if strong {
+				certDone := make(chan struct{})
+				n.persist.localDurable(&blk, replies, certDone)
+				select {
+				case <-certDone:
+				case <-n.stop:
+					return
+				}
+			} else {
+				n.sendReplies(replies)
+			}
+		}
+	}
+
+	if update != nil {
+		n.applyViewUpdate(update)
+	}
+	n.maybeCheckpoint(blk.Header.Number)
+}
+
+// executeBatch routes each ordered request: application operations go to
+// the service (in one bulk ExecuteBatch call, preserving order), and
+// reconfiguration operations run the membership logic (paper §V-D). At most
+// one view change takes effect per block; competing changes in the same
+// batch fail deterministically.
+func (n *Node) executeBatch(reqs []smr.Request) ([][]byte, *blockchain.ViewUpdate) {
+	results := make([][]byte, len(reqs))
+	sequential := n.cfg.Verify == smr.VerifySequential
+
+	appReqs := make([]smr.Request, 0, len(reqs))
+	appIdx := make([]int, 0, len(reqs))
+	var update *blockchain.ViewUpdate
+
+	n.mu.Lock()
+	cur := n.curView
+	permKeys := clonePermKeys(n.permanentKeys)
+	tracker := n.removeTracker
+	n.mu.Unlock()
+
+	for i := range reqs {
+		req := &reqs[i]
+		if sequential {
+			// Sequential strategy (Table I left half): verify inside the
+			// execution path, one at a time.
+			if req.VerifySig() != nil {
+				results[i] = resultBadSignature
+				continue
+			}
+		}
+		if len(req.Op) == 0 {
+			results[i] = resultBadOperation
+			continue
+		}
+		switch req.Op[0] {
+		case OpApp:
+			if sequential {
+				unwrapped := *req
+				unwrapped.Op = req.Op[1:]
+				if !n.app.VerifyOp(&unwrapped) {
+					results[i] = resultBadSignature
+					continue
+				}
+			}
+			r := *req
+			r.Op = req.Op[1:]
+			appReqs = append(appReqs, r)
+			appIdx = append(appIdx, i)
+		case OpReconfig:
+			if update != nil {
+				results[i] = resultReconfigError
+				continue
+			}
+			cert, err := reconfig.DecodeCertificate(req.Op[1:])
+			if err != nil {
+				results[i] = resultReconfigError
+				continue
+			}
+			u, err := cert.BuildUpdate(cur, permKeys, n.policy)
+			if err != nil {
+				results[i] = resultReconfigError
+				continue
+			}
+			update = u
+			results[i] = resultReconfigOK
+		case OpRemoveVote:
+			vote, err := reconfig.DecodeRemoveVote(req.Op[1:])
+			if err != nil {
+				results[i] = resultReconfigError
+				continue
+			}
+			u, err := tracker.Observe(cur, permKeys, vote)
+			if err != nil {
+				results[i] = resultReconfigError
+				continue
+			}
+			results[i] = resultReconfigOK
+			if u != nil && update == nil {
+				update = u
+			}
+		default:
+			results[i] = resultBadOperation
+		}
+	}
+
+	if len(appReqs) > 0 {
+		appResults := n.app.ExecuteBatch(appReqs)
+		for j, idx := range appIdx {
+			results[idx] = appResults[j]
+		}
+	}
+	return results, update
+}
+
+// sendReplies transmits one reply per executed request to its client.
+func (n *Node) sendReplies(replies []smr.Reply) {
+	for i := range replies {
+		payload := replies[i].Encode()
+		_ = n.cfg.Transport.Send(int32(replies[i].ClientID), MsgReply, payload)
+	}
+	if len(replies) > 0 {
+		n.lastReplyBlock.Store(n.ledger.Height())
+	}
+}
+
+// maybeCheckpoint takes a service snapshot every z blocks (Algorithm 1
+// lines 49-54). The snapshot runs synchronously in the driver: the paper's
+// Fig. 7 shows exactly this throughput dip during checkpoints.
+func (n *Node) maybeCheckpoint(number int64) {
+	if !n.ledger.ShouldCheckpoint(number) {
+		return
+	}
+	n.takeCheckpoint(number)
+}
+
+func (n *Node) takeCheckpoint(number int64) {
+	blk, ok := n.ledger.CachedBlock(number)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	v := n.curView
+	permKeys := clonePermKeys(n.permanentKeys)
+	n.mu.Unlock()
+
+	env := snapshotEnvelope{
+		Height:       number,
+		BlockHash:    blk.Header.Hash(),
+		LastReconfig: n.ledger.LastReconfig(),
+		View:         v,
+		PermKeys:     permKeys,
+		AppState:     n.app.Snapshot(),
+	}
+	if err := n.cfg.Snapshots.Save(number, env.encode()); err != nil {
+		return // snapshot failure is non-fatal: the chain still has everything
+	}
+	n.ledger.MarkCheckpoint(number)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sync"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// persistCollector runs the PERSIST phase of the strong variant
+// (paper §V-C, Algorithm 1 lines 31-36): after a replica has executed and
+// locally recorded a block, it signs the block's header hash and
+// disseminates the signature; once ⌈(n+f+1)/2⌉ signatures for the same
+// block are collected, the certificate is appended to the chain
+// (asynchronously — after a full crash, the same certificate can always be
+// recreated) and the replies for the block's transactions are released.
+type persistCollector struct {
+	n *Node
+
+	mu        sync.Mutex
+	rounds    map[int64]*persistRound
+	buffered  map[int64][]persistMsg // shares arriving before the local block closed
+	completed int64                  // highest certified block (for GC)
+}
+
+type persistRound struct {
+	number     int64
+	headerHash crypto.Hash
+	view       view.View
+	cert       crypto.Certificate
+	replies    []smr.Reply
+	done       chan struct{}
+	finished   bool
+}
+
+func newPersistCollector(n *Node) *persistCollector {
+	return &persistCollector{
+		n:        n,
+		rounds:   make(map[int64]*persistRound),
+		buffered: make(map[int64][]persistMsg),
+	}
+}
+
+// localDurable opens the PERSIST round for a block this replica has just
+// made locally durable: sign, broadcast, and count our own share. done, if
+// non-nil, is closed when the certificate completes (used by the
+// non-pipelined mode to block inline).
+func (p *persistCollector) localDurable(blk *blockchain.Block, replies []smr.Reply, done chan struct{}) {
+	hh := blk.Header.Hash()
+	n := p.n
+
+	n.mu.Lock()
+	v := n.curView
+	n.mu.Unlock()
+	signer, viewID := n.keys.Current()
+	sig := signer.MustSign(blockchain.ContextPersist, blockchain.PersistDigest(hh))
+	if sig == nil {
+		return // key rotated away mid-flight; the new view re-certifies
+	}
+
+	round := &persistRound{
+		number:     blk.Header.Number,
+		headerHash: hh,
+		view:       v,
+		cert:       crypto.Certificate{Digest: hh},
+		replies:    replies,
+		done:       done,
+	}
+	round.cert.Add(crypto.Signature{Signer: n.cfg.Self, Sig: sig})
+
+	msg := persistMsg{
+		Number:     blk.Header.Number,
+		ViewID:     viewID,
+		Signer:     n.cfg.Self,
+		HeaderHash: hh,
+		Sig:        sig,
+	}
+	payload := msg.encode()
+	for _, peer := range v.Others(n.cfg.Self) {
+		_ = n.cfg.Transport.Send(peer, MsgPersist, payload)
+	}
+
+	p.mu.Lock()
+	p.rounds[round.number] = round
+	early := p.buffered[round.number]
+	delete(p.buffered, round.number)
+	p.mu.Unlock()
+
+	for i := range early {
+		p.addShare(round, &early[i])
+	}
+	p.checkQuorum(round)
+}
+
+// onMessage processes a PERSIST share from a peer.
+func (p *persistCollector) onMessage(m transport.Message) {
+	pm, err := decodePersistMsg(m.Payload)
+	if err != nil || pm.Signer != m.From {
+		return
+	}
+	p.mu.Lock()
+	round, open := p.rounds[pm.Number]
+	if !open {
+		// The peer closed the block before us: buffer within a window.
+		if pm.Number > p.completed && len(p.buffered[pm.Number]) < 64 {
+			p.buffered[pm.Number] = append(p.buffered[pm.Number], pm)
+		}
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	p.addShare(round, &pm)
+	p.checkQuorum(round)
+}
+
+// addShare validates a share against the round and records it.
+func (p *persistCollector) addShare(round *persistRound, pm *persistMsg) {
+	if pm.HeaderHash != round.headerHash {
+		return // the peer built a different block: impossible for correct ones
+	}
+	pub, ok := round.view.PublicKeyOf(pm.Signer)
+	if !ok {
+		return
+	}
+	if !crypto.Verify(pub, blockchain.ContextPersist, blockchain.PersistDigest(round.headerHash), pm.Sig) {
+		return
+	}
+	p.mu.Lock()
+	round.cert.Add(crypto.Signature{Signer: pm.Signer, Sig: pm.Sig})
+	p.mu.Unlock()
+}
+
+// checkQuorum completes the round once the certificate quorum is reached.
+func (p *persistCollector) checkQuorum(round *persistRound) {
+	p.mu.Lock()
+	if round.finished || round.cert.Count() < round.view.CertQuorum() {
+		p.mu.Unlock()
+		return
+	}
+	round.finished = true
+	if round.number > p.completed {
+		p.completed = round.number
+	}
+	delete(p.rounds, round.number)
+	// GC stale buffers.
+	for num := range p.buffered {
+		if num <= p.completed {
+			delete(p.buffered, num)
+		}
+	}
+	cert := round.cert
+	p.mu.Unlock()
+
+	n := p.n
+	_ = n.ledger.AttachCert(round.number, cert)
+	// The certificate write is asynchronous by design (Algorithm 1 line
+	// 34): no callback, no sync requirement.
+	n.logger.Append(blockchain.EncodeCertRecord(round.number, &cert), nil)
+	n.sendReplies(round.replies)
+	if round.done != nil {
+		close(round.done)
+	}
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/crypto"
+	"smartchain/internal/reconfig"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+func clonePermKeys(m map[int32]crypto.PublicKey) map[int32]crypto.PublicKey {
+	out := make(map[int32]crypto.PublicKey, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// applyViewUpdate installs the new view after a reconfiguration block was
+// committed: rotate consensus keys (erasing the old ones — the forgetting
+// protocol), swap the consensus engine, and if this replica is no longer a
+// member, retire it (paper §V-D).
+func (n *Node) applyViewUpdate(u *blockchain.ViewUpdate) {
+	keys := make(map[int32]crypto.PublicKey, len(u.Keys))
+	for _, ck := range u.Keys {
+		keys[ck.Signer] = ck.ConsensusPub
+	}
+	next := view.New(u.NewViewID, u.Members, keys)
+
+	n.mu.Lock()
+	for i := range u.Joining {
+		n.permanentKeys[u.Joining[i].ID] = u.Joining[i].PermanentPub
+	}
+	n.curView = next
+	n.removeTracker = reconfig.NewRemoveTracker()
+	selfIn := next.Contains(n.cfg.Self)
+	oldEngine := n.engine
+	if !selfIn {
+		n.engine = nil
+		n.retired = true
+	}
+	n.mu.Unlock()
+	n.viewChanges.Add(1)
+
+	// Stop the old engine before rotating keys: it must not sign anything
+	// in the old view after the new one is installed.
+	if oldEngine != nil {
+		oldEngine.Stop()
+	}
+
+	if !selfIn {
+		return // retired: stays only to serve state transfer
+	}
+
+	fresh, err := n.keys.Install(u.NewViewID)
+	if err != nil {
+		return
+	}
+	// If our key was not part of the reconfiguration quorum, announce the
+	// fresh one in our first messages of the new view (paper §V-D).
+	if existing, ok := next.ConsensusKeys[n.cfg.Self]; !ok || !existing.Equal(fresh.Public()) {
+		n.mu.Lock()
+		n.curView = n.curView.WithKey(n.cfg.Self, fresh.Public())
+		n.mu.Unlock()
+		if ck, err := n.keys.CertifyCurrent(); err == nil {
+			ann := keyAnnounce{Key: ck}
+			payload := ann.encode()
+			for _, peer := range next.Others(n.cfg.Self) {
+				_ = n.cfg.Transport.Send(peer, MsgKeyAnnounce, payload)
+			}
+		}
+	}
+	n.startEngineLocked()
+}
+
+// onJoinAsk is a member's side of Fig. 5a step 1-2: evaluate the candidate
+// against the application policy and reply with a signed vote carrying our
+// fresh certified consensus key for the next view. The same message doubles
+// as a leave request when the "candidate" is a current member asking to
+// depart: members always vote for voluntary leaves (the alternative is a
+// member held hostage in the consortium).
+func (n *Node) onJoinAsk(m transport.Message) {
+	req, err := reconfig.DecodeJoinRequest(m.Payload)
+	if err != nil || req.Verify() != nil {
+		return
+	}
+	n.mu.Lock()
+	cur := n.curView
+	member := cur.Contains(n.cfg.Self) && !n.retired
+	n.mu.Unlock()
+	if !member {
+		return
+	}
+	if req.NextViewID != cur.ID+1 {
+		return // stale or premature request: candidate retries
+	}
+	leaving := cur.Contains(req.Candidate)
+	if leaving && req.Candidate != m.From {
+		return // only the leaver itself may ask for its departure
+	}
+	if !leaving && !n.policy.Admit(&req) {
+		return // silently decline; the candidate needs n−f other votes
+	}
+	nk, err := n.keys.PrepareFor(req.NextViewID)
+	if err != nil {
+		return
+	}
+	vote, err := reconfig.NewVote(n.cfg.Self, n.cfg.Permanent, req.Hash(), req.NextViewID, nk)
+	if err != nil {
+		return
+	}
+	_ = n.cfg.Transport.Send(m.From, MsgJoinVote, vote.Encode())
+}
+
+// onKeyAnnounce installs a late-announced consensus key for the current
+// view, both in the node's view and in the running engine.
+func (n *Node) onKeyAnnounce(m transport.Message) {
+	ann, err := decodeKeyAnnounce(m.Payload)
+	if err != nil || ann.Key.Signer != m.From {
+		return
+	}
+	n.mu.Lock()
+	cur := n.curView
+	perm, known := n.permanentKeys[ann.Key.Signer]
+	eng := n.engine
+	n.mu.Unlock()
+	if !known || ann.Key.ViewID != cur.ID || !cur.Contains(ann.Key.Signer) {
+		return
+	}
+	if err := ann.Key.Verify(perm); err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.curView = n.curView.WithKey(ann.Key.Signer, ann.Key.ConsensusPub)
+	n.mu.Unlock()
+	if eng != nil {
+		eng.UpdateKey(ann.Key.Signer, ann.Key.ConsensusPub)
+	}
+}
+
+// RequestJoin drives a candidate's side of the join protocol (Fig. 5a):
+// ask every current member for a vote, assemble the certificate from n−f
+// acceptances, and submit it as a totally-ordered reconfiguration
+// transaction through one of the members. The caller supplies the current
+// membership (e.g. learned out of band or from a chain copy); votes settle
+// which view the candidate actually joins.
+func (n *Node) RequestJoin(members []int32, payload []byte, timeout time.Duration) error {
+	n.mu.Lock()
+	cur := n.curView
+	n.mu.Unlock()
+	if cur.Contains(n.cfg.Self) {
+		return fmt.Errorf("core: already a member")
+	}
+	nextID := cur.ID + 1
+	myKey, err := n.keys.PrepareFor(nextID)
+	if err != nil {
+		return fmt.Errorf("prepare consensus key: %w", err)
+	}
+	req, err := reconfig.NewJoinRequest(n.cfg.Self, n.cfg.Permanent, nextID, myKey, payload)
+	if err != nil {
+		return fmt.Errorf("join request: %w", err)
+	}
+	// Fan the request out; votes come back through the receive loop, which
+	// does not know about this flow — so collect them here directly from a
+	// dedicated wait on the vote channel.
+	votes := make(chan reconfig.Vote, len(members))
+	n.setJoinVoteSink(func(v reconfig.Vote) {
+		select {
+		case votes <- v:
+		default:
+		}
+	})
+	defer n.setJoinVoteSink(nil)
+
+	reqPayload := req.Encode()
+	for _, m := range members {
+		_ = n.cfg.Transport.Send(m, MsgJoinAsk, reqPayload)
+	}
+
+	needed := view.ReconfigQuorum(len(members), view.FaultTolerance(len(members)))
+	cert := reconfig.Certificate{Kind: reconfig.ChangeJoin, Request: req}
+	if err := n.collectVotes(votes, &cert, req.Hash(), needed, len(members), timeout, 0); err != nil {
+		return err
+	}
+
+	// Submit the certificate as an ordered transaction via the members.
+	op := append([]byte{OpReconfig}, cert.Encode()...)
+	joinReq, err := smr.NewSignedRequest(int64(n.cfg.Self), uint64(nextID), op, n.cfg.Permanent)
+	if err != nil {
+		return fmt.Errorf("sign join tx: %w", err)
+	}
+	payload2 := joinReq.Encode()
+	for _, m := range members {
+		_ = n.cfg.Transport.Send(m, MsgRequest, payload2)
+	}
+	return nil
+}
+
+// collectVotes gathers votes binding reqHash until `needed` distinct voters
+// are in. After the quorum is met it keeps collecting stragglers for a
+// short grace window (up to `all` voters): every extra vote puts one more
+// certified consensus key into the reconfiguration block, which keeps the
+// new view's decision proofs and block certificates verifiable by third
+// parties even when the quorum members alone would not suffice (paper §V-D
+// records "at most v.n − v.f" keys as the liveness bound, not a target).
+func (n *Node) collectVotes(votes <-chan reconfig.Vote, cert *reconfig.Certificate, reqHash crypto.Hash, needed, all int, timeout time.Duration, exclude int32) error {
+	seen := make(map[int32]bool)
+	deadline := time.After(timeout)
+	var grace <-chan time.Time
+	for {
+		if len(seen) >= all {
+			return nil
+		}
+		if len(seen) >= needed && grace == nil {
+			grace = time.After(250 * time.Millisecond)
+		}
+		select {
+		case v := <-votes:
+			if v.RequestHash != reqHash || seen[v.Voter] || (exclude != 0 && v.Voter == exclude) {
+				continue
+			}
+			seen[v.Voter] = true
+			cert.Votes = append(cert.Votes, v)
+		case <-grace:
+			return nil
+		case <-deadline:
+			if len(seen) >= needed {
+				return nil
+			}
+			return fmt.Errorf("core: vote quorum not reached (%d/%d)", len(seen), needed)
+		case <-n.stop:
+			return ErrRetired
+		}
+	}
+}
+
+// joinVoteSink lets RequestJoin intercept MsgJoinVote deliveries.
+func (n *Node) setJoinVoteSink(sink func(reconfig.Vote)) {
+	n.mu.Lock()
+	n.joinVotes = sink
+	n.mu.Unlock()
+}
+
+func (n *Node) onJoinVote(m transport.Message) {
+	v, err := reconfig.DecodeVote(m.Payload)
+	if err != nil || v.Voter != m.From {
+		return
+	}
+	n.mu.Lock()
+	sink := n.joinVotes
+	perm, known := n.permanentKeys[v.Voter]
+	n.mu.Unlock()
+	if sink == nil || !known {
+		return
+	}
+	if err := v.Verify(perm); err != nil {
+		return
+	}
+	sink(v)
+}
+
+// RequestLeave drives a member's voluntary departure (paper §V-D): collect
+// votes (and fresh keys) for the view without us, then submit the leave
+// certificate in total order.
+func (n *Node) RequestLeave(timeout time.Duration) error {
+	n.mu.Lock()
+	cur := n.curView
+	n.mu.Unlock()
+	if !cur.Contains(n.cfg.Self) {
+		return ErrNotMember
+	}
+	nextID := cur.ID + 1
+	// The leaver's key is irrelevant to the next view but the request
+	// format carries one; certify the current key for binding.
+	myKey, err := n.keys.PrepareFor(nextID)
+	if err != nil {
+		return fmt.Errorf("prepare key: %w", err)
+	}
+	req, err := reconfig.NewJoinRequest(n.cfg.Self, n.cfg.Permanent, nextID, myKey, nil)
+	if err != nil {
+		return fmt.Errorf("leave request: %w", err)
+	}
+
+	votes := make(chan reconfig.Vote, cur.N())
+	n.setJoinVoteSink(func(v reconfig.Vote) {
+		select {
+		case votes <- v:
+		default:
+		}
+	})
+	defer n.setJoinVoteSink(nil)
+
+	payload := req.Encode()
+	for _, m := range cur.Others(n.cfg.Self) {
+		_ = n.cfg.Transport.Send(m, MsgJoinAsk, payload)
+	}
+
+	cert := reconfig.Certificate{Kind: reconfig.ChangeLeave, Request: req}
+	if err := n.collectVotes(votes, &cert, req.Hash(), cur.JoinQuorum(), cur.N()-1, timeout, n.cfg.Self); err != nil {
+		return err
+	}
+
+	op := append([]byte{OpReconfig}, cert.Encode()...)
+	leaveReq, err := smr.NewSignedRequest(int64(n.cfg.Self), uint64(nextID)<<20, op, n.cfg.Permanent)
+	if err != nil {
+		return fmt.Errorf("sign leave tx: %w", err)
+	}
+	p := leaveReq.Encode()
+	for _, m := range cur.Members {
+		_ = n.cfg.Transport.Send(m, MsgRequest, p)
+	}
+	return nil
+}
+
+// VoteRemove submits this member's exclusion vote for target as an ordered
+// transaction (Fig. 5b). When n−f members have done so, the view change
+// executes on all replicas.
+func (n *Node) VoteRemove(target int32) error {
+	n.mu.Lock()
+	cur := n.curView
+	n.mu.Unlock()
+	if !cur.Contains(n.cfg.Self) {
+		return ErrNotMember
+	}
+	nextID := cur.ID + 1
+	nk, err := n.keys.PrepareFor(nextID)
+	if err != nil {
+		return fmt.Errorf("prepare key: %w", err)
+	}
+	vote, err := reconfig.NewRemoveVote(n.cfg.Self, n.cfg.Permanent, target, nextID, nk)
+	if err != nil {
+		return fmt.Errorf("remove vote: %w", err)
+	}
+	op := append([]byte{OpRemoveVote}, vote.Encode()...)
+	req, err := smr.NewSignedRequest(int64(n.cfg.Self), uint64(nextID)<<20|uint64(uint32(target)), op, n.cfg.Permanent)
+	if err != nil {
+		return fmt.Errorf("sign remove tx: %w", err)
+	}
+	p := req.Encode()
+	for _, m := range cur.Members {
+		_ = n.cfg.Transport.Send(m, MsgRequest, p)
+	}
+	return nil
+}

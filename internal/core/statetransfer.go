@@ -1,0 +1,405 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/transport"
+)
+
+// recoverLocal rebuilds the node's state from its own stable storage at
+// startup: snapshot envelope (if any) plus the chain log tail. This is the
+// crash-recovery path of the paper's model (§III-b: all replicas may crash
+// and recover; recovery restores the service state from local stable
+// storage before the replica rejoins the ordering protocol).
+func (n *Node) recoverLocal() error {
+	// Consensus key: reload the locally persisted one, if present, so a
+	// recovering replica keeps its current-view identity. (Key erasure
+	// happens at view changes, not restarts.)
+	n.loadConsensusKey()
+
+	var base *snapshotEnvelope
+	if _, data, err := n.cfg.Snapshots.Load(); err == nil {
+		env, err := decodeSnapshotEnvelope(data)
+		if err != nil {
+			return fmt.Errorf("snapshot envelope: %w", err)
+		}
+		base = &env
+	} else if !errors.Is(err, storage.ErrNoSnapshot) {
+		return err
+	}
+
+	records, err := n.cfg.Log.ReadAll()
+	if err != nil {
+		return err
+	}
+
+	if base == nil && len(records) == 0 {
+		// Fresh start: write the genesis block and go.
+		gb := blockchain.GenesisBlock(&n.cfg.Genesis)
+		if err := n.cfg.Log.Append(blockchain.EncodeBlockRecord(&gb)); err != nil {
+			return err
+		}
+		if n.cfg.Storage != smr.StorageMemory {
+			if err := n.cfg.Log.Sync(); err != nil {
+				return err
+			}
+		}
+		n.persistConsensusKey()
+		return nil
+	}
+
+	blocks, err := blockchain.DecodeRecords(records)
+	if err != nil {
+		return err
+	}
+
+	if base != nil {
+		// Restore from the snapshot, then replay any local blocks past it.
+		if len(base.AppState) > 0 {
+			if err := n.app.Restore(base.AppState); err != nil {
+				return fmt.Errorf("restore app: %w", err)
+			}
+		}
+		n.installEnvelope(base)
+		for i := range blocks {
+			if blocks[i].Header.Number <= base.Height {
+				continue
+			}
+			if err := n.replayBlock(&blocks[i]); err != nil {
+				break // torn/unlinked tail: stop at the durable prefix
+			}
+		}
+		return nil
+	}
+
+	// No snapshot: the log must start at genesis.
+	if len(blocks) == 0 || blocks[0].Header.Number != 0 {
+		return fmt.Errorf("core: log does not begin with genesis")
+	}
+	if _, err := blockchain.ParseGenesisBlock(&blocks[0]); err != nil {
+		return err
+	}
+	for i := 1; i < len(blocks); i++ {
+		if err := n.replayBlock(&blocks[i]); err != nil {
+			break
+		}
+	}
+	return nil
+}
+
+// installEnvelope positions ledger, view, and instance counter at a
+// snapshot point.
+func (n *Node) installEnvelope(env *snapshotEnvelope) {
+	n.ledger = blockchain.NewLedgerAt(n.cfg.Genesis, env.Height, env.BlockHash, env.LastReconfig, env.Height)
+	n.mu.Lock()
+	n.curView = env.View
+	n.permanentKeys = clonePermKeys(env.PermKeys)
+	n.mu.Unlock()
+}
+
+// replayBlock re-commits and re-executes one block during recovery: the
+// application re-runs its transactions (deterministically reproducing the
+// recorded results) and reconfiguration blocks re-install their view
+// updates (without engine churn — no engine is running during recovery).
+func (n *Node) replayBlock(b *blockchain.Block) error {
+	if err := n.ledger.Commit(b); err != nil {
+		return err
+	}
+	batch, err := b.Body.Batch()
+	if err != nil {
+		return err
+	}
+	n.batcher.MarkDelivered(batch.Requests)
+	appReqs := make([]smr.Request, 0, len(batch.Requests))
+	for i := range batch.Requests {
+		if len(batch.Requests[i].Op) > 0 && batch.Requests[i].Op[0] == OpApp {
+			r := batch.Requests[i]
+			r.Op = r.Op[1:]
+			appReqs = append(appReqs, r)
+		}
+	}
+	if len(appReqs) > 0 {
+		n.app.ExecuteBatch(appReqs)
+	}
+	if b.Body.Kind == blockchain.KindReconfig && b.Body.Update != nil {
+		u := b.Body.Update
+		keys := make(map[int32]crypto.PublicKey, len(u.Keys))
+		for _, ck := range u.Keys {
+			keys[ck.Signer] = ck.ConsensusPub
+		}
+		n.mu.Lock()
+		for i := range u.Joining {
+			n.permanentKeys[u.Joining[i].ID] = u.Joining[i].PermanentPub
+		}
+		n.curView = viewFromUpdate(u, keys)
+		n.mu.Unlock()
+	}
+	if b.Header.Number > 0 && n.ledger.ShouldCheckpoint(b.Header.Number) {
+		n.ledger.MarkCheckpoint(b.Header.Number)
+	}
+	n.nextInstance = b.Body.ConsensusID + 1
+	return nil
+}
+
+// consensusKeyRecord persists the current consensus key locally.
+func (n *Node) persistConsensusKey() {
+	if n.cfg.KeyFile == nil {
+		return
+	}
+	cur, viewID := n.keys.Current()
+	if cur == nil {
+		return
+	}
+	priv, err := cur.PrivateBytes()
+	if err != nil {
+		return
+	}
+	e := codec.NewEncoder(80)
+	e.Int64(viewID)
+	e.WriteBytes(priv)
+	_ = n.cfg.KeyFile.Save(viewID, e.Bytes())
+}
+
+// loadConsensusKey restores a persisted consensus key, replacing the key
+// store if the record is intact.
+func (n *Node) loadConsensusKey() {
+	if n.cfg.KeyFile == nil {
+		return
+	}
+	_, data, err := n.cfg.KeyFile.Load()
+	if err != nil {
+		return
+	}
+	d := codec.NewDecoder(data)
+	viewID := d.Int64()
+	priv := d.ReadBytesCopy()
+	if d.Finish() != nil {
+		return
+	}
+	kp, err := crypto.KeyPairFromPrivate(priv)
+	if err != nil {
+		return
+	}
+	n.keys = newRecoveredKeyStore(n.cfg.Self, n.cfg.Permanent, viewID, kp, n.cfg.KeyGen)
+}
+
+// serveStateTransfer answers a state request with the latest snapshot
+// envelope plus the cached blocks after it (Algorithm 1 lines 55-57).
+func (n *Node) serveStateTransfer(m transport.Message) {
+	if _, err := decodeStateReq(m.Payload); err != nil {
+		return
+	}
+	env := n.currentEnvelope()
+	rep := stateRep{Snapshot: env, Blocks: n.ledger.CachedBlocks()}
+	_ = n.cfg.Transport.Send(m.From, MsgStateRep, rep.encode())
+}
+
+// currentEnvelope returns the stored snapshot envelope, or a synthetic
+// genesis-level one when no checkpoint was taken yet (receiver replays from
+// block 1; AppState empty means "start from the initial application
+// state").
+func (n *Node) currentEnvelope() snapshotEnvelope {
+	if _, data, err := n.cfg.Snapshots.Load(); err == nil {
+		if env, err := decodeSnapshotEnvelope(data); err == nil {
+			return env
+		}
+	}
+	gb := blockchain.GenesisBlock(&n.cfg.Genesis)
+	return snapshotEnvelope{
+		Height:       0,
+		BlockHash:    gb.Hash(),
+		LastReconfig: 0,
+		View:         n.cfg.Genesis.InitialView(),
+		PermKeys:     n.cfg.Genesis.PermanentKeys(),
+	}
+}
+
+// SyncFromPeers performs one state-transfer round: ask peers, wait for f+1
+// matching replies (at least one is from a correct replica), and install
+// the state if it is ahead of ours. Matching means identical snapshot
+// coverage and chain tip.
+func (n *Node) SyncFromPeers(peers []int32, timeout time.Duration) error {
+	if len(peers) == 0 {
+		return errors.New("core: no peers to sync from")
+	}
+	f := (len(peers)) / 3 // f+1 matching out of up-to-n peers; conservative
+	needed := f + 1
+
+	reps := make(chan stateRep, len(peers))
+	n.setStateSink(func(m transport.Message) {
+		rep, err := decodeStateRep(m.Payload)
+		if err != nil {
+			return
+		}
+		select {
+		case reps <- rep:
+		default:
+		}
+	})
+	defer n.setStateSink(nil)
+
+	req := stateReq{HaveBlock: n.ledger.Height()}
+	payload := req.encode()
+	for _, p := range peers {
+		_ = n.cfg.Transport.Send(p, MsgStateReq, payload)
+	}
+
+	type fingerprint struct {
+		height    int64
+		blockHash crypto.Hash
+		stateHash crypto.Hash
+		tipHash   crypto.Hash
+		blocks    int
+	}
+	counts := make(map[fingerprint]int)
+	var chosen *stateRep
+	deadline := time.After(timeout)
+	for chosen == nil {
+		select {
+		case rep := <-reps:
+			fp := fingerprint{
+				height:    rep.Snapshot.Height,
+				blockHash: rep.Snapshot.BlockHash,
+				stateHash: crypto.HashBytes(rep.Snapshot.AppState),
+				blocks:    len(rep.Blocks),
+			}
+			if len(rep.Blocks) > 0 {
+				fp.tipHash = rep.Blocks[len(rep.Blocks)-1].Hash()
+			}
+			counts[fp]++
+			if counts[fp] >= needed {
+				r := rep
+				chosen = &r
+			}
+		case <-deadline:
+			return fmt.Errorf("core: state transfer quorum not reached")
+		case <-n.stop:
+			return ErrRetired
+		}
+	}
+	return n.installState(chosen)
+}
+
+// installState applies a fetched state if it advances past our tip.
+func (n *Node) installState(rep *stateRep) error {
+	tip := rep.Snapshot.Height
+	if len(rep.Blocks) > 0 {
+		tip = rep.Blocks[len(rep.Blocks)-1].Header.Number
+	}
+	if tip <= n.ledger.Height() {
+		return nil // we are already at or past this state
+	}
+
+	if rep.Snapshot.Height > n.ledger.Height() {
+		// Jump to the snapshot, then replay the blocks after it.
+		if len(rep.Snapshot.AppState) > 0 {
+			if err := n.app.Restore(rep.Snapshot.AppState); err != nil {
+				return fmt.Errorf("restore fetched state: %w", err)
+			}
+		}
+		n.installEnvelope(&rep.Snapshot)
+		if err := n.cfg.Snapshots.Save(rep.Snapshot.Height, rep.Snapshot.encode()); err != nil {
+			return err
+		}
+		n.nextInstance = maxInstanceAfter(rep.Snapshot.Height, n.nextInstance)
+	}
+	for i := range rep.Blocks {
+		b := &rep.Blocks[i]
+		if b.Header.Number <= n.ledger.Height() {
+			continue
+		}
+		if err := n.replayBlock(b); err != nil {
+			return fmt.Errorf("replay fetched block %d: %w", b.Header.Number, err)
+		}
+		if n.logger != nil {
+			n.logger.Append(blockchain.EncodeBlockRecord(b), nil)
+		} else {
+			_ = n.cfg.Log.Append(blockchain.EncodeBlockRecord(b))
+		}
+	}
+	n.afterInstall()
+	return nil
+}
+
+// maxInstanceAfter keeps the instance counter monotonic when jumping over a
+// snapshot whose covered consensus IDs we cannot see.
+func maxInstanceAfter(height, current int64) int64 {
+	if height+1 > current {
+		return height + 1
+	}
+	return current
+}
+
+// afterInstall reconciles membership after new state arrived: a member
+// whose consensus key does not match the view record announces a fresh one
+// (e.g. it slept through a view change), and members ensure an engine runs.
+func (n *Node) afterInstall() {
+	n.mu.Lock()
+	v := n.curView
+	selfIn := v.Contains(n.cfg.Self) && !n.retired
+	eng := n.engine
+	n.mu.Unlock()
+	if !selfIn {
+		return
+	}
+	cur, viewID := n.keys.Current()
+	if viewID != v.ID || cur == nil || cur.Erased() {
+		fresh, err := n.keys.Install(v.ID)
+		if err != nil {
+			return
+		}
+		cur = fresh
+	}
+	n.persistConsensusKey()
+	if rec, ok := v.ConsensusKeys[n.cfg.Self]; !ok || !rec.Equal(cur.Public()) {
+		n.mu.Lock()
+		n.curView = n.curView.WithKey(n.cfg.Self, cur.Public())
+		n.mu.Unlock()
+		if ck, err := n.keys.CertifyCurrent(); err == nil {
+			ann := keyAnnounce{Key: ck}
+			payload := ann.encode()
+			for _, peer := range v.Others(n.cfg.Self) {
+				_ = n.cfg.Transport.Send(peer, MsgKeyAnnounce, payload)
+			}
+		}
+	}
+	if eng == nil || viewID != v.ID {
+		n.startEngineLocked()
+	}
+}
+
+// WaitMembership loops state-transfer rounds until this node is a member of
+// the installed view (used by joiners after RequestJoin).
+func (n *Node) WaitMembership(peers []int32, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.mu.Lock()
+		member := n.curView.Contains(n.cfg.Self)
+		n.mu.Unlock()
+		if member {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("core: membership not reached within %v", timeout)
+		}
+		_ = n.SyncFromPeers(peers, 500*time.Millisecond)
+		select {
+		case <-n.stop:
+			return ErrRetired
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func (n *Node) setStateSink(sink func(transport.Message)) {
+	n.mu.Lock()
+	n.stateSink = sink
+	n.mu.Unlock()
+}

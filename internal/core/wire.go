@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+	"smartchain/internal/view"
+)
+
+// persistMsg is one replica's PERSIST-phase share: its signature over a
+// block's header hash, tagged with the view it signed in (paper §V-C).
+type persistMsg struct {
+	Number     int64
+	ViewID     int64
+	Signer     int32
+	HeaderHash crypto.Hash
+	Sig        []byte
+}
+
+func (m *persistMsg) encode() []byte {
+	e := codec.NewEncoder(128)
+	e.Int64(m.Number)
+	e.Int64(m.ViewID)
+	e.Int32(m.Signer)
+	e.Bytes32(m.HeaderHash)
+	e.WriteBytes(m.Sig)
+	return e.Bytes()
+}
+
+func decodePersistMsg(data []byte) (persistMsg, error) {
+	d := codec.NewDecoder(data)
+	var m persistMsg
+	m.Number = d.Int64()
+	m.ViewID = d.Int64()
+	m.Signer = d.Int32()
+	m.HeaderHash = d.Bytes32()
+	m.Sig = d.ReadBytesCopy()
+	if err := d.Finish(); err != nil {
+		return persistMsg{}, fmt.Errorf("decode persist: %w", err)
+	}
+	return m, nil
+}
+
+// encodeView serializes a view (ID, members, consensus keys) for state
+// transfer and snapshot envelopes.
+func encodeView(v view.View) []byte {
+	e := codec.NewEncoder(64 + 40*v.N())
+	e.Int64(v.ID)
+	e.Uint32(uint32(len(v.Members)))
+	for _, m := range v.Members {
+		e.Int32(m)
+		key := v.ConsensusKeys[m]
+		e.WriteBytes(key)
+	}
+	return e.Bytes()
+}
+
+func decodeView(data []byte) (view.View, error) {
+	d := codec.NewDecoder(data)
+	id := d.Int64()
+	nm := d.Uint32()
+	if d.Err() != nil || nm > 1<<16 {
+		return view.View{}, fmt.Errorf("decode view: bad member count")
+	}
+	members := make([]int32, 0, nm)
+	keys := make(map[int32]crypto.PublicKey, nm)
+	for i := uint32(0); i < nm; i++ {
+		m := d.Int32()
+		key := d.ReadBytesCopy()
+		members = append(members, m)
+		if len(key) > 0 {
+			keys[m] = crypto.PublicKey(key)
+		}
+	}
+	if err := d.Finish(); err != nil {
+		return view.View{}, fmt.Errorf("decode view: %w", err)
+	}
+	return view.New(id, members, keys), nil
+}
+
+// snapshotEnvelope is what the node stores in the SnapshotStore and ships
+// during state transfer: the application snapshot plus the ledger position
+// and view needed to resume from it.
+type snapshotEnvelope struct {
+	Height       int64 // last block covered
+	BlockHash    crypto.Hash
+	LastReconfig int64
+	View         view.View
+	PermKeys     map[int32]crypto.PublicKey
+	AppState     []byte
+}
+
+func (s *snapshotEnvelope) encode() []byte {
+	e := codec.NewEncoder(256 + len(s.AppState))
+	e.Int64(s.Height)
+	e.Bytes32(s.BlockHash)
+	e.Int64(s.LastReconfig)
+	e.WriteBytes(encodeView(s.View))
+	e.Uint32(uint32(len(s.PermKeys)))
+	for _, m := range sortedKeys(s.PermKeys) {
+		e.Int32(m)
+		e.WriteBytes(s.PermKeys[m])
+	}
+	e.WriteBytes(s.AppState)
+	return e.Bytes()
+}
+
+func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
+	d := codec.NewDecoder(data)
+	var s snapshotEnvelope
+	s.Height = d.Int64()
+	s.BlockHash = d.Bytes32()
+	s.LastReconfig = d.Int64()
+	v, err := decodeView(d.ReadBytes())
+	if err != nil {
+		return snapshotEnvelope{}, err
+	}
+	s.View = v
+	nk := d.Uint32()
+	if d.Err() != nil || nk > 1<<16 {
+		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad key count")
+	}
+	s.PermKeys = make(map[int32]crypto.PublicKey, nk)
+	for i := uint32(0); i < nk; i++ {
+		id := d.Int32()
+		s.PermKeys[id] = crypto.PublicKey(d.ReadBytesCopy())
+	}
+	s.AppState = d.ReadBytesCopy()
+	if err := d.Finish(); err != nil {
+		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: %w", err)
+	}
+	return s, nil
+}
+
+func sortedKeys(m map[int32]crypto.PublicKey) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// stateReq asks for everything needed to catch up past haveBlock.
+type stateReq struct {
+	HaveBlock int64
+}
+
+func (r *stateReq) encode() []byte {
+	e := codec.NewEncoder(8)
+	e.Int64(r.HaveBlock)
+	return e.Bytes()
+}
+
+func decodeStateReq(data []byte) (stateReq, error) {
+	d := codec.NewDecoder(data)
+	var r stateReq
+	r.HaveBlock = d.Int64()
+	if err := d.Finish(); err != nil {
+		return stateReq{}, fmt.Errorf("decode state req: %w", err)
+	}
+	return r, nil
+}
+
+// stateRep carries a snapshot envelope plus the blocks after it
+// (Algorithm 1 lines 55-57: last snapshot + cached transactions).
+type stateRep struct {
+	Snapshot snapshotEnvelope
+	Blocks   []blockchain.Block
+}
+
+func (r *stateRep) encode() []byte {
+	snap := r.Snapshot.encode()
+	e := codec.NewEncoder(64 + len(snap))
+	e.WriteBytes(snap)
+	e.Uint32(uint32(len(r.Blocks)))
+	for i := range r.Blocks {
+		e.WriteBytes(r.Blocks[i].Encode())
+	}
+	return e.Bytes()
+}
+
+func decodeStateRep(data []byte) (stateRep, error) {
+	d := codec.NewDecoder(data)
+	snap, err := decodeSnapshotEnvelope(d.ReadBytes())
+	if err != nil {
+		return stateRep{}, err
+	}
+	r := stateRep{Snapshot: snap}
+	nb := d.Uint32()
+	if d.Err() != nil || nb > 1<<20 {
+		return stateRep{}, fmt.Errorf("decode state rep: bad block count")
+	}
+	for i := uint32(0); i < nb; i++ {
+		b, err := blockchain.DecodeBlock(d.ReadBytes())
+		if err != nil {
+			return stateRep{}, err
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+	if err := d.Finish(); err != nil {
+		return stateRep{}, fmt.Errorf("decode state rep: %w", err)
+	}
+	return r, nil
+}
+
+// keyAnnounce carries a member's fresh certified consensus key after a view
+// change it was not part of (paper §V-D: "these new keys are disseminated
+// in the first messages these processes send in the new view").
+type keyAnnounce struct {
+	Key crypto.CertifiedKey
+}
+
+func (a *keyAnnounce) encode() []byte {
+	e := codec.NewEncoder(160)
+	e.Int64(a.Key.ViewID)
+	e.Int32(a.Key.Signer)
+	e.WriteBytes(a.Key.ConsensusPub)
+	e.WriteBytes(a.Key.PermanentSig)
+	return e.Bytes()
+}
+
+func decodeKeyAnnounce(data []byte) (keyAnnounce, error) {
+	d := codec.NewDecoder(data)
+	var a keyAnnounce
+	a.Key.ViewID = d.Int64()
+	a.Key.Signer = d.Int32()
+	a.Key.ConsensusPub = crypto.PublicKey(d.ReadBytesCopy())
+	a.Key.PermanentSig = d.ReadBytesCopy()
+	if err := d.Finish(); err != nil {
+		return keyAnnounce{}, fmt.Errorf("decode key announce: %w", err)
+	}
+	return a, nil
+}

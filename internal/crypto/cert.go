@@ -1,0 +1,150 @@
+package crypto
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Signature is a protocol signature attributed to a process ID. The ID refers
+// to a member of the view the signature was produced in; the resolver used
+// during verification maps IDs to the correct per-view public keys.
+type Signature struct {
+	Signer int32
+	Sig    []byte
+}
+
+// KeyResolver maps process IDs to public keys. A View is the usual resolver:
+// it resolves to per-view consensus keys.
+type KeyResolver interface {
+	PublicKeyOf(id int32) (PublicKey, bool)
+}
+
+// Certificate is a set of signatures from distinct signers over the same
+// digest, under the same domain-separation context. With a Byzantine quorum
+// of signatures it proves agreement: no conflicting value can gather a
+// second quorum in the same view.
+type Certificate struct {
+	Digest Hash
+	Sigs   []Signature
+}
+
+// Add inserts sig, returning false if the signer is already present.
+func (c *Certificate) Add(sig Signature) bool {
+	for _, s := range c.Sigs {
+		if s.Signer == sig.Signer {
+			return false
+		}
+	}
+	c.Sigs = append(c.Sigs, sig)
+	return true
+}
+
+// Count returns the number of distinct signatures collected.
+func (c *Certificate) Count() int {
+	return len(c.Sigs)
+}
+
+// Signers returns the sorted list of signer IDs.
+func (c *Certificate) Signers() []int32 {
+	ids := make([]int32, 0, len(c.Sigs))
+	for _, s := range c.Sigs {
+		ids = append(ids, s.Signer)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Verify checks that the certificate carries at least quorum valid signatures
+// from distinct signers over digest, each verifying under keys and context.
+func (c *Certificate) Verify(keys KeyResolver, context string, digest Hash, quorum int) error {
+	if c.Digest != digest {
+		return fmt.Errorf("%w: have %s want %s", ErrDigestMismatch, c.Digest.Short(), digest.Short())
+	}
+	seen := make(map[int32]bool, len(c.Sigs))
+	valid := 0
+	for _, s := range c.Sigs {
+		if seen[s.Signer] {
+			return fmt.Errorf("%w: signer %d", ErrDuplicateSigner, s.Signer)
+		}
+		seen[s.Signer] = true
+		pub, ok := keys.PublicKeyOf(s.Signer)
+		if !ok {
+			return fmt.Errorf("%w: signer %d", ErrUnknownSigner, s.Signer)
+		}
+		if !Verify(pub, context, digest[:], s.Sig) {
+			return fmt.Errorf("%w: signer %d", ErrBadSignature, s.Signer)
+		}
+		valid++
+	}
+	if valid < quorum {
+		return fmt.Errorf("%w: have %d need %d", ErrQuorumNotMet, valid, quorum)
+	}
+	return nil
+}
+
+// CountValid counts distinct signers whose signatures verify over digest
+// under keys and context, skipping (rather than rejecting) unknown signers,
+// duplicates, and invalid signatures. Chain verifiers use this tolerant
+// counting: a certificate needs a quorum of *valid* signatures, and extra
+// garbage cannot help an adversary. (Replicas that announced fresh keys
+// after a reconfiguration may contribute signatures a third-party verifier
+// cannot check; those are simply not counted — the paper's n−f recorded
+// keys guarantee a verifiable quorum exists.)
+func (c *Certificate) CountValid(keys KeyResolver, context string, digest Hash) int {
+	if c.Digest != digest {
+		return 0
+	}
+	seen := make(map[int32]bool, len(c.Sigs))
+	valid := 0
+	for _, s := range c.Sigs {
+		if seen[s.Signer] {
+			continue
+		}
+		pub, ok := keys.PublicKeyOf(s.Signer)
+		if !ok {
+			continue
+		}
+		if !Verify(pub, context, digest[:], s.Sig) {
+			continue
+		}
+		seen[s.Signer] = true
+		valid++
+	}
+	return valid
+}
+
+// KeyRing is a mutable KeyResolver backed by a map. It is safe for
+// concurrent use by readers only after construction; protocol layers that
+// mutate key sets (reconfiguration) build a fresh ring per view.
+type KeyRing struct {
+	keys map[int32]PublicKey
+}
+
+// NewKeyRing builds a resolver from the given ID→key mapping. The map is
+// copied.
+func NewKeyRing(keys map[int32]PublicKey) *KeyRing {
+	m := make(map[int32]PublicKey, len(keys))
+	for id, k := range keys {
+		m[id] = k
+	}
+	return &KeyRing{keys: m}
+}
+
+// PublicKeyOf implements KeyResolver.
+func (r *KeyRing) PublicKeyOf(id int32) (PublicKey, bool) {
+	k, ok := r.keys[id]
+	return k, ok
+}
+
+// Set associates id with key. Not safe for use concurrent with resolution.
+func (r *KeyRing) Set(id int32, key PublicKey) {
+	if r.keys == nil {
+		r.keys = make(map[int32]PublicKey)
+	}
+	r.keys[id] = key
+}
+
+// Len returns the number of keys in the ring.
+func (r *KeyRing) Len() int { return len(r.keys) }
+
+var _ KeyResolver = (*KeyRing)(nil)

@@ -1,0 +1,356 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashBytesDeterministic(t *testing.T) {
+	a := HashBytes([]byte("hello"), []byte("world"))
+	b := HashBytes([]byte("helloworld"))
+	if a != b {
+		t.Fatalf("concatenation should hash identically: %s vs %s", a, b)
+	}
+	if a.IsZero() {
+		t.Fatal("hash of data must not be zero")
+	}
+	if !ZeroHash.IsZero() {
+		t.Fatal("ZeroHash must report IsZero")
+	}
+}
+
+func TestHashFromBytes(t *testing.T) {
+	h := HashBytes([]byte("x"))
+	got := HashFromBytes(h[:])
+	if got != h {
+		t.Fatalf("round trip mismatch: %s vs %s", got, h)
+	}
+	if !HashFromBytes([]byte("short")).IsZero() {
+		t.Fatal("wrong-size input must yield zero hash")
+	}
+}
+
+func TestSignVerifyRoundTrip(t *testing.T) {
+	kp := SeededKeyPair("test", 1)
+	msg := []byte("the quick brown fox")
+	sig, err := kp.Sign("ctx", msg)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if !Verify(kp.Public(), "ctx", msg, sig) {
+		t.Fatal("signature must verify under same context")
+	}
+	if Verify(kp.Public(), "other", msg, sig) {
+		t.Fatal("signature must not verify under different context (domain separation)")
+	}
+	if Verify(kp.Public(), "ctx", []byte("tampered"), sig) {
+		t.Fatal("signature must not verify for different message")
+	}
+	other := SeededKeyPair("test", 2)
+	if Verify(other.Public(), "ctx", msg, sig) {
+		t.Fatal("signature must not verify under different key")
+	}
+}
+
+func TestVerifyRejectsMalformedInputs(t *testing.T) {
+	kp := SeededKeyPair("test", 3)
+	sig, _ := kp.Sign("c", []byte("m"))
+	if Verify(nil, "c", []byte("m"), sig) {
+		t.Fatal("nil public key must not verify")
+	}
+	if Verify(kp.Public(), "c", []byte("m"), sig[:10]) {
+		t.Fatal("short signature must not verify")
+	}
+	if Verify(kp.Public()[:10], "c", []byte("m"), sig) {
+		t.Fatal("short public key must not verify")
+	}
+}
+
+func TestSeededKeyPairDeterministic(t *testing.T) {
+	a := SeededKeyPair("replica", 7)
+	b := SeededKeyPair("replica", 7)
+	c := SeededKeyPair("replica", 8)
+	if !a.Public().Equal(b.Public()) {
+		t.Fatal("same seed must give same key")
+	}
+	if a.Public().Equal(c.Public()) {
+		t.Fatal("different seed must give different key")
+	}
+}
+
+func TestGenerateKeyPair(t *testing.T) {
+	a, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	b, err := GenerateKeyPair()
+	if err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if a.Public().Equal(b.Public()) {
+		t.Fatal("two random key pairs must differ")
+	}
+}
+
+func TestEraseForgetsKey(t *testing.T) {
+	kp := SeededKeyPair("erase", 1)
+	msg := []byte("before")
+	sig, err := kp.Sign("c", msg)
+	if err != nil {
+		t.Fatalf("sign before erase: %v", err)
+	}
+	kp.Erase()
+	if !kp.Erased() {
+		t.Fatal("Erased must report true after Erase")
+	}
+	if _, err := kp.Sign("c", msg); err == nil {
+		t.Fatal("sign after erase must fail")
+	}
+	if kp.MustSign("c", msg) != nil {
+		t.Fatal("MustSign after erase must return nil")
+	}
+	// Old signatures stay valid: erasure protects the future, not the past.
+	if !Verify(kp.Public(), "c", msg, sig) {
+		t.Fatal("pre-erase signature must still verify")
+	}
+}
+
+func TestCertificateQuorum(t *testing.T) {
+	const n, quorum = 4, 3
+	keys := make(map[int32]PublicKey, n)
+	pairs := make([]*KeyPair, n)
+	for i := range pairs {
+		pairs[i] = SeededKeyPair("cert", int64(i))
+		keys[int32(i)] = pairs[i].Public()
+	}
+	ring := NewKeyRing(keys)
+	digest := HashBytes([]byte("block-1"))
+
+	cert := Certificate{Digest: digest}
+	for i := 0; i < quorum; i++ {
+		sig, err := pairs[i].Sign("persist", digest[:])
+		if err != nil {
+			t.Fatalf("sign: %v", err)
+		}
+		if !cert.Add(Signature{Signer: int32(i), Sig: sig}) {
+			t.Fatalf("add signer %d rejected", i)
+		}
+	}
+	if err := cert.Verify(ring, "persist", digest, quorum); err != nil {
+		t.Fatalf("quorum certificate must verify: %v", err)
+	}
+	if err := cert.Verify(ring, "persist", digest, quorum+1); err == nil {
+		t.Fatal("must fail with higher quorum requirement")
+	}
+	if err := cert.Verify(ring, "write", digest, quorum); err == nil {
+		t.Fatal("must fail under wrong context")
+	}
+	other := HashBytes([]byte("block-2"))
+	if err := cert.Verify(ring, "persist", other, quorum); err == nil {
+		t.Fatal("must fail for different digest")
+	}
+}
+
+func TestCertificateRejectsDuplicatesAndForgeries(t *testing.T) {
+	kp := SeededKeyPair("dup", 0)
+	ring := NewKeyRing(map[int32]PublicKey{0: kp.Public(), 1: kp.Public()})
+	digest := HashBytes([]byte("d"))
+	sig, _ := kp.Sign("c", digest[:])
+
+	cert := Certificate{Digest: digest}
+	if !cert.Add(Signature{Signer: 0, Sig: sig}) {
+		t.Fatal("first add must succeed")
+	}
+	if cert.Add(Signature{Signer: 0, Sig: sig}) {
+		t.Fatal("duplicate signer must be rejected by Add")
+	}
+	// Force a duplicate past Add to exercise Verify's check.
+	cert.Sigs = append(cert.Sigs, Signature{Signer: 0, Sig: sig})
+	if err := cert.Verify(ring, "c", digest, 1); err == nil {
+		t.Fatal("Verify must reject duplicate signer")
+	}
+
+	forged := Certificate{Digest: digest}
+	bad := make([]byte, SignatureSize)
+	forged.Add(Signature{Signer: 1, Sig: bad})
+	if err := forged.Verify(ring, "c", digest, 1); err == nil {
+		t.Fatal("Verify must reject forged signature")
+	}
+
+	unknown := Certificate{Digest: digest}
+	unknown.Add(Signature{Signer: 99, Sig: sig})
+	if err := unknown.Verify(ring, "c", digest, 1); err == nil {
+		t.Fatal("Verify must reject unknown signer")
+	}
+}
+
+func TestCertificateSigners(t *testing.T) {
+	cert := Certificate{}
+	cert.Add(Signature{Signer: 3})
+	cert.Add(Signature{Signer: 1})
+	cert.Add(Signature{Signer: 2})
+	got := cert.Signers()
+	want := []int32{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("signers: got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("signers: got %v want %v", got, want)
+		}
+	}
+	if cert.Count() != 3 {
+		t.Fatalf("count: got %d want 3", cert.Count())
+	}
+}
+
+func TestCertifiedKeyRoundTrip(t *testing.T) {
+	permanent := SeededKeyPair("perm", 5)
+	consensus := SeededKeyPair("cons", 5)
+	ck, err := CertifyConsensusKey(permanent, 5, 9, consensus.Public())
+	if err != nil {
+		t.Fatalf("certify: %v", err)
+	}
+	if err := ck.Verify(permanent.Public()); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// Any field tamper must break it.
+	tampered := ck
+	tampered.ViewID = 10
+	if err := tampered.Verify(permanent.Public()); err == nil {
+		t.Fatal("tampered view id must not verify")
+	}
+	tampered = ck
+	tampered.Signer = 6
+	if err := tampered.Verify(permanent.Public()); err == nil {
+		t.Fatal("tampered signer must not verify")
+	}
+	other := SeededKeyPair("perm", 6)
+	if err := ck.Verify(other.Public()); err == nil {
+		t.Fatal("wrong permanent key must not verify")
+	}
+}
+
+func TestCertifyWithErasedKeyFails(t *testing.T) {
+	permanent := SeededKeyPair("perm", 1)
+	permanent.Erase()
+	if _, err := CertifyConsensusKey(permanent, 1, 1, SeededKeyPair("c", 1).Public()); err == nil {
+		t.Fatal("certifying with erased key must fail")
+	}
+}
+
+func TestMerkleRootProperties(t *testing.T) {
+	empty := MerkleRoot(nil)
+	if empty.IsZero() {
+		t.Fatal("empty root must be a defined non-zero commitment")
+	}
+	one := MerkleRoot([][]byte{[]byte("a")})
+	if one == empty {
+		t.Fatal("single leaf must differ from empty")
+	}
+	ab := MerkleRoot([][]byte{[]byte("a"), []byte("b")})
+	ba := MerkleRoot([][]byte{[]byte("b"), []byte("a")})
+	if ab == ba {
+		t.Fatal("leaf order must matter")
+	}
+}
+
+func TestMerkleSecondPreimageResistance(t *testing.T) {
+	// The classic attack: the concatenation of two leaf hashes used as a
+	// single leaf must not reproduce the parent. Domain separation between
+	// leaf and node hashing prevents it.
+	a, b := []byte("a"), []byte("b")
+	root := MerkleRoot([][]byte{a, b})
+	la := HashBytes(merkleLeafPrefix, a)
+	lb := HashBytes(merkleLeafPrefix, b)
+	forgedLeaf := append(append([]byte{}, la[:]...), lb[:]...)
+	if MerkleRoot([][]byte{forgedLeaf}) == root {
+		t.Fatal("interior node reinterpreted as leaf must not match root")
+	}
+}
+
+func TestMerkleProveVerify(t *testing.T) {
+	sizes := []int{1, 2, 3, 4, 5, 7, 8, 9, 16, 33}
+	for _, n := range sizes {
+		leaves := make([][]byte, n)
+		for i := range leaves {
+			leaves[i] = []byte{byte(i), byte(n)}
+		}
+		root := MerkleRoot(leaves)
+		for i := 0; i < n; i++ {
+			proof, err := MerkleProve(leaves, i)
+			if err != nil {
+				t.Fatalf("n=%d prove(%d): %v", n, i, err)
+			}
+			if !MerkleVerify(root, leaves[i], proof) {
+				t.Fatalf("n=%d proof for leaf %d must verify", n, i)
+			}
+			if MerkleVerify(root, []byte("evil"), proof) {
+				t.Fatalf("n=%d proof must not verify foreign leaf", n)
+			}
+			if i+1 < n && MerkleVerify(root, leaves[i+1], proof) {
+				t.Fatalf("n=%d proof for leaf %d must not verify leaf %d", n, i, i+1)
+			}
+		}
+	}
+}
+
+func TestMerkleProveOutOfRange(t *testing.T) {
+	if _, err := MerkleProve([][]byte{[]byte("a")}, 1); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+	if _, err := MerkleProve(nil, 0); err == nil {
+		t.Fatal("empty leaves must error")
+	}
+}
+
+func TestMerklePropertyRandomized(t *testing.T) {
+	// Property: for random leaf sets, every leaf's proof verifies and a
+	// mutated root rejects it.
+	f := func(raw [][]byte, idx uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		i := int(idx) % len(raw)
+		root := MerkleRoot(raw)
+		proof, err := MerkleProve(raw, i)
+		if err != nil {
+			return false
+		}
+		if !MerkleVerify(root, raw[i], proof) {
+			return false
+		}
+		var bad Hash
+		copy(bad[:], root[:])
+		bad[0] ^= 0xff
+		return !MerkleVerify(bad, raw[i], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSealedContextFraming(t *testing.T) {
+	// "a"+"bc" and "ab"+"c" must seal differently: the length byte is part
+	// of the framing.
+	if bytes.Equal(sealed("a", []byte("bc")), sealed("ab", []byte("c"))) {
+		t.Fatal("sealed framing must be unambiguous")
+	}
+}
+
+func TestKeyRing(t *testing.T) {
+	var r KeyRing
+	if _, ok := r.PublicKeyOf(1); ok {
+		t.Fatal("empty ring must resolve nothing")
+	}
+	kp := SeededKeyPair("ring", 1)
+	r.Set(1, kp.Public())
+	got, ok := r.PublicKeyOf(1)
+	if !ok || !got.Equal(kp.Public()) {
+		t.Fatal("ring must resolve stored key")
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len: got %d want 1", r.Len())
+	}
+}

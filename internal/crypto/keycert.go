@@ -1,0 +1,56 @@
+package crypto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// contextKeyCert is the domain-separation context for consensus-key
+// certification by permanent keys.
+const contextKeyCert = "smartchain/keycert/v1"
+
+// CertifiedKey binds a fresh per-view consensus public key to a process's
+// permanent identity (paper §V-D). Replicas generate a new consensus key
+// pair for every view they participate in, certify the public half with
+// their permanent private key, and erase the previous consensus private key.
+// Verifiers in any later view can therefore trust reconfiguration blocks
+// without trusting any past consensus key.
+type CertifiedKey struct {
+	ViewID       int64
+	Signer       int32
+	ConsensusPub PublicKey
+	PermanentSig []byte
+}
+
+// certifiedKeyDigest is the message a permanent key signs over.
+func certifiedKeyDigest(viewID int64, signer int32, pub PublicKey) []byte {
+	msg := make([]byte, 0, 12+len(pub))
+	msg = binary.BigEndian.AppendUint64(msg, uint64(viewID))
+	msg = binary.BigEndian.AppendUint32(msg, uint32(signer))
+	msg = append(msg, pub...)
+	return msg
+}
+
+// CertifyConsensusKey signs (viewID, signer, consensusPub) with the signer's
+// permanent key.
+func CertifyConsensusKey(permanent *KeyPair, signer int32, viewID int64, consensusPub PublicKey) (CertifiedKey, error) {
+	sig, err := permanent.Sign(contextKeyCert, certifiedKeyDigest(viewID, signer, consensusPub))
+	if err != nil {
+		return CertifiedKey{}, fmt.Errorf("certify consensus key: %w", err)
+	}
+	return CertifiedKey{
+		ViewID:       viewID,
+		Signer:       signer,
+		ConsensusPub: consensusPub,
+		PermanentSig: sig,
+	}, nil
+}
+
+// Verify checks the certification against the signer's permanent public key.
+func (ck CertifiedKey) Verify(permanentPub PublicKey) error {
+	msg := certifiedKeyDigest(ck.ViewID, ck.Signer, ck.ConsensusPub)
+	if !Verify(permanentPub, contextKeyCert, msg, ck.PermanentSig) {
+		return fmt.Errorf("certified key for %d view %d: %w", ck.Signer, ck.ViewID, ErrBadSignature)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package crypto
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Signature and key sizes, fixed by Ed25519.
+const (
+	PublicKeySize  = ed25519.PublicKeySize
+	SignatureSize  = ed25519.SignatureSize
+	PrivateKeySize = ed25519.PrivateKeySize
+	SeedSize       = ed25519.SeedSize
+)
+
+// Errors returned by signature and certificate verification.
+var (
+	ErrBadSignature    = errors.New("invalid signature")
+	ErrUnknownSigner   = errors.New("unknown signer")
+	ErrQuorumNotMet    = errors.New("certificate quorum not met")
+	ErrDigestMismatch  = errors.New("certificate digest mismatch")
+	ErrDuplicateSigner = errors.New("duplicate signer in certificate")
+	ErrKeyErased       = errors.New("private key has been erased")
+)
+
+// PublicKey is an Ed25519 public key identifying a process or a per-view
+// consensus identity.
+type PublicKey []byte
+
+// Equal reports whether two public keys are the same key.
+func (p PublicKey) Equal(o PublicKey) bool {
+	return bytes.Equal(p, o)
+}
+
+// Fingerprint returns the hash of the public key, usable as a stable address.
+func (p PublicKey) Fingerprint() Hash {
+	return HashBytes(p)
+}
+
+// KeyPair is an Ed25519 key pair. The private half is kept unexported so it
+// can only be used through Sign, and so Erase can destroy it (the
+// "forgetting" protocol of the reconfiguration layer, paper §V-D).
+type KeyPair struct {
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+
+	mu     sync.Mutex
+	erased bool
+}
+
+// GenerateKeyPair creates a fresh random key pair.
+func GenerateKeyPair() (*KeyPair, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("generate ed25519 key: %w", err)
+	}
+	return &KeyPair{pub: pub, priv: priv}, nil
+}
+
+// KeyPairFromSeed derives a key pair deterministically from a 32-byte seed.
+// Intended for tests and reproducible experiments.
+func KeyPairFromSeed(seed []byte) *KeyPair {
+	s := make([]byte, SeedSize)
+	copy(s, seed)
+	priv := ed25519.NewKeyFromSeed(s)
+	pub := make([]byte, PublicKeySize)
+	copy(pub, priv[SeedSize:])
+	return &KeyPair{pub: pub, priv: priv}
+}
+
+// SeededKeyPair derives a key pair from a (label, id) pair. Convenient for
+// giving every replica and client in a simulated deployment a distinct,
+// reproducible identity.
+func SeededKeyPair(label string, id int64) *KeyPair {
+	var idb [8]byte
+	binary.BigEndian.PutUint64(idb[:], uint64(id))
+	seed := HashBytes([]byte(label), idb[:])
+	return KeyPairFromSeed(seed[:])
+}
+
+// Public returns the public half of the key pair.
+func (k *KeyPair) Public() PublicKey {
+	return PublicKey(k.pub)
+}
+
+// Sign signs msg under the given domain-separation context. It returns an
+// error if the private key has been erased.
+func (k *KeyPair) Sign(context string, msg []byte) ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.erased {
+		return nil, ErrKeyErased
+	}
+	return ed25519.Sign(k.priv, sealed(context, msg)), nil
+}
+
+// MustSign is Sign for contexts where the key is known to be live (e.g. a
+// node signing with its own current key). It returns nil if the key was
+// erased; callers treat a nil signature as a signing failure.
+func (k *KeyPair) MustSign(context string, msg []byte) []byte {
+	sig, err := k.Sign(context, msg)
+	if err != nil {
+		return nil
+	}
+	return sig
+}
+
+// Erase destroys the private key material in place. After Erase, Sign fails.
+// This implements the forgetting protocol: a replica that discards its old
+// consensus key cannot later be coerced into signing blocks for past views.
+func (k *KeyPair) Erase() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for i := range k.priv {
+		k.priv[i] = 0
+	}
+	k.erased = true
+}
+
+// Erased reports whether the private key has been destroyed.
+func (k *KeyPair) Erased() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.erased
+}
+
+// PrivateBytes exports the raw private key for *local* persistence (a
+// replica's own key file, so the current view's consensus key survives a
+// recoverable crash). It must never be transmitted or included in state
+// transfer. Fails if the key was erased.
+func (k *KeyPair) PrivateBytes() ([]byte, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.erased {
+		return nil, ErrKeyErased
+	}
+	out := make([]byte, len(k.priv))
+	copy(out, k.priv)
+	return out, nil
+}
+
+// KeyPairFromPrivate reconstructs a key pair from PrivateBytes output.
+func KeyPairFromPrivate(b []byte) (*KeyPair, error) {
+	if len(b) != PrivateKeySize {
+		return nil, fmt.Errorf("crypto: bad private key length %d", len(b))
+	}
+	priv := make(ed25519.PrivateKey, PrivateKeySize)
+	copy(priv, b)
+	pub := make([]byte, PublicKeySize)
+	copy(pub, priv[SeedSize:])
+	return &KeyPair{pub: pub, priv: priv}, nil
+}
+
+// Verify checks sig over msg under the domain-separation context against pub.
+func Verify(pub PublicKey, context string, msg, sig []byte) bool {
+	if len(pub) != PublicKeySize || len(sig) != SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), sealed(context, msg), sig)
+}
+
+// sealed prefixes msg with a length-delimited context string so signatures
+// from one protocol phase can never be replayed in another.
+func sealed(context string, msg []byte) []byte {
+	out := make([]byte, 0, 1+len(context)+len(msg))
+	out = append(out, byte(len(context)))
+	out = append(out, context...)
+	out = append(out, msg...)
+	return out
+}

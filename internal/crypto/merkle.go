@@ -1,0 +1,106 @@
+package crypto
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Merkle trees commit to the transaction list and result list of a block
+// (paper Fig. 2: hashTransactions / hashResults). Committing with a Merkle
+// root rather than a flat hash lets light verifiers check inclusion of a
+// single transaction or result with a logarithmic proof, and makes the
+// results field compatible with compact state-delta representations
+// (paper footnote 4).
+
+// Domain-separation prefixes prevent a leaf from being reinterpreted as an
+// interior node (second-preimage attack on naive Merkle trees).
+var (
+	merkleLeafPrefix = []byte{0x00}
+	merkleNodePrefix = []byte{0x01}
+)
+
+// ErrBadProof is returned when a Merkle proof fails verification.
+var ErrBadProof = errors.New("invalid merkle proof")
+
+// MerkleRoot computes the Merkle root over the given leaves. An empty leaf
+// set commits to the hash of the leaf prefix alone, so "no transactions" is
+// still a well-defined, non-zero commitment. Odd levels promote the last
+// node unchanged (Bitcoin-style duplication would allow two different leaf
+// sets with the same root).
+func MerkleRoot(leaves [][]byte) Hash {
+	if len(leaves) == 0 {
+		return HashBytes(merkleLeafPrefix)
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = HashBytes(merkleLeafPrefix, leaf)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, HashBytes(merkleNodePrefix, level[i][:], level[i+1][:]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// MerkleProof is an inclusion proof for the leaf at Index.
+type MerkleProof struct {
+	Index int
+	// Path lists sibling hashes bottom-up. Left[i] reports whether the
+	// sibling at level i sits to the left of the running hash.
+	Path []Hash
+	Left []bool
+}
+
+// MerkleProve builds an inclusion proof for leaves[index].
+func MerkleProve(leaves [][]byte, index int) (MerkleProof, error) {
+	if index < 0 || index >= len(leaves) {
+		return MerkleProof{}, fmt.Errorf("merkle prove: index %d out of range [0,%d)", index, len(leaves))
+	}
+	level := make([]Hash, len(leaves))
+	for i, leaf := range leaves {
+		level[i] = HashBytes(merkleLeafPrefix, leaf)
+	}
+	proof := MerkleProof{Index: index}
+	pos := index
+	for len(level) > 1 {
+		sib := pos ^ 1
+		if sib < len(level) {
+			proof.Path = append(proof.Path, level[sib])
+			proof.Left = append(proof.Left, sib < pos)
+		}
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, HashBytes(merkleNodePrefix, level[i][:], level[i+1][:]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+		pos /= 2
+	}
+	return proof, nil
+}
+
+// MerkleVerify checks that leaf is included under root according to proof.
+func MerkleVerify(root Hash, leaf []byte, proof MerkleProof) bool {
+	h := HashBytes(merkleLeafPrefix, leaf)
+	if len(proof.Path) != len(proof.Left) {
+		return false
+	}
+	for i, sib := range proof.Path {
+		if proof.Left[i] {
+			h = HashBytes(merkleNodePrefix, sib[:], h[:])
+		} else {
+			h = HashBytes(merkleNodePrefix, h[:], sib[:])
+		}
+	}
+	return h == root
+}

@@ -1,0 +1,188 @@
+package smr
+
+import (
+	"sync"
+)
+
+// Batcher accumulates verified client requests and hands out batches of at
+// most maxBatch for the next consensus instance (paper §II-C1: "a leader
+// replica proposing a batch of client operations"). It deduplicates by
+// (client, seq), tracks the highest executed sequence number per client so
+// replayed or duplicate requests are never ordered twice, and exposes a
+// readiness channel so a driver can select on "work available" alongside
+// other events.
+type Batcher struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  []Request
+	inFlight map[dedupeKey]bool
+	lastExec map[int64]uint64 // client → highest executed seq
+	maxBatch int
+	closed   bool
+	ready    chan struct{}
+}
+
+type dedupeKey struct {
+	client int64
+	seq    uint64
+}
+
+// NewBatcher creates a batcher with the given maximum batch size (the
+// paper's experiments use 512).
+func NewBatcher(maxBatch int) *Batcher {
+	if maxBatch <= 0 {
+		maxBatch = 512
+	}
+	b := &Batcher{
+		inFlight: make(map[dedupeKey]bool),
+		lastExec: make(map[int64]uint64),
+		maxBatch: maxBatch,
+		ready:    make(chan struct{}, 1),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Add queues a verified request. Duplicates — same (client, seq) already
+// pending, or a sequence number at or below the client's last executed one
+// — are dropped. Returns whether it was queued.
+func (b *Batcher) Add(req Request) bool {
+	k := dedupeKey{req.ClientID, req.Seq}
+	b.mu.Lock()
+	if b.closed || b.inFlight[k] || req.Seq <= b.lastExec[req.ClientID] {
+		b.mu.Unlock()
+		return false
+	}
+	b.inFlight[k] = true
+	b.pending = append(b.pending, req)
+	b.cond.Signal()
+	b.mu.Unlock()
+	b.signalReady()
+	return true
+}
+
+func (b *Batcher) signalReady() {
+	select {
+	case b.ready <- struct{}{}:
+	default:
+	}
+}
+
+// Ready returns a channel that receives a token when requests may be
+// pending. Consumers re-check with TryNext; spurious wakeups are possible.
+func (b *Batcher) Ready() <-chan struct{} { return b.ready }
+
+// Next blocks until at least one request is pending (or the batcher is
+// closed), then returns up to maxBatch requests. Returns false when closed.
+func (b *Batcher) Next() (Batch, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.pending) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if b.closed {
+		return Batch{}, false
+	}
+	return b.takeLocked(), true
+}
+
+// TryNext returns a batch if any requests are pending, without blocking.
+func (b *Batcher) TryNext() (Batch, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed || len(b.pending) == 0 {
+		return Batch{}, false
+	}
+	return b.takeLocked(), true
+}
+
+func (b *Batcher) takeLocked() Batch {
+	n := min(len(b.pending), b.maxBatch)
+	batch := Batch{Requests: make([]Request, n)}
+	copy(batch.Requests, b.pending[:n])
+	rest := copy(b.pending, b.pending[n:])
+	// Zero the moved-from tail so the GC can reclaim request payloads.
+	for i := rest; i < len(b.pending); i++ {
+		b.pending[i] = Request{}
+	}
+	b.pending = b.pending[:rest]
+	if rest > 0 {
+		b.signalReady()
+	}
+	return batch
+}
+
+// MarkDelivered records that the given requests were ordered and executed:
+// their dedupe slots are released, the per-client executed watermark rises,
+// and any pending copies (queued locally but ordered via another replica's
+// proposal) are purged so they are never proposed again.
+func (b *Batcher) MarkDelivered(reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delivered := make(map[dedupeKey]bool, len(reqs))
+	for i := range reqs {
+		k := dedupeKey{reqs[i].ClientID, reqs[i].Seq}
+		delivered[k] = true
+		delete(b.inFlight, k)
+		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
+			b.lastExec[reqs[i].ClientID] = reqs[i].Seq
+		}
+	}
+	kept := b.pending[:0]
+	for _, p := range b.pending {
+		if !delivered[dedupeKey{p.ClientID, p.Seq}] {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(b.pending); i++ {
+		b.pending[i] = Request{}
+	}
+	b.pending = kept
+}
+
+// Requeue returns requests to the front of the pending queue. Used when a
+// proposed batch was not decided (leader change decided a different value):
+// the requests are still valid and must eventually be ordered (liveness).
+// Requests already executed are dropped.
+func (b *Batcher) Requeue(reqs []Request) {
+	if len(reqs) == 0 {
+		return
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	merged := make([]Request, 0, len(reqs)+len(b.pending))
+	for i := range reqs {
+		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
+			merged = append(merged, reqs[i])
+		}
+	}
+	merged = append(merged, b.pending...)
+	b.pending = merged
+	if len(b.pending) > 0 {
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+	b.signalReady()
+}
+
+// Pending returns the number of queued requests.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.pending)
+}
+
+// Close unblocks Next and rejects further adds.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+	b.signalReady()
+}

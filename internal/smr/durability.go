@@ -1,0 +1,157 @@
+package smr
+
+import (
+	"sync"
+
+	"smartchain/internal/storage"
+)
+
+// StorageMode selects how the ledger/log reaches stable storage — the
+// persistence axis of Table I and Fig. 6.
+type StorageMode int
+
+const (
+	// StorageSync makes replies wait for the record to be fsynced
+	// (synchronous writes: the Sy configurations; with the blockchain layer
+	// this yields 0-/1-Persistence depending on the variant).
+	StorageSync StorageMode = iota + 1
+	// StorageAsync writes in the background; a crash may lose a small
+	// suffix (λ-Persistence).
+	StorageAsync
+	// StorageMemory keeps the log in memory only (∞-Persistence).
+	StorageMemory
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (m StorageMode) String() string {
+	switch m {
+	case StorageSync:
+		return "sync"
+	case StorageAsync:
+		return "async"
+	case StorageMemory:
+		return "memory"
+	default:
+		return "unknown"
+	}
+}
+
+// DurableLogger is the Dura-SMaRt write path (paper §II-C2, [37]): records
+// are appended by the delivery thread and synced by a dedicated logger
+// goroutine that drains *everything* queued before issuing one fsync, so a
+// burst of k batches pays ≈1 sync. The onDurable callback of each record
+// fires once its durability point has been reached, which is what gates
+// client replies in synchronous modes.
+type DurableLogger struct {
+	log  storage.Log
+	mode StorageMode
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []durableEntry
+	closed  bool
+	syncs   int64
+	records int64
+
+	done chan struct{}
+}
+
+type durableEntry struct {
+	data      []byte
+	onDurable func(error)
+}
+
+// NewDurableLogger starts the logger goroutine over log.
+func NewDurableLogger(log storage.Log, mode StorageMode) *DurableLogger {
+	d := &DurableLogger{
+		log:  log,
+		mode: mode,
+		done: make(chan struct{}),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	go d.run()
+	return d
+}
+
+// Append queues one record. onDurable (optional) fires when the record is
+// durable — immediately after the group sync in Sync/Async modes, or right
+// away in Memory mode. In StorageSync callers typically block on it before
+// replying; in StorageAsync they don't, which is the entire difference
+// between the two configurations.
+func (d *DurableLogger) Append(record []byte, onDurable func(error)) {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		if onDurable != nil {
+			onDurable(storage.ErrClosed)
+		}
+		return
+	}
+	cp := make([]byte, len(record))
+	copy(cp, record)
+	d.queue = append(d.queue, durableEntry{data: cp, onDurable: onDurable})
+	d.cond.Signal()
+	d.mu.Unlock()
+}
+
+// run drains the queue: append every waiting record, one sync, notify all.
+func (d *DurableLogger) run() {
+	defer close(d.done)
+	for {
+		d.mu.Lock()
+		for len(d.queue) == 0 && !d.closed {
+			d.cond.Wait()
+		}
+		if len(d.queue) == 0 && d.closed {
+			d.mu.Unlock()
+			return
+		}
+		entries := d.queue
+		d.queue = nil
+		d.mu.Unlock()
+
+		var err error
+		for _, e := range entries {
+			if appendErr := d.log.Append(e.data); appendErr != nil && err == nil {
+				err = appendErr
+			}
+		}
+		if err == nil && d.mode != StorageMemory {
+			err = d.log.Sync()
+		}
+		d.mu.Lock()
+		d.syncs++
+		d.records += int64(len(entries))
+		d.mu.Unlock()
+		for _, e := range entries {
+			if e.onDurable != nil {
+				e.onDurable(err)
+			}
+		}
+	}
+}
+
+// Stats returns (records logged, group syncs issued). records/syncs is the
+// group-commit amortization factor.
+func (d *DurableLogger) Stats() (records, syncs int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.records, d.syncs
+}
+
+// Mode returns the configured storage mode.
+func (d *DurableLogger) Mode() StorageMode { return d.mode }
+
+// Close drains remaining records and stops the logger goroutine.
+func (d *DurableLogger) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.done
+		return
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	<-d.done
+}

@@ -1,0 +1,153 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrNoSnapshot is returned by Load when no snapshot has been saved.
+var ErrNoSnapshot = errors.New("storage: no snapshot")
+
+// SnapshotStore persists service-state snapshots outside the blockchain
+// (paper §V-B3, Algorithm 1 line 54). Each snapshot records the number of
+// the last block whose transactions it covers, so state transfer can send
+// "snapshot + blocks after it".
+type SnapshotStore interface {
+	// Save atomically replaces the stored snapshot.
+	Save(lastBlock int64, state []byte) error
+	// Load returns the most recent snapshot, or ErrNoSnapshot.
+	Load() (lastBlock int64, state []byte, err error)
+	// Close releases resources.
+	Close() error
+}
+
+// MemSnapshotStore keeps the snapshot in memory (used with MemLog/SimLog).
+type MemSnapshotStore struct {
+	mu        sync.Mutex
+	has       bool
+	lastBlock int64
+	state     []byte
+	// SaveDelay lets the harness model snapshot-write cost.
+	disk *SimDisk
+}
+
+// NewMemSnapshotStore returns an empty in-memory snapshot store. A non-nil
+// disk charges device time for saves.
+func NewMemSnapshotStore(disk *SimDisk) *MemSnapshotStore {
+	return &MemSnapshotStore{disk: disk}
+}
+
+// Save implements SnapshotStore.
+func (s *MemSnapshotStore) Save(lastBlock int64, state []byte) error {
+	cp := make([]byte, len(state))
+	copy(cp, state)
+	if s.disk != nil {
+		s.disk.Write(len(state))
+		s.disk.Sync()
+	}
+	s.mu.Lock()
+	s.has = true
+	s.lastBlock = lastBlock
+	s.state = cp
+	s.mu.Unlock()
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (s *MemSnapshotStore) Load() (int64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return 0, nil, ErrNoSnapshot
+	}
+	out := make([]byte, len(s.state))
+	copy(out, s.state)
+	return s.lastBlock, out, nil
+}
+
+// Close implements SnapshotStore.
+func (s *MemSnapshotStore) Close() error { return nil }
+
+// FileSnapshotStore stores the snapshot in a file, written atomically via a
+// temporary file and rename. Format: lastBlock(8) | crc32(4) | state.
+type FileSnapshotStore struct {
+	mu   sync.Mutex
+	path string
+}
+
+// NewFileSnapshotStore stores snapshots at path.
+func NewFileSnapshotStore(path string) *FileSnapshotStore {
+	return &FileSnapshotStore{path: path}
+}
+
+// Save implements SnapshotStore.
+func (s *FileSnapshotStore) Save(lastBlock int64, state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, 0, 12+len(state))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(lastBlock))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(state))
+	buf = append(buf, state...)
+
+	dir := filepath.Dir(s.path)
+	tmp, err := os.CreateTemp(dir, ".snapshot-*")
+	if err != nil {
+		return fmt.Errorf("snapshot temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot close: %w", err)
+	}
+	if err := os.Rename(tmpName, s.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// Load implements SnapshotStore.
+func (s *FileSnapshotStore) Load() (int64, []byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, err := os.ReadFile(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return 0, nil, fmt.Errorf("snapshot read: %w", err)
+	}
+	if len(data) < 12 {
+		return 0, nil, fmt.Errorf("snapshot: %w", ErrCorrupted)
+	}
+	lastBlock := int64(binary.BigEndian.Uint64(data[0:]))
+	crc := binary.BigEndian.Uint32(data[8:])
+	state := data[12:]
+	if crc32.ChecksumIEEE(state) != crc {
+		return 0, nil, fmt.Errorf("snapshot crc: %w", ErrCorrupted)
+	}
+	return lastBlock, state, nil
+}
+
+// Close implements SnapshotStore.
+func (s *FileSnapshotStore) Close() error { return nil }
+
+var (
+	_ SnapshotStore = (*MemSnapshotStore)(nil)
+	_ SnapshotStore = (*FileSnapshotStore)(nil)
+)

@@ -1,0 +1,323 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testLogRoundTrip(t *testing.T, l Log) {
+	t.Helper()
+	records := [][]byte{[]byte("a"), []byte("bb"), {}, []byte("dddd")}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got, err := l.ReadAll()
+	if err != nil {
+		t.Fatalf("readall: %v", err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d: got %q want %q", i, got[i], records[i])
+		}
+	}
+	if l.Size() <= 0 {
+		t.Fatal("size must be positive")
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	got, err = l.ReadAll()
+	if err != nil {
+		t.Fatalf("readall after truncate: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("truncate left %d records", len(got))
+	}
+}
+
+func TestMemLogRoundTrip(t *testing.T) { testLogRoundTrip(t, NewMemLog()) }
+func TestSimLogRoundTrip(t *testing.T) { testLogRoundTrip(t, NewSimLog(nil)) }
+func TestFileLogRoundTrip(t *testing.T) {
+	l, err := OpenFileLog(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer l.Close()
+	testLogRoundTrip(t, l)
+}
+
+func TestLogClosedErrors(t *testing.T) {
+	logs := map[string]Log{
+		"mem": NewMemLog(),
+		"sim": NewSimLog(nil),
+	}
+	fl, err := OpenFileLog(filepath.Join(t.TempDir(), "log"))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	logs["file"] = fl
+	for name, l := range logs {
+		if err := l.Close(); err != nil {
+			t.Fatalf("%s close: %v", name, err)
+		}
+		if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s append after close: %v", name, err)
+		}
+		if err := l.Sync(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s sync after close: %v", name, err)
+		}
+		if _, err := l.ReadAll(); !errors.Is(err, ErrClosed) {
+			t.Errorf("%s readall after close: %v", name, err)
+		}
+	}
+}
+
+func TestFileLogPersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.Append([]byte("one"))
+	l.Append([]byte("two"))
+	if err := l.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	l.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got, err := l2.ReadAll()
+	if err != nil {
+		t.Fatalf("readall: %v", err)
+	}
+	if len(got) != 2 || string(got[0]) != "one" || string(got[1]) != "two" {
+		t.Fatalf("bad records after reopen: %q", got)
+	}
+	// Appending after reopen continues the log.
+	l2.Append([]byte("three"))
+	if err := l2.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	got, _ = l2.ReadAll()
+	if len(got) != 3 || string(got[2]) != "three" {
+		t.Fatalf("bad records after append: %q", got)
+	}
+}
+
+func TestFileLogUnsyncedRecordsLostOnClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.Append([]byte("durable"))
+	l.Sync()
+	l.Append([]byte("buffered-only"))
+	l.Close() // crash: buffered record never hit the file
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got, _ := l2.ReadAll()
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("crash semantics violated: %q", got)
+	}
+}
+
+func TestFileLogTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "log")
+	l, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	l.Append([]byte("good-1"))
+	l.Append([]byte("good-2"))
+	l.Append([]byte("torn-record"))
+	l.Sync()
+	// Corrupt a byte inside the last record's payload.
+	if err := l.CorruptTail(3); err != nil {
+		t.Fatalf("corrupt: %v", err)
+	}
+	l.Close()
+
+	l2, err := OpenFileLog(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer l2.Close()
+	got, err := l2.ReadAll()
+	if err != nil {
+		t.Fatalf("readall: %v", err)
+	}
+	if len(got) != 2 || string(got[0]) != "good-1" || string(got[1]) != "good-2" {
+		t.Fatalf("torn tail handling: %q", got)
+	}
+}
+
+func TestParseRecordsProperty(t *testing.T) {
+	// Round trip property: any record sequence frames and parses back.
+	f := func(records [][]byte) bool {
+		var buf []byte
+		for _, r := range records {
+			buf = appendRecord(buf, r)
+		}
+		got, consumed := parseRecords(buf)
+		if consumed != len(buf) || len(got) != len(records) {
+			return false
+		}
+		for i := range records {
+			if !bytes.Equal(got[i], records[i]) {
+				return false
+			}
+		}
+		// Any truncation of the final frame drops exactly that record.
+		if len(buf) > 0 {
+			cut, _ := parseRecords(buf[:len(buf)-1])
+			if len(cut) != len(records)-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimLogCrashLosesUnsynced(t *testing.T) {
+	l := NewSimLog(nil)
+	l.Append([]byte("durable"))
+	l.Sync()
+	l.Append([]byte("lost"))
+	l.Crash()
+	got, err := l.ReadAll()
+	if err != nil {
+		t.Fatalf("readall: %v", err)
+	}
+	if len(got) != 1 || string(got[0]) != "durable" {
+		t.Fatalf("crash semantics: %q", got)
+	}
+	// Still usable after crash.
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatalf("append after crash: %v", err)
+	}
+}
+
+func TestSimDiskTiming(t *testing.T) {
+	d := &SimDisk{SyncLatency: 20 * time.Millisecond, BytesPerSecond: 1e6}
+	d.Write(10_000) // 10ms of bandwidth at 1MB/s
+	start := time.Now()
+	d.Sync()
+	elapsed := time.Since(start)
+	if elapsed < 25*time.Millisecond {
+		t.Fatalf("sync too fast: %v (want ≥ latency+bandwidth ≈ 30ms)", elapsed)
+	}
+	synced, syncs := d.Stats()
+	if synced != 10_000 || syncs != 1 {
+		t.Fatalf("stats: %d bytes %d syncs", synced, syncs)
+	}
+}
+
+func TestSimDiskGroupCommitAmortization(t *testing.T) {
+	// The property Dura-SMaRt exploits: k batches under one sync cost far
+	// less than k batches under k syncs.
+	mkDisk := func() *SimDisk {
+		return &SimDisk{SyncLatency: 5 * time.Millisecond, BytesPerSecond: 100e6}
+	}
+	const batches, batchSize = 10, 64 << 10
+
+	grouped := mkDisk()
+	start := time.Now()
+	for i := 0; i < batches; i++ {
+		grouped.Write(batchSize)
+	}
+	grouped.Sync()
+	groupedTime := time.Since(start)
+
+	individual := mkDisk()
+	start = time.Now()
+	for i := 0; i < batches; i++ {
+		individual.Write(batchSize)
+		individual.Sync()
+	}
+	individualTime := time.Since(start)
+
+	if individualTime < 5*groupedTime {
+		t.Fatalf("group commit should amortize: grouped=%v individual=%v", groupedTime, individualTime)
+	}
+}
+
+func TestMemSnapshotStore(t *testing.T) {
+	s := NewMemSnapshotStore(nil)
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("want ErrNoSnapshot, got %v", err)
+	}
+	state := []byte("state-at-100")
+	if err := s.Save(100, state); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	state[0] = 'X' // snapshot must have copied
+	blk, got, err := s.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if blk != 100 || string(got) != "state-at-100" {
+		t.Fatalf("load: block=%d state=%q", blk, got)
+	}
+	// Overwrite.
+	if err := s.Save(200, []byte("newer")); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	blk, got, _ = s.Load()
+	if blk != 200 || string(got) != "newer" {
+		t.Fatalf("load 2: block=%d state=%q", blk, got)
+	}
+}
+
+func TestFileSnapshotStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	s := NewFileSnapshotStore(path)
+	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("want ErrNoSnapshot, got %v", err)
+	}
+	if err := s.Save(7, []byte("seven")); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	blk, state, err := s.Load()
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if blk != 7 || string(state) != "seven" {
+		t.Fatalf("load: %d %q", blk, state)
+	}
+	// Atomic overwrite survives reopen by a second store instance.
+	if err := s.Save(9, []byte("nine")); err != nil {
+		t.Fatalf("save 2: %v", err)
+	}
+	s2 := NewFileSnapshotStore(path)
+	blk, state, err = s2.Load()
+	if err != nil {
+		t.Fatalf("load from second store: %v", err)
+	}
+	if blk != 9 || string(state) != "nine" {
+		t.Fatalf("load 2: %d %q", blk, state)
+	}
+}

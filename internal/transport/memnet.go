@@ -1,0 +1,258 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// MemNetwork is an in-process message-passing network. Every endpoint owns
+// an unbounded mailbox drained by a pump goroutine into its Receive channel,
+// so senders never block on slow receivers (matching the asynchronous,
+// non-blocking fair-links model).
+type MemNetwork struct {
+	mu        sync.RWMutex
+	endpoints map[int32]*memEndpoint
+
+	latency   time.Duration
+	dropRate  float64
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	partition map[int32]int // process → partition group; 0 = default group
+	isolated  map[int32]bool
+}
+
+// MemOption configures a MemNetwork.
+type MemOption func(*MemNetwork)
+
+// WithLatency adds a fixed one-way delivery delay to every message.
+func WithLatency(d time.Duration) MemOption {
+	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithDropRate drops each message independently with probability p, using a
+// deterministic seed so failing tests replay.
+func WithDropRate(p float64, seed int64) MemOption {
+	return func(n *MemNetwork) {
+		n.dropRate = p
+		n.rng = rand.New(rand.NewSource(seed))
+	}
+}
+
+// NewMemNetwork creates an empty in-process network.
+func NewMemNetwork(opts ...MemOption) *MemNetwork {
+	n := &MemNetwork{
+		endpoints: make(map[int32]*memEndpoint),
+		partition: make(map[int32]int),
+		isolated:  make(map[int32]bool),
+		rng:       rand.New(rand.NewSource(1)),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Endpoint attaches (or re-attaches) process id to the network. Re-attaching
+// an ID that already exists replaces the previous endpoint: this is exactly
+// what a replica recovering after a crash does.
+func (n *MemNetwork) Endpoint(id int32) Endpoint {
+	ep := newMemEndpoint(n, id)
+	n.mu.Lock()
+	if old, ok := n.endpoints[id]; ok {
+		old.close()
+	}
+	n.endpoints[id] = ep
+	n.mu.Unlock()
+	return ep
+}
+
+// Detach removes the endpoint for id (simulates a crash: messages to it are
+// dropped until it re-attaches).
+func (n *MemNetwork) Detach(id int32) {
+	n.mu.Lock()
+	ep, ok := n.endpoints[id]
+	if ok {
+		delete(n.endpoints, id)
+	}
+	n.mu.Unlock()
+	if ok {
+		ep.close()
+	}
+}
+
+// SetLatency changes the one-way delivery delay at runtime.
+func (n *MemNetwork) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	n.latency = d
+	n.mu.Unlock()
+}
+
+// Partition splits processes into groups; messages only flow within a group.
+// Processes not mentioned stay in group 0.
+func (n *MemNetwork) Partition(groups ...[]int32) {
+	n.mu.Lock()
+	n.partition = make(map[int32]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.partition[id] = gi + 1
+		}
+	}
+	n.mu.Unlock()
+}
+
+// Isolate cuts all traffic to and from id without detaching it.
+func (n *MemNetwork) Isolate(id int32) {
+	n.mu.Lock()
+	n.isolated[id] = true
+	n.mu.Unlock()
+}
+
+// Heal removes all partitions and isolations.
+func (n *MemNetwork) Heal() {
+	n.mu.Lock()
+	n.partition = make(map[int32]int)
+	n.isolated = make(map[int32]bool)
+	n.mu.Unlock()
+}
+
+// deliver routes a message, applying faults. Returns advisory error.
+func (n *MemNetwork) deliver(m Message) error {
+	n.mu.RLock()
+	dst, ok := n.endpoints[m.To]
+	latency := n.latency
+	blocked := n.isolated[m.From] || n.isolated[m.To] ||
+		n.partition[m.From] != n.partition[m.To]
+	drop := n.dropRate
+	n.mu.RUnlock()
+
+	if !ok {
+		return ErrUnknownDest
+	}
+	if blocked {
+		return nil // silently dropped, like a real partition
+	}
+	if drop > 0 {
+		n.rngMu.Lock()
+		lost := n.rng.Float64() < drop
+		n.rngMu.Unlock()
+		if lost {
+			return nil
+		}
+	}
+	if latency > 0 {
+		time.AfterFunc(latency, func() { dst.enqueue(m) })
+		return nil
+	}
+	dst.enqueue(m)
+	return nil
+}
+
+// memEndpoint is one process's attachment: an unbounded FIFO mailbox plus a
+// pump goroutine feeding the receive channel.
+type memEndpoint struct {
+	net *MemNetwork
+	id  int32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+
+	out  chan Message
+	stop chan struct{} // closed by close() to interrupt the pump
+	done chan struct{} // closed by the pump on exit
+}
+
+func newMemEndpoint(n *MemNetwork, id int32) *memEndpoint {
+	ep := &memEndpoint{
+		net:  n,
+		id:   id,
+		out:  make(chan Message, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	go ep.pump()
+	return ep
+}
+
+func (ep *memEndpoint) ID() int32 { return ep.id }
+
+func (ep *memEndpoint) Send(to int32, typ uint16, payload []byte) error {
+	ep.mu.Lock()
+	closed := ep.closed
+	ep.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	// Copy the payload: the in-process network must not alias sender
+	// buffers, exactly like a real wire wouldn't.
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	return ep.net.deliver(Message{From: ep.id, To: to, Type: typ, Payload: p})
+}
+
+func (ep *memEndpoint) Receive() <-chan Message { return ep.out }
+
+func (ep *memEndpoint) Close() error {
+	ep.net.mu.Lock()
+	if ep.net.endpoints[ep.id] == ep {
+		delete(ep.net.endpoints, ep.id)
+	}
+	ep.net.mu.Unlock()
+	ep.close()
+	return nil
+}
+
+func (ep *memEndpoint) close() {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.closed = true
+	close(ep.stop)
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+	<-ep.done
+}
+
+func (ep *memEndpoint) enqueue(m Message) {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return
+	}
+	ep.queue = append(ep.queue, m)
+	ep.cond.Signal()
+	ep.mu.Unlock()
+}
+
+// pump moves messages from the mailbox into the receive channel, preserving
+// FIFO per sender (actually global FIFO per endpoint).
+func (ep *memEndpoint) pump() {
+	defer close(ep.done)
+	defer close(ep.out)
+	for {
+		ep.mu.Lock()
+		for len(ep.queue) == 0 && !ep.closed {
+			ep.cond.Wait()
+		}
+		if ep.closed {
+			ep.mu.Unlock()
+			return
+		}
+		m := ep.queue[0]
+		ep.queue = ep.queue[1:]
+		ep.mu.Unlock()
+
+		select {
+		case ep.out <- m:
+		case <-ep.stop:
+			return
+		}
+	}
+}
+
+var _ Endpoint = (*memEndpoint)(nil)

@@ -1,0 +1,256 @@
+package transport
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// maxFrameSize bounds one wire frame (header + payload). Blocks cap out far
+// below this.
+const maxFrameSize = 96 << 20
+
+// TCPNetwork implements Endpoint over real TCP connections with
+// HMAC-SHA256 per-frame authentication, realizing the "authenticated fair
+// point-to-point links" of the system model. One TCPNetwork is one process:
+// it listens for inbound connections and dials peers on demand, keeping one
+// cached outbound connection per destination.
+//
+// Frame layout: 4-byte big-endian length, then body =
+// from(4) | to(4) | type(2) | payload, then mac(32) over the body.
+type TCPNetwork struct {
+	id     int32
+	secret []byte
+	ln     net.Listener
+
+	mu      sync.Mutex
+	peers   map[int32]string   // directory: ID → address
+	conns   map[int32]net.Conn // cached outbound connections
+	inbound map[net.Conn]bool  // accepted connections, closed on shutdown
+	done    bool
+
+	out chan Message
+	wg  sync.WaitGroup
+}
+
+// NewTCPNetwork starts listening on addr. The secret authenticates links:
+// all members of a deployment share it (a deployment-level pre-shared key;
+// per-link keys would be a straightforward extension). peers maps process
+// IDs to dialable addresses and may be extended later with AddPeer.
+func NewTCPNetwork(id int32, addr string, secret []byte, peers map[int32]string) (*TCPNetwork, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("listen %s: %w", addr, err)
+	}
+	t := &TCPNetwork{
+		id:      id,
+		secret:  append([]byte(nil), secret...),
+		ln:      ln,
+		peers:   make(map[int32]string, len(peers)),
+		conns:   make(map[int32]net.Conn),
+		inbound: make(map[net.Conn]bool),
+		out:     make(chan Message, 1024),
+	}
+	for pid, a := range peers {
+		t.peers[pid] = a
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (t *TCPNetwork) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers or updates the address of a peer.
+func (t *TCPNetwork) AddPeer(id int32, addr string) {
+	t.mu.Lock()
+	t.peers[id] = addr
+	t.mu.Unlock()
+}
+
+// ID implements Endpoint.
+func (t *TCPNetwork) ID() int32 { return t.id }
+
+// Receive implements Endpoint.
+func (t *TCPNetwork) Receive() <-chan Message { return t.out }
+
+// Send implements Endpoint.
+func (t *TCPNetwork) Send(to int32, typ uint16, payload []byte) error {
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	frame := t.encodeFrame(Message{From: t.id, To: to, Type: typ, Payload: payload})
+	if _, err := conn.Write(frame); err != nil {
+		t.dropConn(to, conn)
+		return fmt.Errorf("send to %d: %w", to, err)
+	}
+	return nil
+}
+
+// Close implements Endpoint.
+func (t *TCPNetwork) Close() error {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil
+	}
+	t.done = true
+	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	for c := range t.inbound {
+		conns = append(conns, c)
+	}
+	t.conns = make(map[int32]net.Conn)
+	t.inbound = make(map[net.Conn]bool)
+	t.mu.Unlock()
+
+	err := t.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	t.wg.Wait()
+	close(t.out)
+	return err
+}
+
+func (t *TCPNetwork) conn(to int32) (net.Conn, error) {
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.peers[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDest, to)
+	}
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial %d at %s: %w", to, addr, err)
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		_ = c.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	return c, nil
+}
+
+func (t *TCPNetwork) dropConn(to int32, c net.Conn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	_ = c.Close()
+}
+
+func (t *TCPNetwork) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		c, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.done {
+			t.mu.Unlock()
+			_ = c.Close()
+			return
+		}
+		t.inbound[c] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(c)
+	}
+}
+
+func (t *TCPNetwork) readLoop(c net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, c)
+		t.mu.Unlock()
+		_ = c.Close()
+	}()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > maxFrameSize || n < 10+sha256.Size {
+			return // protocol violation: drop the link
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			return
+		}
+		m, err := t.decodeFrame(buf)
+		if err != nil {
+			return // failed authentication: drop the link
+		}
+		t.mu.Lock()
+		done := t.done
+		t.mu.Unlock()
+		if done {
+			return
+		}
+		t.out <- m
+	}
+}
+
+func (t *TCPNetwork) encodeFrame(m Message) []byte {
+	bodyLen := 10 + len(m.Payload)
+	frame := make([]byte, 4+bodyLen+sha256.Size)
+	binary.BigEndian.PutUint32(frame[0:], uint32(bodyLen+sha256.Size))
+	body := frame[4 : 4+bodyLen]
+	binary.BigEndian.PutUint32(body[0:], uint32(m.From))
+	binary.BigEndian.PutUint32(body[4:], uint32(m.To))
+	binary.BigEndian.PutUint16(body[8:], m.Type)
+	copy(body[10:], m.Payload)
+	mac := hmac.New(sha256.New, t.secret)
+	mac.Write(body)
+	mac.Sum(frame[4+bodyLen : 4+bodyLen])
+	return frame
+}
+
+func (t *TCPNetwork) decodeFrame(buf []byte) (Message, error) {
+	bodyLen := len(buf) - sha256.Size
+	body, tag := buf[:bodyLen], buf[bodyLen:]
+	mac := hmac.New(sha256.New, t.secret)
+	mac.Write(body)
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return Message{}, ErrAuthentication
+	}
+	m := Message{
+		From: int32(binary.BigEndian.Uint32(body[0:])),
+		To:   int32(binary.BigEndian.Uint32(body[4:])),
+		Type: binary.BigEndian.Uint16(body[8:]),
+	}
+	m.Payload = make([]byte, len(body)-10)
+	copy(m.Payload, body[10:])
+	return m, nil
+}
+
+var _ Endpoint = (*TCPNetwork)(nil)

@@ -1,0 +1,175 @@
+// Package smartchain is the public API of the SMARTCHAIN permissioned
+// blockchain platform — a from-scratch reproduction of "From Byzantine
+// Replication to Blockchain: Consensus is Only the Beginning" (Bessani,
+// Alchieri, Sousa, Oliveira, Pedone — DSN 2020).
+//
+// SMARTCHAIN layers a self-verifiable blockchain over a Mod-SMaRt-style
+// Byzantine fault-tolerant state machine replication protocol, adding:
+//
+//   - an efficient blockchain storage layer that decouples block
+//     persistence from request ordering and amortizes synchronous writes
+//     over many blocks (Algorithm 1);
+//   - strong (0-Persistence) and weak (1-Persistence) durability variants —
+//     under the strong variant, every transaction whose client saw a reply
+//     quorum survives even a simultaneous crash of all replicas;
+//   - a decentralized reconfiguration protocol with application-defined
+//     admission policies and per-view consensus-key rotation, which
+//     prevents removed-and-later-compromised members from forking the
+//     chain.
+//
+// The facade re-exports the platform's main entry points; the
+// implementation lives under internal/ (one package per subsystem — see
+// DESIGN.md for the inventory).
+//
+// Quick start (in-process cluster):
+//
+//	cluster, err := smartchain.NewCluster(smartchain.ClusterConfig{
+//		N:          4,
+//		AppFactory: func() smartchain.Application { return coinService() },
+//	})
+//	...
+//	proxy := smartchain.NewClient(cluster.ClientEndpoint(), key, cluster.Members())
+//	result, err := proxy.Invoke(smartchain.WrapAppOp(op))
+//
+// See examples/ for runnable programs and cmd/smartchaind for a TCP-backed
+// replica daemon.
+package smartchain
+
+import (
+	"smartchain/internal/blockchain"
+	"smartchain/internal/client"
+	"smartchain/internal/coin"
+	"smartchain/internal/core"
+	"smartchain/internal/crypto"
+	"smartchain/internal/reconfig"
+	"smartchain/internal/smr"
+	"smartchain/internal/storage"
+	"smartchain/internal/transport"
+	"smartchain/internal/view"
+)
+
+// Node-level API.
+type (
+	// Node is one SMARTCHAIN replica.
+	Node = core.Node
+	// Config parameterizes a Node.
+	Config = core.Config
+	// Application is the replicated service contract.
+	Application = core.Application
+	// Cluster is an in-process deployment (tests, examples, benchmarks).
+	Cluster = core.Cluster
+	// ClusterConfig parameterizes a Cluster.
+	ClusterConfig = core.ClusterConfig
+	// Persistence selects the durability variant.
+	Persistence = core.Persistence
+)
+
+// Durability variants (paper §V-C).
+const (
+	// PersistenceWeak is 1-Persistence.
+	PersistenceWeak = core.PersistenceWeak
+	// PersistenceStrong is 0-Persistence.
+	PersistenceStrong = core.PersistenceStrong
+)
+
+// Verification and storage strategies (paper Table I / Fig. 6 axes).
+type (
+	// VerifyMode selects the signature-verification strategy.
+	VerifyMode = smr.VerifyMode
+	// StorageMode selects sync/async/memory ledger writes.
+	StorageMode = smr.StorageMode
+)
+
+// Strategy constants.
+const (
+	VerifyParallel   = smr.VerifyParallel
+	VerifySequential = smr.VerifySequential
+	VerifyNone       = smr.VerifyNone
+
+	StorageSync   = smr.StorageSync
+	StorageAsync  = smr.StorageAsync
+	StorageMemory = smr.StorageMemory
+)
+
+// Chain structures and verification.
+type (
+	// Block is one chain element: header, body, certificate.
+	Block = blockchain.Block
+	// Genesis is the content of block 0.
+	Genesis = blockchain.Genesis
+	// VerifyOptions controls third-party chain verification.
+	VerifyOptions = blockchain.VerifyOptions
+	// ChainSummary reports what a verification established.
+	ChainSummary = blockchain.Summary
+)
+
+// Identity and membership.
+type (
+	// KeyPair is an Ed25519 identity.
+	KeyPair = crypto.KeyPair
+	// PublicKey is an Ed25519 public key.
+	PublicKey = crypto.PublicKey
+	// View is one installed consortium configuration.
+	View = view.View
+	// JoinPolicy is the application-defined admission criterion.
+	JoinPolicy = reconfig.Policy
+)
+
+// Client access.
+type (
+	// Client invokes operations against a view with Byzantine reply
+	// quorums.
+	Client = client.Proxy
+	// Endpoint is a process's network attachment.
+	Endpoint = transport.Endpoint
+)
+
+// Coin is the bundled SMaRtCoin application (paper §IV-A).
+type Coin = coin.Service
+
+// NewCluster starts an in-process deployment.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cfg) }
+
+// NewNode creates a single replica (wire it to a transport and storage).
+func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
+
+// NewClient creates a client proxy bound to an endpoint.
+func NewClient(ep Endpoint, key *KeyPair, members []int32, opts ...client.Option) *Client {
+	return client.New(ep, key, members, opts...)
+}
+
+// NewCoinService creates a SMaRtCoin application instance.
+func NewCoinService(minters []PublicKey) *Coin { return coin.NewService(minters) }
+
+// WrapAppOp frames an application payload as a node operation.
+func WrapAppOp(payload []byte) []byte { return core.WrapAppOp(payload) }
+
+// VerifyChain performs full third-party chain verification from genesis.
+func VerifyChain(blocks []Block, opts VerifyOptions) (ChainSummary, error) {
+	return blockchain.VerifyChain(blocks, opts)
+}
+
+// GenesisBlock materializes block 0 from genesis content.
+func GenesisBlock(g *Genesis) Block { return blockchain.GenesisBlock(g) }
+
+// GenerateKeyPair creates a fresh random identity.
+func GenerateKeyPair() (*KeyPair, error) { return crypto.GenerateKeyPair() }
+
+// SeededKeyPair derives a reproducible identity (tests and experiments).
+func SeededKeyPair(label string, id int64) *KeyPair { return crypto.SeededKeyPair(label, id) }
+
+// NewMemNetwork creates an in-process network with fault injection.
+func NewMemNetwork() *transport.MemNetwork { return transport.NewMemNetwork() }
+
+// NewTCPNetwork creates a real TCP transport with HMAC link authentication.
+func NewTCPNetwork(id int32, addr string, secret []byte, peers map[int32]string) (*transport.TCPNetwork, error) {
+	return transport.NewTCPNetwork(id, addr, secret, peers)
+}
+
+// OpenFileLog opens a file-backed chain log.
+func OpenFileLog(path string) (*storage.FileLog, error) { return storage.OpenFileLog(path) }
+
+// NewFileSnapshotStore opens a file-backed snapshot store.
+func NewFileSnapshotStore(path string) *storage.FileSnapshotStore {
+	return storage.NewFileSnapshotStore(path)
+}
