@@ -122,6 +122,23 @@ func BenchmarkAblationPipeline(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineWindow isolates the consensus ordering window: W = 1
+// (the seed's strictly sequential ordering, network idle between PROPOSE
+// rounds) against W = 8 (pipelined instances, in-order commit). Reported
+// x-speedup is W=8 over W=1.
+func BenchmarkPipelineWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.PipelineWindow([]int{1, 8}, 5*time.Millisecond, benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportRows(b, rows)
+		if len(rows) == 2 && rows[0].Throughput > 0 {
+			b.ReportMetric(rows[1].Throughput/rows[0].Throughput, "x-speedup")
+		}
+	}
+}
+
 // --- Microbenchmarks for the primitives the macro results rest on. ---
 
 // BenchmarkEd25519Verify measures one signature verification: the unit cost

@@ -9,6 +9,7 @@
 //	benchrunner -exp fig7              # Figure 7 timeline
 //	benchrunner -exp fig8              # Figure 8 replica-update times
 //	benchrunner -exp ablate            # pipeline ablation
+//	benchrunner -exp window            # ordering window W=1 vs W=8
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|verify|all")
+		exp     = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|verify|all")
 		clients = flag.Int("clients", 240, "closed-loop clients")
 		measure = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup  = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -139,6 +140,18 @@ func run(exp string, opts harness.ExpOptions, paper bool) error {
 			return err
 		}
 		printRows(rows)
+	}
+	if all || exp == "window" {
+		ran = true
+		fmt.Println("== Ordering window: sequential (W=1) vs pipelined (W=8) consensus ==")
+		rows, err := harness.PipelineWindow([]int{1, 8}, 5*time.Millisecond, opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		if len(rows) == 2 && rows[0].Throughput > 0 {
+			fmt.Printf("  speedup: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
+		}
 	}
 	if all || exp == "verify" {
 		ran = true

@@ -1,0 +1,3 @@
+module smartchain
+
+go 1.22

@@ -2,6 +2,7 @@ package baselines
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"smartchain/internal/crypto"
@@ -161,11 +162,11 @@ func (c *Cluster) Members() []int32 {
 	return out
 }
 
-// ClientEndpoint implements the harness System interface.
+// ClientEndpoint implements the harness System interface. Safe for
+// concurrent use: load generators spin up client fleets from many
+// goroutines at once.
 func (c *Cluster) ClientEndpoint() transport.Endpoint {
-	id := c.nextClientID
-	c.nextClientID++
-	return c.Net.Endpoint(id)
+	return c.Net.Endpoint(atomic.AddInt32(&c.nextClientID, 1) - 1)
 }
 
 // ExecutedTxs sums executed transactions across replicas (divided by N it

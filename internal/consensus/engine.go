@@ -57,6 +57,10 @@ type Config struct {
 type Engine struct {
 	cfg    Config
 	quorum int
+	// members is an immutable snapshot of the view membership, read by
+	// Leader() from any goroutine (e.cfg.View itself is owned by the loop,
+	// which installs late-announced keys into it).
+	members []int32
 
 	regency   atomic.Int64 // current epoch, mirrored for Leader()
 	events    chan event
@@ -83,6 +87,7 @@ const (
 	evTimeout
 	evPropose
 	evUpdateKey
+	evAdvance
 )
 
 // instState is the per-instance protocol state, owned by the loop.
@@ -94,6 +99,11 @@ type instState struct {
 	sentWrite  bool
 	sentAccept bool
 	decided    bool
+	// timeout is this instance's progress-timeout backoff: doubled on
+	// every synchronization phase the instance goes through. Per-instance
+	// so concurrent window slots deciding cannot defeat a stuck slot's
+	// exponential backoff (eventual synchrony handling).
+	timeout time.Duration
 
 	// votes: epoch → digest → voter → signature.
 	writes  map[int64]map[crypto.Hash]map[int32][]byte
@@ -121,9 +131,12 @@ func New(cfg Config) *Engine {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 500 * time.Millisecond
 	}
+	members := make([]int32, len(cfg.View.Members))
+	copy(members, cfg.View.Members)
 	return &Engine{
 		cfg:       cfg,
 		quorum:    cfg.View.Quorum(),
+		members:   members,
 		events:    make(chan event, 4096),
 		decisions: make(chan Decision, 16),
 		stop:      make(chan struct{}),
@@ -146,15 +159,28 @@ func (e *Engine) Stop() {
 	<-e.done
 }
 
-// Decisions returns the channel of decided instances, in instance order.
+// Decisions returns the channel of decided instances. With a single live
+// instance decisions arrive in instance order; when a window of instances
+// runs concurrently (pipelined ordering) they may arrive out of order and
+// the consumer is responsible for reordering before commit.
 func (e *Engine) Decisions() <-chan Decision { return e.decisions }
 
 // StartInstance begins instance i. If this replica is the current leader,
-// value is its proposal (nil on followers). Instances below i are garbage
-// collected, so StartInstance doubles as "skip forward" after state
-// transfer.
+// value is its proposal (nil on followers). Several instances may be live at
+// once: the engine keeps per-instance protocol state and a per-instance
+// progress timer, and garbage-collects the settled prefix (every decided
+// instance below the lowest undecided one) automatically.
 func (e *Engine) StartInstance(i int64, value []byte) {
 	e.enqueue(event{kind: evStart, inst: i, value: value})
+}
+
+// AdvanceTo abandons every instance below i: protocol state, buffered
+// messages, and timers are discarded and future messages for those
+// instances are ignored. The ordering driver calls this after a state
+// transfer (the skipped instances were decided by the rest of the view) and
+// when draining the pipeline window at a view boundary.
+func (e *Engine) AdvanceTo(i int64) {
+	e.enqueue(event{kind: evAdvance, inst: i})
 }
 
 // ProposeValue offers a value for instance i after it has started. It takes
@@ -168,9 +194,15 @@ func (e *Engine) ProposeValue(i int64, value []byte) {
 
 // Leader returns the member leading the current epoch (regency). The value
 // is a snapshot: by the time the caller acts on it, a synchronization phase
-// may have moved leadership on — callers use it only as a hint.
+// may have moved leadership on — callers use it only as a hint. Safe from
+// any goroutine: it reads only the immutable membership snapshot and the
+// mirrored regency.
 func (e *Engine) Leader() int32 {
-	return e.cfg.View.Leader(e.regency.Load())
+	n := len(e.members)
+	if n == 0 {
+		return -1
+	}
+	return e.members[int(e.regency.Load()%int64(n))]
 }
 
 // UpdateKey installs a late-announced consensus key for a view member
@@ -193,34 +225,119 @@ func (e *Engine) enqueue(ev event) {
 	}
 }
 
-// loop owns all protocol state.
+// loop owns all protocol state. Several instances may be live at once (the
+// pipelining window): each has its own instState and progress timer; the
+// settled prefix — decided instances below the lowest undecided one — is
+// garbage-collected as the window slides.
 func (e *Engine) loop() {
 	defer close(e.done)
 	defer close(e.decisions)
 
 	var (
-		current  int64 = -1
-		states         = make(map[int64]*instState)
-		buffered       = make(map[int64][]transport.Message)
-		regency  int64 // current epoch across instances (Mod-SMaRt regency)
-		timer    *time.Timer
-		timeout  = e.cfg.Timeout
+		floor      int64 // instances below this are settled and forgotten
+		maxStarted int64 = -1
+		states           = make(map[int64]*instState)
+		buffered         = make(map[int64][]transport.Message)
+		timers           = make(map[int64]*time.Timer)
+		regency    int64 // current epoch across instances (Mod-SMaRt regency)
 	)
+	defer func() {
+		for _, t := range timers {
+			t.Stop()
+		}
+	}()
 
 	armTimer := func(inst, epoch int64) {
-		if timer != nil {
-			timer.Stop()
+		if t, ok := timers[inst]; ok {
+			t.Stop()
 		}
-		d := timeout
-		timer = time.AfterFunc(d, func() {
+		d := e.cfg.Timeout
+		if s, ok := states[inst]; ok {
+			d = s.timeout
+		}
+		timers[inst] = time.AfterFunc(d, func() {
 			e.enqueue(event{kind: evTimeout, inst: inst, epoch: epoch})
 		})
+	}
+	disarmTimer := func(inst int64) {
+		if t, ok := timers[inst]; ok {
+			t.Stop()
+			delete(timers, inst)
+		}
+	}
+
+	// lowestUndecided finds the live instance whose progress gates the
+	// commit order; only its timeout escalates into a synchronization
+	// phase (higher instances re-arm, like PBFT's low-watermark rule).
+	lowestUndecided := func() (int64, bool) {
+		var lo int64
+		found := false
+		for i, s := range states {
+			if s.decided {
+				continue
+			}
+			if !found || i < lo {
+				lo, found = i, true
+			}
+		}
+		return lo, found
+	}
+
+	// gcSettled slides the floor past every decided instance at the front
+	// of the window, releasing its state. Late messages for those
+	// instances are dropped (their quorums already formed everywhere that
+	// matters; stragglers catch up via state transfer).
+	gcSettled := func() {
+		f := floor
+		for f <= maxStarted {
+			s, ok := states[f]
+			if !ok || !s.decided {
+				break
+			}
+			f++
+		}
+		if f == floor {
+			return
+		}
+		for i := floor; i < f; i++ {
+			delete(states, i)
+			delete(buffered, i)
+			disarmTimer(i)
+		}
+		floor = f
+	}
+
+	advanceTo := func(i int64) {
+		if i <= floor {
+			return
+		}
+		for k := range states {
+			if k < i {
+				delete(states, k)
+			}
+		}
+		for k := range timers {
+			if k < i {
+				timers[k].Stop()
+				delete(timers, k)
+			}
+		}
+		for k := range buffered {
+			if k < i {
+				delete(buffered, k)
+			}
+		}
+		floor = i
+		if maxStarted < i-1 {
+			maxStarted = i - 1
+		}
 	}
 
 	st := func(i int64) *instState {
 		s, ok := states[i]
 		if !ok {
 			s = newInstState(regency)
+			s.timeout = e.cfg.Timeout
 			states[i] = s
 		}
 		return s
@@ -283,10 +400,7 @@ func (e *Engine) loop() {
 				proof.Add(crypto.Signature{Signer: voter, Sig: sig})
 			}
 			dec := Decision{Instance: i, Epoch: s.epoch, Value: s.proposal, Proof: proof}
-			if timer != nil {
-				timer.Stop()
-			}
-			timeout = e.cfg.Timeout // progress: reset backoff
+			disarmTimer(i)
 			select {
 			case e.decisions <- dec:
 			case <-e.stop:
@@ -340,16 +454,21 @@ func (e *Engine) loop() {
 	}
 
 	// enterEpoch moves the instance into epoch next after a stop quorum.
+	// The regency mirror is monotonic: a later slot's stop quorum forming
+	// at a lower epoch than one an earlier slot already escalated to must
+	// not rewind the leader hint new slots inherit.
 	enterEpoch := func(i int64, s *instState, next int64) {
 		stops := s.stops[next]
-		regency = next
-		e.regency.Store(next)
+		if next > regency {
+			regency = next
+			e.regency.Store(next)
+		}
 		s.epoch = next
 		s.sentWrite = false
 		s.sentAccept = false
 		s.proposal = nil
 		s.digest = crypto.ZeroHash
-		timeout *= 2 // back off: the network may still be asynchronous
+		s.timeout *= 2 // back off: the network may still be asynchronous
 		armTimer(i, next)
 
 		if e.cfg.View.Leader(next) != e.cfg.Self {
@@ -380,23 +499,24 @@ func (e *Engine) loop() {
 		adoptProposal(i, s, value)
 	}
 
-	handleMsg := func(m transport.Message, currentInst int64) {
+	handleMsg := func(m transport.Message) {
 		inst, ok := peekInstance(m)
 		if !ok {
 			return
 		}
-		if currentInst < 0 || inst > currentInst {
-			// Future instance: buffer within a bounded window.
-			if currentInst >= 0 && inst > currentInst+32 {
+		if inst < floor {
+			return // stale: settled long ago
+		}
+		if inst > maxStarted {
+			// Future instance: buffer within a bounded window ahead of the
+			// highest started instance.
+			if maxStarted >= 0 && inst > maxStarted+64 {
 				return
 			}
 			if len(buffered[inst]) < 8*e.cfg.View.N() {
 				buffered[inst] = append(buffered[inst], m)
 			}
 			return
-		}
-		if inst < currentInst {
-			return // stale: decided long ago
 		}
 		s := st(inst)
 		switch m.Type {
@@ -414,77 +534,68 @@ func (e *Engine) loop() {
 	for {
 		select {
 		case <-e.stop:
-			if timer != nil {
-				timer.Stop()
-			}
 			return
 		case ev := <-e.events:
 			switch ev.kind {
 			case evStart:
-				if ev.inst <= current {
+				if ev.inst <= maxStarted || ev.inst < floor {
 					continue
 				}
-				// GC all instances below the new one.
-				for k := range states {
-					if k < ev.inst {
-						delete(states, k)
-					}
-				}
-				current = ev.inst
-				s := st(current)
-				armTimer(current, s.epoch)
+				maxStarted = ev.inst
+				s := st(ev.inst)
+				armTimer(ev.inst, s.epoch)
 				if e.cfg.View.Leader(s.epoch) == e.cfg.Self && ev.value != nil && !s.decided {
-					pm := proposeMsg{Instance: current, Epoch: s.epoch, Value: ev.value}
+					pm := proposeMsg{Instance: ev.inst, Epoch: s.epoch, Value: ev.value}
 					payload := pm.encode()
 					for _, peer := range e.cfg.View.Others(e.cfg.Self) {
 						e.cfg.Send(peer, MsgPropose, payload)
 					}
-					adoptProposal(current, s, ev.value)
+					adoptProposal(ev.inst, s, ev.value)
 				}
 				// Replay buffered messages for this instance.
-				for _, m := range buffered[current] {
-					handleMsg(m, current)
+				for _, m := range buffered[ev.inst] {
+					handleMsg(m)
 				}
-				delete(buffered, current)
-				for k := range buffered {
-					if k < current {
-						delete(buffered, k)
-					}
-				}
+				delete(buffered, ev.inst)
+				gcSettled()
+			case evAdvance:
+				advanceTo(ev.inst)
 			case evMessage:
-				handleMsg(ev.msg, current)
+				handleMsg(ev.msg)
+				gcSettled()
 			case evPropose:
-				if ev.inst != current {
+				s, ok := states[ev.inst]
+				if !ok || ev.inst < floor {
 					continue
 				}
-				s := st(current)
 				if s.decided || s.proposal != nil {
 					continue
 				}
 				if e.cfg.View.Leader(s.epoch) != e.cfg.Self {
 					continue
 				}
-				pm := proposeMsg{Instance: current, Epoch: s.epoch, Value: ev.value}
 				if s.epoch > s.baseEpoch {
 					// A justification is required after a synchronization
 					// phase; enterEpoch handles that path. Late external
 					// proposals are ignored there.
 					continue
 				}
+				pm := proposeMsg{Instance: ev.inst, Epoch: s.epoch, Value: ev.value}
 				payload := pm.encode()
 				for _, peer := range e.cfg.View.Others(e.cfg.Self) {
 					e.cfg.Send(peer, MsgPropose, payload)
 				}
-				adoptProposal(current, s, ev.value)
+				adoptProposal(ev.inst, s, ev.value)
+				gcSettled()
 			case evUpdateKey:
 				if e.cfg.View.Contains(ev.keyID) {
 					e.cfg.View = e.cfg.View.WithKey(ev.keyID, ev.key)
 				}
 			case evTimeout:
-				if ev.inst != current {
+				s, ok := states[ev.inst]
+				if !ok || ev.inst < floor {
 					continue
 				}
-				s := st(current)
 				if s.decided || ev.epoch != s.epoch {
 					continue
 				}
@@ -493,11 +604,18 @@ func (e *Engine) loop() {
 				// through leader changes.
 				idle := s.proposal == nil && len(s.writes) == 0 && len(s.stops) == 0
 				if idle && e.cfg.HasPending != nil && !e.cfg.HasPending() {
-					armTimer(current, s.epoch)
+					armTimer(ev.inst, s.epoch)
 					continue
 				}
-				startSync(current, s, s.epoch+1)
-				armTimer(current, s.epoch)
+				// Only the commit-gating instance escalates; higher window
+				// slots wait their turn so one slow slot does not trigger a
+				// cascade of leader changes.
+				if lo, ok := lowestUndecided(); ok && ev.inst != lo {
+					armTimer(ev.inst, s.epoch)
+					continue
+				}
+				startSync(ev.inst, s, s.epoch+1)
+				armTimer(ev.inst, s.epoch)
 			}
 		}
 	}

@@ -1,0 +1,106 @@
+package consensus
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// collectWindow drains count decisions from one engine, in whatever order
+// they arrive, asserting each instance decides exactly once.
+func collectWindow(t *testing.T, label string, eng *Engine, count int) map[int64]Decision {
+	t.Helper()
+	got := make(map[int64]Decision, count)
+	deadline := time.After(15 * time.Second)
+	for len(got) < count {
+		select {
+		case d := <-eng.Decisions():
+			if _, dup := got[d.Instance]; dup {
+				t.Fatalf("%s: instance %d decided twice", label, d.Instance)
+			}
+			got[d.Instance] = d
+		case <-deadline:
+			t.Fatalf("%s: only %d/%d decisions", label, len(got), count)
+		}
+	}
+	return got
+}
+
+func TestPipelinedWindowDecidesAllInstances(t *testing.T) {
+	// A full window of instances is live before any decision lands; every
+	// instance must decide with its proposed value on every replica.
+	h := newHarness(t, 4, time.Second, nil)
+	const W = 8
+	values := make(map[int64][]byte, W)
+	for inst := int64(1); inst <= W; inst++ {
+		values[inst] = []byte(fmt.Sprintf("batch-%d", inst))
+		for i, eng := range h.engines {
+			if i == 0 {
+				eng.StartInstance(inst, values[inst])
+			} else {
+				eng.StartInstance(inst, nil)
+			}
+		}
+	}
+	for i, eng := range h.engines {
+		decisions := collectWindow(t, fmt.Sprintf("replica %d", i), eng, W)
+		for inst := int64(1); inst <= W; inst++ {
+			d, ok := decisions[inst]
+			if !ok {
+				t.Fatalf("replica %d missing instance %d", i, inst)
+			}
+			if !bytes.Equal(d.Value, values[inst]) {
+				t.Fatalf("replica %d instance %d decided %q, want %q", i, inst, d.Value, values[inst])
+			}
+		}
+	}
+}
+
+func TestPipelinedWindowLeaderFailureDrains(t *testing.T) {
+	// The epoch-0 leader dies with a window of instances open and no
+	// proposals out: every slot must still decide, each through its own
+	// synchronization phase, gated by the lowest-undecided rule.
+	h := newHarness(t, 4, 150*time.Millisecond, nil)
+	h.kill(0)
+	const W = 4
+	for inst := int64(1); inst <= W; inst++ {
+		for i, eng := range h.engines {
+			if i == 0 {
+				continue
+			}
+			eng.StartInstance(inst, nil)
+		}
+	}
+	for i, eng := range h.engines {
+		if i == 0 {
+			continue
+		}
+		decisions := collectWindow(t, fmt.Sprintf("replica %d", i), eng, W)
+		for inst := int64(1); inst <= W; inst++ {
+			d, ok := decisions[inst]
+			if !ok {
+				t.Fatalf("replica %d missing instance %d", i, inst)
+			}
+			if d.Epoch == 0 {
+				t.Fatalf("replica %d instance %d decided in epoch 0 despite dead leader", i, inst)
+			}
+		}
+	}
+}
+
+func TestAdvanceToAbandonsLowInstances(t *testing.T) {
+	// AdvanceTo is the state-transfer skip: the engine forgets everything
+	// below the new floor and keeps deciding from there.
+	h := newHarness(t, 4, time.Second, nil)
+	h.decideAll(1, []byte("one"), nil)
+	for _, eng := range h.engines {
+		eng.AdvanceTo(3) // instance 2 was installed via state transfer
+	}
+	decisions := h.decideAll(3, []byte("three"), nil)
+	for i, d := range decisions {
+		if !bytes.Equal(d.Value, []byte("three")) {
+			t.Fatalf("replica %d decided %q after AdvanceTo", i, d.Value)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"smartchain/internal/blockchain"
@@ -22,11 +23,13 @@ type ClusterConfig struct {
 	// AppFactory builds one application instance per replica; instances
 	// must be deterministic and identical.
 	AppFactory func() Application
-	// Persistence, Storage, Verify, Pipeline mirror Config.
+	// Persistence, Storage, Verify, Pipeline, PipelineDepth mirror Config.
 	Persistence Persistence
 	Storage     smr.StorageMode
 	Verify      smr.VerifyMode
 	Pipeline    bool
+	// PipelineDepth is the consensus ordering window W (0 = default).
+	PipelineDepth int
 	// DiskFactory models each replica's storage device (nil = no device
 	// timing; storage is still crash-consistent).
 	DiskFactory func() *storage.SimDisk
@@ -161,6 +164,7 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 		Storage:             c.cfg.Storage,
 		Verify:              c.cfg.Verify,
 		Pipeline:            c.cfg.Pipeline,
+		PipelineDepth:       c.cfg.PipelineDepth,
 		MaxBatch:            c.cfg.MaxBatch,
 		ConsensusTimeout:    c.cfg.ConsensusTimeout,
 		SyncPeers:           syncPeers,
@@ -316,11 +320,11 @@ func (c *Cluster) Exclude(target int32, timeout time.Duration) error {
 	}
 }
 
-// ClientEndpoint creates a fresh client endpoint with a unique ID.
+// ClientEndpoint creates a fresh client endpoint with a unique ID. Safe
+// for concurrent use: load generators spin up client fleets from many
+// goroutines at once.
 func (c *Cluster) ClientEndpoint() transport.Endpoint {
-	id := c.nextClientID
-	c.nextClientID++
-	return c.Net.Endpoint(id)
+	return c.Net.Endpoint(atomic.AddInt32(&c.nextClientID, 1) - 1)
 }
 
 // Stop shuts every replica down.

@@ -48,6 +48,29 @@ func WrapAppOp(payload []byte) []byte {
 	return append([]byte{OpApp}, payload...)
 }
 
+// DefaultPipelineDepth is the ordering window used when Config.PipelineDepth
+// is unset: deep enough to keep the network busy across the consensus round
+// trips of several instances, small enough that the reorder buffer and a
+// view-boundary drain stay cheap.
+const DefaultPipelineDepth = 8
+
+// engineDecision tags a decision with the engine that produced it, so the
+// driver can discard decisions a replaced engine (old view) left in flight.
+type engineDecision struct {
+	eng *consensus.Engine
+	dec consensus.Decision
+}
+
+// decisionChanCap sizes the decision stream so a full window from the live
+// engine plus leftovers from a replaced one fit without blocking — the
+// window-restart redelivery path must never have to drop a live decision.
+func decisionChanCap(depth int) int {
+	if c := 4 * depth; c > 64 {
+		return c
+	}
+	return 64
+}
+
 // Persistence selects the blockchain durability variant (paper §V-C).
 type Persistence int
 
@@ -119,6 +142,13 @@ type Config struct {
 	// each block is executed, written, synced, and replied to before the
 	// next consensus instance starts.
 	Pipeline bool
+	// PipelineDepth is the ordering window W: up to W consensus instances
+	// run concurrently, with decisions released to the commit path (block
+	// append + durability + reply) strictly in instance order through a
+	// reorder buffer. 0 defaults to DefaultPipelineDepth; 1 reproduces
+	// strictly sequential ordering. Pipeline=false (the naive baseline)
+	// forces W=1 so the baseline keeps its fully serial semantics.
+	PipelineDepth int
 	// MaxBatch caps requests per block; 0 uses the genesis value.
 	MaxBatch int
 	// ConsensusTimeout is the leader-progress timeout.
@@ -159,9 +189,21 @@ type Node struct {
 	joinVotes func(reconfig.Vote)
 	stateSink func(transport.Message)
 
-	decisions chan consensus.Decision // forwarded from the live engine
+	decisions chan engineDecision // forwarded from the live engine
 
-	nextInstance int64
+	// nextInstance is the commit floor: the lowest instance not yet
+	// released from the reorder buffer. Atomic because state transfer
+	// (which may run on a caller's goroutine) advances it while the
+	// ordering driver reads it; syncMu serializes the multi-step
+	// commit-and-advance sequences on both sides.
+	nextInstance atomic.Int64
+	syncMu       sync.Mutex
+	// pipelineDepth is the effective ordering window W (≥ 1).
+	pipelineDepth int
+	// carryover hands decisions observed by an exiting window to the next
+	// one losslessly (a new engine's decision can arrive while the old
+	// window is still draining). Driver-goroutine only.
+	carryover []engineDecision
 
 	stop      chan struct{}
 	done      chan struct{}
@@ -216,6 +258,16 @@ func NewNode(cfg Config) (*Node, error) {
 	if policy == nil {
 		policy = reconfig.AdmitAll()
 	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = DefaultPipelineDepth
+	}
+	depth := cfg.PipelineDepth
+	if !cfg.Pipeline {
+		// The naive baseline orders, writes, syncs, and replies strictly
+		// one instance at a time (Table I); a window would overlap its
+		// consensus rounds and change what the baseline measures.
+		depth = 1
+	}
 	n := &Node{
 		cfg:           cfg,
 		app:           cfg.App,
@@ -226,12 +278,13 @@ func NewNode(cfg Config) (*Node, error) {
 		ledger:        blockchain.NewLedger(cfg.Genesis),
 		batcher:       smr.NewBatcher(cfg.MaxBatch),
 		verifier:      smr.NewVerifierPool(cfg.Verify, 0),
-		decisions:     make(chan consensus.Decision, 16),
-		nextInstance:  1,
+		decisions:     make(chan engineDecision, decisionChanCap(depth)),
+		pipelineDepth: depth,
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 		recvDone:      make(chan struct{}),
 	}
+	n.nextInstance.Store(1)
 	n.persist = newPersistCollector(n)
 	n.keys = reconfig.NewKeyStore(cfg.Self, cfg.Permanent, 0, cfg.InitialConsensusKey, cfg.KeyGen)
 	return n, nil
@@ -289,12 +342,12 @@ func (n *Node) startEngineLocked() {
 			_, err := smr.DecodeBatch(value)
 			return err == nil
 		},
-		RequestValue: func(int64) []byte {
-			if b, ok := n.batcher.TryNext(); ok {
-				return b.Encode()
-			}
-			return nil
-		},
+		// RequestValue is deliberately absent: batch handout stays with
+		// the ordering driver, which tracks every handed-out batch per
+		// instance and requeues it if the instance is abandoned (view
+		// drain, state transfer). A new leader elected mid-instance
+		// proposes the empty filler value instead; the pending work goes
+		// into the next window slots through the driver.
 		HasPending: func() bool { return n.batcher.Pending() > 0 },
 	})
 	n.engine = eng
@@ -304,11 +357,13 @@ func (n *Node) startEngineLocked() {
 		old.Stop()
 	}
 	eng.Start()
-	// Forward decisions from this engine into the node's decision stream.
+	// Forward decisions from this engine into the node's decision stream,
+	// tagged with their engine: after a view change the driver must be able
+	// to tell a fresh decision from one the replaced engine left in flight.
 	go func() {
 		for d := range eng.Decisions() {
 			select {
-			case n.decisions <- d:
+			case n.decisions <- engineDecision{eng: eng, dec: d}:
 			case <-n.stop:
 				return
 			}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"sort"
 	"time"
 
 	"smartchain/internal/blockchain"
@@ -16,10 +18,14 @@ var (
 	resultBadOperation  = []byte{0xF1}
 	resultReconfigOK    = []byte{0x01}
 	resultReconfigError = []byte{0xF2}
+	resultDuplicate     = []byte{0xF3}
 )
 
-// driverLoop is the ordering driver: it runs consensus instances strictly
-// in sequence (α = 1), turning each decision into a block per Algorithm 1.
+// driverLoop is the ordering driver: it keeps a window of up to
+// W = PipelineDepth consensus instances live at once and releases their
+// decisions to the commit path (Algorithm 1: block append + durability +
+// reply) strictly in instance order through a reorder buffer. W = 1
+// reproduces the strictly sequential seed behavior.
 func (n *Node) driverLoop() {
 	defer close(n.done)
 	for {
@@ -42,53 +48,199 @@ func (n *Node) driverLoop() {
 			}
 			continue
 		}
+		n.runWindow(eng)
+	}
+}
 
-		inst := n.nextInstance
-		eng.StartInstance(inst, nil)
+// proposal is a batch this replica offered to one instance, with its wire
+// encoding kept so the commit path can cheaply tell whether the decided
+// value is this batch.
+type proposal struct {
+	batch smr.Batch
+	enc   []byte
+}
 
-		// Leader hint: offer a batch. If we are wrong about leadership the
-		// engine ignores the value; the requests are also queued at the
-		// real leader (clients broadcast requests to the whole view).
-		proposed := false
-		for !proposed {
-			if eng.Leader() != n.cfg.Self {
-				break
+// window is the driver's pipeline bookkeeping for one engine (one view):
+// decided-but-not-yet-committable instances (the reorder buffer), the
+// batches this replica proposed per instance (returned to the batcher if
+// the window drains before they commit), and started slots awaiting a
+// proposal.
+type window struct {
+	pending    map[int64]consensus.Decision
+	proposed   map[int64]proposal
+	unproposed []int64
+}
+
+// dropBelow forgets bookkeeping for instances below the commit floor.
+// Proposed batches below the floor are requeued: if their requests were
+// committed meanwhile (typically via state-transfer replay) the batcher's
+// executed watermark filters them; anything genuinely unordered goes back
+// to the front of the queue.
+func (w *window) dropBelow(floor int64, b *smr.Batcher) {
+	var requeue []smr.Request
+	for inst := range w.proposed {
+		if inst < floor {
+			requeue = append(requeue, w.proposed[inst].batch.Requests...)
+			delete(w.proposed, inst)
+		}
+	}
+	if len(requeue) > 0 {
+		b.Requeue(requeue)
+	}
+	for inst := range w.pending {
+		if inst < floor {
+			delete(w.pending, inst)
+		}
+	}
+	kept := w.unproposed[:0]
+	for _, inst := range w.unproposed {
+		if inst >= floor {
+			kept = append(kept, inst)
+		}
+	}
+	w.unproposed = kept
+}
+
+// drain returns every proposed-but-uncommitted batch to the batcher (in
+// instance order) when the window is abandoned at a view boundary: the
+// instances restart under the new view and the requests must be re-ordered
+// there (they are also queued at every other replica, so this is a liveness
+// optimization, not a safety requirement).
+func (w *window) drain(b *smr.Batcher) {
+	insts := make([]int64, 0, len(w.proposed))
+	for inst := range w.proposed {
+		insts = append(insts, inst)
+	}
+	sort.Slice(insts, func(i, j int) bool { return insts[i] < insts[j] })
+	var requeue []smr.Request
+	for _, inst := range insts {
+		requeue = append(requeue, w.proposed[inst].batch.Requests...)
+	}
+	if len(requeue) > 0 {
+		b.Requeue(requeue)
+	}
+}
+
+// runWindow drives the ordering pipeline for one engine. It returns when
+// the engine is replaced (view change or state-transfer reconciliation) or
+// the node stops; the outer driverLoop then re-acquires the live engine.
+func (n *Node) runWindow(eng *consensus.Engine) {
+	resync := 4 * n.cfg.ConsensusTimeout
+	if resync < 2*time.Second {
+		resync = 2 * time.Second
+	}
+
+	win := &window{
+		pending:  make(map[int64]consensus.Decision),
+		proposed: make(map[int64]proposal),
+	}
+	startFloor := n.nextInstance.Load()
+	eng.AdvanceTo(startFloor)
+	nextStart := startFloor
+	advanced := startFloor // floor the engine has been advanced to
+
+	// Decisions the previous window observed after this engine went live
+	// land here first; entries from engines replaced since are stale.
+	if len(n.carryover) > 0 {
+		carried := n.carryover
+		n.carryover = nil
+		for _, ed := range carried {
+			if ed.eng != eng {
+				continue
 			}
-			if batch, ok := n.batcher.TryNext(); ok {
-				eng.ProposeValue(inst, batch.Encode())
-				proposed = true
-				break
-			}
-			// Nothing to propose yet: wait for work or a decision (the
-			// leadership may move away while we wait).
-			select {
-			case <-n.stop:
+			if n.processDecision(win, ed.dec) {
+				win.drain(n.batcher)
 				return
-			case <-n.batcher.Ready():
-				// Loop and retry TryNext.
-			case d := <-n.decisions:
-				n.handleDecision(d)
-				proposed = true // instance concluded without us
 			}
 		}
-		if n.nextInstance != inst {
-			continue // decision already processed in the propose wait
+	}
+
+	for {
+		// The engine may have been replaced outside the commit path (a
+		// state-transfer round installed a newer view): hand control back
+		// so the outer loop binds to the live engine.
+		n.mu.Lock()
+		live := n.engine
+		member := n.curView.Contains(n.cfg.Self) && !n.retired
+		n.mu.Unlock()
+		if live != eng || !member {
+			win.drain(n.batcher)
+			return
 		}
 
-		// A replica that fell behind (e.g. just recovered while the rest
-		// of the view moved on) sees no decisions for instances the others
-		// already closed; after a quiet period it re-syncs via state
-		// transfer instead of waiting forever.
-		resync := 4 * n.cfg.ConsensusTimeout
-		if resync < 2*time.Second {
-			resync = 2 * time.Second
+		// State transfer (or the commit loop) may have advanced the
+		// floor while we waited: abandon every overtaken slot — also
+		// when the catch-up lands inside the open window, where stale
+		// engine instances below the floor could otherwise never decide
+		// yet keep gating the lowest-undecided timeout rule.
+		floor := n.nextInstance.Load()
+		if floor > advanced {
+			win.dropBelow(floor, n.batcher)
+			eng.AdvanceTo(floor)
+			advanced = floor
+			if nextStart < floor {
+				nextStart = floor
+			}
 		}
+
+		// Open slots up to the window. The leader proposes a batch per
+		// slot as long as it has requests; slots opened empty receive a
+		// proposal later (fillSlots) when work arrives. If we are wrong
+		// about leadership the engine ignores the value; the requests are
+		// also queued at the real leader (clients broadcast requests to
+		// the whole view).
+		for nextStart < floor+int64(n.pipelineDepth) {
+			var value []byte
+			if eng.Leader() == n.cfg.Self {
+				if batch, ok := n.batcher.TryNext(); ok {
+					value = batch.Encode()
+					win.proposed[nextStart] = proposal{batch: batch, enc: value}
+				}
+			}
+			eng.StartInstance(nextStart, value)
+			if value == nil {
+				win.unproposed = append(win.unproposed, nextStart)
+			}
+			nextStart++
+		}
+		// Offer work to slots opened empty: covers batches that arrived
+		// since the slot opened and leadership acquired mid-window (after
+		// a synchronization phase the new leader proposes filler for the
+		// contested instance; the real work flows here).
+		n.fillSlots(eng, win)
+
 		select {
 		case <-n.stop:
 			return
-		case d := <-n.decisions:
-			n.handleDecision(d)
+		case ed := <-n.decisions:
+			if ed.eng != eng {
+				n.mu.Lock()
+				live := n.engine
+				n.mu.Unlock()
+				if ed.eng == live {
+					// A new engine is already running: carry the decision
+					// to the next window losslessly (the reorder buffer
+					// makes delivery order irrelevant) and restart.
+					n.carryover = append(n.carryover, ed)
+					win.drain(n.batcher)
+					return
+				}
+				continue // in-flight decision from a replaced engine
+			}
+			if n.processDecision(win, ed.dec) {
+				// A reconfiguration committed: the view changed, the
+				// engine was replaced, and instances beyond the
+				// reconfiguration point restart under the new view.
+				win.drain(n.batcher)
+				return
+			}
+		case <-n.batcher.Ready():
+			n.fillSlots(eng, win)
 		case <-time.After(resync):
+			// A replica that fell behind (e.g. just recovered while the
+			// rest of the view moved on) sees no decisions for instances
+			// the others already closed; after a quiet period it re-syncs
+			// via state transfer instead of waiting forever.
 			n.mu.Lock()
 			peers := n.curView.Others(n.cfg.Self)
 			n.mu.Unlock()
@@ -99,32 +251,104 @@ func (n *Node) driverLoop() {
 	}
 }
 
-// batcherOrPeersBusy gates re-sync: an idle system with nothing pending has
-// no reason to transfer state.
-func (n *Node) batcherOrPeersBusy() bool {
-	return n.batcher.Pending() > 0 || n.ledger.Height() > n.lastReplyBlock.Load()
+// fillSlots offers batches to started-but-unproposed slots, lowest instance
+// first, while this replica believes it leads. Slots that already decided
+// (their decision is waiting in the reorder buffer) are retired instead of
+// fed: the engine would ignore the proposal and the batch would sit parked
+// until that slot's turn in the commit order.
+func (n *Node) fillSlots(eng *consensus.Engine, win *window) {
+	if eng.Leader() != n.cfg.Self {
+		return
+	}
+	kept := win.unproposed[:0]
+	for i, inst := range win.unproposed {
+		if _, decided := win.pending[inst]; decided {
+			continue
+		}
+		batch, ok := n.batcher.TryNext()
+		if !ok {
+			kept = append(kept, win.unproposed[i:]...)
+			break
+		}
+		enc := batch.Encode()
+		eng.ProposeValue(inst, enc)
+		win.proposed[inst] = proposal{batch: batch, enc: enc}
+	}
+	win.unproposed = kept
 }
 
-// handleDecision advances the instance counter and runs Algorithm 1 for the
-// decided batch.
-func (n *Node) handleDecision(d consensus.Decision) {
-	if d.Instance != n.nextInstance {
-		// Stale decision from a replaced engine; instances are sequential.
-		if d.Instance < n.nextInstance {
-			return
+// batcherOrPeersBusy gates re-sync: an idle system with nothing pending has
+// no reason to transfer state. Outstanding counts too: a replica that
+// handed batches to instances the rest of the view has moved past (e.g. an
+// ex-leader healing from a partition) sees no decisions and no pending
+// requests, yet must still recover the missed suffix.
+func (n *Node) batcherOrPeersBusy() bool {
+	return n.batcher.Pending() > 0 || n.batcher.Outstanding() > 0 ||
+		n.ledger.Height() > n.lastReplyBlock.Load()
+}
+
+// processDecision lands one decision in the reorder buffer and releases the
+// in-order prefix to the commit path. Returns true when a committed block
+// carried a view update: the caller must drain the window, because the
+// engine was replaced and every later instance restarts under the new view.
+// syncMu serializes the floor's read-commit-advance against a state
+// transfer running on a caller's goroutine (SyncFromPeers is exported), so
+// the floor can never rewind over replayed blocks.
+func (n *Node) processDecision(win *window, d consensus.Decision) bool {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
+	floor := n.nextInstance.Load()
+	if d.Instance < floor {
+		return false // already committed (stale redelivery)
+	}
+	win.pending[d.Instance] = d
+	for {
+		dec, ok := win.pending[floor]
+		if !ok {
+			return false
+		}
+		delete(win.pending, floor)
+		if p, ok := win.proposed[floor]; ok {
+			delete(win.proposed, floor)
+			if !bytes.Equal(dec.Value, p.enc) {
+				// The instance decided something other than our batch (a
+				// leader change decided the empty filler or a
+				// re-proposed value): return the requests to the queue
+				// so they reach a later slot instead of leaking in the
+				// handed-out state. The batcher's executed watermark
+				// filters any that the decided value also carried.
+				n.batcher.Requeue(p.batch.Requests)
+			}
+		}
+		viewChanged := n.commitDecision(dec)
+		floor = dec.Instance + 1
+		n.nextInstance.Store(floor)
+		win.dropBelow(floor, n.batcher)
+		if viewChanged {
+			return true
 		}
 	}
-	n.nextInstance = d.Instance + 1
+}
+
+// commitDecision runs Algorithm 1 for one decided batch: execute, build the
+// block, persist (inline or decoupled per the Pipeline flag), reply, and
+// apply any view update. Returns true when a view update was applied.
+func (n *Node) commitDecision(d consensus.Decision) bool {
 	if len(d.Value) == 0 {
-		return // leader-change filler decision: no block
+		return false // leader-change filler decision: no block
 	}
 	batch, err := smr.DecodeBatch(d.Value)
 	if err != nil {
-		return // validated at proposal time; cannot happen with correct quorum
+		return false // validated at proposal time; cannot happen with correct quorum
 	}
+	// With a pipelined window a request can be ordered twice (a
+	// leader-change re-proposal plus a fresh slot); the executed watermark
+	// — a deterministic function of the committed prefix — filters the
+	// second execution identically on every replica.
+	fresh := n.batcher.Fresh(batch.Requests)
 	n.batcher.MarkDelivered(batch.Requests)
 
-	results, update := n.executeBatch(batch.Requests)
+	results, update := n.executeBatch(batch.Requests, fresh)
 	n.executedTxs.Add(int64(len(batch.Requests)))
 
 	kind := blockchain.KindTransactions
@@ -133,10 +357,10 @@ func (n *Node) handleDecision(d consensus.Decision) {
 	}
 	blk, err := n.ledger.BuildBlock(kind, d.Instance, d.Epoch, d.Value, d.Proof, results, update)
 	if err != nil {
-		return
+		return false
 	}
 	if err := n.ledger.Commit(&blk); err != nil {
-		return
+		return false
 	}
 	n.blocksBuilt.Add(1)
 
@@ -188,7 +412,7 @@ func (n *Node) handleDecision(d consensus.Decision) {
 				select {
 				case <-certDone:
 				case <-n.stop:
-					return
+					return false
 				}
 			} else {
 				n.sendReplies(replies)
@@ -200,14 +424,17 @@ func (n *Node) handleDecision(d consensus.Decision) {
 		n.applyViewUpdate(update)
 	}
 	n.maybeCheckpoint(blk.Header.Number)
+	return update != nil
 }
 
 // executeBatch routes each ordered request: application operations go to
 // the service (in one bulk ExecuteBatch call, preserving order), and
 // reconfiguration operations run the membership logic (paper §V-D). At most
 // one view change takes effect per block; competing changes in the same
-// batch fail deterministically.
-func (n *Node) executeBatch(reqs []smr.Request) ([][]byte, *blockchain.ViewUpdate) {
+// batch fail deterministically. Requests whose fresh flag is false were
+// already executed in an earlier block and are skipped with a
+// deterministic duplicate result.
+func (n *Node) executeBatch(reqs []smr.Request, fresh []bool) ([][]byte, *blockchain.ViewUpdate) {
 	results := make([][]byte, len(reqs))
 	sequential := n.cfg.Verify == smr.VerifySequential
 
@@ -223,6 +450,10 @@ func (n *Node) executeBatch(reqs []smr.Request) ([][]byte, *blockchain.ViewUpdat
 
 	for i := range reqs {
 		req := &reqs[i]
+		if fresh != nil && !fresh[i] {
+			results[i] = resultDuplicate
+			continue
+		}
 		if sequential {
 			// Sequential strategy (Table I left half): verify inside the
 			// execution path, one at a time.
@@ -333,6 +564,7 @@ func (n *Node) takeCheckpoint(number int64) {
 		View:         v,
 		PermKeys:     permKeys,
 		AppState:     n.app.Snapshot(),
+		Watermarks:   n.batcher.Watermarks(),
 	}
 	if err := n.cfg.Snapshots.Save(number, env.encode()); err != nil {
 		return // snapshot failure is non-fatal: the chain still has everything

@@ -94,10 +94,11 @@ func (n *Node) recoverLocal() error {
 	return nil
 }
 
-// installEnvelope positions ledger, view, and instance counter at a
-// snapshot point.
+// installEnvelope positions ledger, view, instance counter, and the
+// executed watermark at a snapshot point.
 func (n *Node) installEnvelope(env *snapshotEnvelope) {
 	n.ledger = blockchain.NewLedgerAt(n.cfg.Genesis, env.Height, env.BlockHash, env.LastReconfig, env.Height)
+	n.batcher.RestoreWatermarks(env.Watermarks)
 	n.mu.Lock()
 	n.curView = env.View
 	n.permanentKeys = clonePermKeys(env.PermKeys)
@@ -116,9 +117,16 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 	if err != nil {
 		return err
 	}
+	// Same duplicate filter as the live commit path: a request ordered
+	// twice by a pipelined window executed only once live, so replay must
+	// skip the same second occurrence.
+	fresh := n.batcher.Fresh(batch.Requests)
 	n.batcher.MarkDelivered(batch.Requests)
 	appReqs := make([]smr.Request, 0, len(batch.Requests))
 	for i := range batch.Requests {
+		if !fresh[i] {
+			continue
+		}
 		if len(batch.Requests[i].Op) > 0 && batch.Requests[i].Op[0] == OpApp {
 			r := batch.Requests[i]
 			r.Op = r.Op[1:]
@@ -144,7 +152,7 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 	if b.Header.Number > 0 && n.ledger.ShouldCheckpoint(b.Header.Number) {
 		n.ledger.MarkCheckpoint(b.Header.Number)
 	}
-	n.nextInstance = b.Body.ConsensusID + 1
+	n.nextInstance.Store(b.Body.ConsensusID + 1)
 	return nil
 }
 
@@ -287,8 +295,13 @@ func (n *Node) SyncFromPeers(peers []int32, timeout time.Duration) error {
 	return n.installState(chosen)
 }
 
-// installState applies a fetched state if it advances past our tip.
+// installState applies a fetched state if it advances past our tip. syncMu
+// excludes the driver's commit loop: replayed blocks and the commit floor
+// must move together, or a decision committing concurrently could rewind
+// the floor and re-execute replayed batches.
 func (n *Node) installState(rep *stateRep) error {
+	n.syncMu.Lock()
+	defer n.syncMu.Unlock()
 	tip := rep.Snapshot.Height
 	if len(rep.Blocks) > 0 {
 		tip = rep.Blocks[len(rep.Blocks)-1].Header.Number
@@ -308,7 +321,7 @@ func (n *Node) installState(rep *stateRep) error {
 		if err := n.cfg.Snapshots.Save(rep.Snapshot.Height, rep.Snapshot.encode()); err != nil {
 			return err
 		}
-		n.nextInstance = maxInstanceAfter(rep.Snapshot.Height, n.nextInstance)
+		n.nextInstance.Store(maxInstanceAfter(rep.Snapshot.Height, n.nextInstance.Load()))
 	}
 	for i := range rep.Blocks {
 		b := &rep.Blocks[i]

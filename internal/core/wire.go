@@ -90,6 +90,10 @@ type snapshotEnvelope struct {
 	View         view.View
 	PermKeys     map[int32]crypto.PublicKey
 	AppState     []byte
+	// Watermarks is the per-client executed sequence watermark at Height:
+	// replaying blocks after the snapshot must skip exactly the duplicate
+	// ordered requests the live execution skipped.
+	Watermarks map[int64]uint64
 }
 
 func (s *snapshotEnvelope) encode() []byte {
@@ -104,6 +108,11 @@ func (s *snapshotEnvelope) encode() []byte {
 		e.WriteBytes(s.PermKeys[m])
 	}
 	e.WriteBytes(s.AppState)
+	e.Uint32(uint32(len(s.Watermarks)))
+	for _, c := range sortedClients(s.Watermarks) {
+		e.Int64(c)
+		e.Uint64(s.Watermarks[c])
+	}
 	return e.Bytes()
 }
 
@@ -128,10 +137,34 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 		s.PermKeys[id] = crypto.PublicKey(d.ReadBytesCopy())
 	}
 	s.AppState = d.ReadBytesCopy()
+	nw := d.Uint32()
+	if d.Err() != nil || nw > 1<<24 {
+		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad watermark count")
+	}
+	s.Watermarks = make(map[int64]uint64, nw)
+	for i := uint32(0); i < nw; i++ {
+		c := d.Int64()
+		s.Watermarks[c] = d.Uint64()
+	}
 	if err := d.Finish(); err != nil {
 		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: %w", err)
 	}
 	return s, nil
+}
+
+// sortedClients orders watermark client IDs so snapshot bytes are
+// deterministic across replicas.
+func sortedClients(m map[int64]uint64) []int64 {
+	out := make([]int64, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
 }
 
 func sortedKeys(m map[int32]crypto.PublicKey) []int32 {

@@ -295,6 +295,54 @@ func AblationPipeline(o ExpOptions) ([]Row, error) {
 	return rows, nil
 }
 
+// PipelineWindow is the consensus ordering-window A/B: identical
+// deployments except the pipeline depth W (the number of concurrently
+// ordered instances; decisions still commit strictly in instance order).
+// In-memory ledger writes and disabled signature verification isolate the
+// ordering pipeline from the storage and crypto axes that Table I and
+// Fig. 6 already measure, and a small per-link latency makes the consensus
+// round trips visible the way a real network would: with W = 1 the network
+// idles between PROPOSE rounds, with W > 1 the rounds of consecutive
+// instances overlap. A small block cap keeps several batches outstanding
+// under a closed-loop client fleet.
+func PipelineWindow(depths []int, latency time.Duration, o ExpOptions) ([]Row, error) {
+	o = o.Defaults()
+	var rows []Row
+	for _, w := range depths {
+		label := fmt.Sprintf("window/W=%d", w)
+		appFactory, _ := coinAppFactory(label, o.Clients)
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N:                4,
+			AppFactory:       appFactory,
+			Persistence:      core.PersistenceWeak,
+			Storage:          smr.StorageMemory,
+			Verify:           smr.VerifyNone,
+			Pipeline:         true,
+			PipelineDepth:    w,
+			MaxBatch:         32,
+			ConsensusTimeout: 2 * time.Second,
+			NetLatency:       latency,
+			ChainID:          label,
+		})
+		if err != nil {
+			return rows, err
+		}
+		res := Run(cluster, Options{
+			Clients:  o.Clients,
+			Warmup:   o.Warmup,
+			Duration: o.Measure,
+			Scripts: func(i int) workload.Script {
+				return workload.NewCoinScript(label, int64(i))
+			},
+			WrapOp: core.WrapAppOp,
+		})
+		cluster.Stop()
+		rows = append(rows, Row{Label: label, Throughput: res.Throughput, Std: res.ThroughputStd,
+			MeanLat: res.MeanLatency, P99Lat: res.P99Latency})
+	}
+	return rows, nil
+}
+
 // Fig8Point measures the replica-update (state transfer replay) time for a
 // chain of `blocks` blocks with a checkpoint every `ckptPeriod` blocks
 // (0 = no checkpoints): the receiving replica restores the latest snapshot

@@ -11,12 +11,20 @@ import (
 // replayed or duplicate requests are never ordered twice, and exposes a
 // readiness channel so a driver can select on "work available" alongside
 // other events.
+//
+// A pipelined driver (ordering window W > 1) calls TryNext up to W times
+// before any of the handed-out batches executes; handed-out requests stay
+// in the dedupe set until MarkDelivered (committed) or Requeue (the
+// instance was abandoned), so no request can appear in two concurrent
+// batches. Outstanding reports how many requests are in that handed-out
+// state.
 type Batcher struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []Request
 	inFlight map[dedupeKey]bool
-	lastExec map[int64]uint64 // client → highest executed seq
+	handed   map[dedupeKey]bool // handed out in a batch, not yet delivered
+	lastExec map[int64]uint64   // client → highest executed seq
 	maxBatch int
 	closed   bool
 	ready    chan struct{}
@@ -35,6 +43,7 @@ func NewBatcher(maxBatch int) *Batcher {
 	}
 	b := &Batcher{
 		inFlight: make(map[dedupeKey]bool),
+		handed:   make(map[dedupeKey]bool),
 		lastExec: make(map[int64]uint64),
 		maxBatch: maxBatch,
 		ready:    make(chan struct{}, 1),
@@ -100,6 +109,9 @@ func (b *Batcher) takeLocked() Batch {
 	n := min(len(b.pending), b.maxBatch)
 	batch := Batch{Requests: make([]Request, n)}
 	copy(batch.Requests, b.pending[:n])
+	for i := 0; i < n; i++ {
+		b.handed[dedupeKey{batch.Requests[i].ClientID, batch.Requests[i].Seq}] = true
+	}
 	rest := copy(b.pending, b.pending[n:])
 	// Zero the moved-from tail so the GC can reclaim request payloads.
 	for i := rest; i < len(b.pending); i++ {
@@ -127,6 +139,7 @@ func (b *Batcher) MarkDelivered(reqs []Request) {
 		k := dedupeKey{reqs[i].ClientID, reqs[i].Seq}
 		delivered[k] = true
 		delete(b.inFlight, k)
+		delete(b.handed, k)
 		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
 			b.lastExec[reqs[i].ClientID] = reqs[i].Seq
 		}
@@ -158,6 +171,7 @@ func (b *Batcher) Requeue(reqs []Request) {
 	}
 	merged := make([]Request, 0, len(reqs)+len(b.pending))
 	for i := range reqs {
+		delete(b.handed, dedupeKey{reqs[i].ClientID, reqs[i].Seq})
 		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
 			merged = append(merged, reqs[i])
 		}
@@ -176,6 +190,66 @@ func (b *Batcher) Pending() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return len(b.pending)
+}
+
+// Outstanding returns the number of requests handed out in batches and not
+// yet delivered or requeued — with a pipelined driver, the requests inside
+// the up-to-W concurrently ordered batches.
+func (b *Batcher) Outstanding() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.handed)
+}
+
+// Fresh reports, for each request of an ordered batch, whether it executes
+// for the first time: its sequence number is above the client's executed
+// watermark, accounting for duplicates earlier in the same batch. The
+// commit path calls it BEFORE MarkDelivered raises the watermark. The
+// result is deterministic across replicas because the watermark is a pure
+// function of the committed chain prefix (plus the restored checkpoint):
+// with a pipelined window a request can be ordered twice — once in a
+// leader-change re-proposal and once in a fresh slot — and every replica
+// must skip the same second execution.
+func (b *Batcher) Fresh(reqs []Request) []bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]bool, len(reqs))
+	seen := make(map[int64]uint64, 8)
+	for i := range reqs {
+		c, s := reqs[i].ClientID, reqs[i].Seq
+		hi, ok := seen[c]
+		if !ok {
+			hi = b.lastExec[c]
+		}
+		if s > hi {
+			out[i] = true
+			seen[c] = s
+		}
+	}
+	return out
+}
+
+// Watermarks snapshots the per-client executed watermark for a checkpoint.
+func (b *Batcher) Watermarks() map[int64]uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[int64]uint64, len(b.lastExec))
+	for c, s := range b.lastExec {
+		out[c] = s
+	}
+	return out
+}
+
+// RestoreWatermarks replaces the executed watermark when installing a
+// checkpoint: replay after the snapshot must judge freshness exactly as the
+// replicas that executed those blocks live did.
+func (b *Batcher) RestoreWatermarks(w map[int64]uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lastExec = make(map[int64]uint64, len(w))
+	for c, s := range w {
+		b.lastExec[c] = s
+	}
 }
 
 // Close unblocks Next and rejects further adds.

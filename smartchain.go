@@ -8,7 +8,9 @@
 //
 //   - an efficient blockchain storage layer that decouples block
 //     persistence from request ordering and amortizes synchronous writes
-//     over many blocks (Algorithm 1);
+//     over many blocks (Algorithm 1), with pipelined ordering: up to
+//     Config.PipelineDepth consensus instances run concurrently and commit
+//     strictly in instance order;
 //   - strong (0-Persistence) and weak (1-Persistence) durability variants —
 //     under the strong variant, every transaction whose client saw a reply
 //     quorum survives even a simultaneous crash of all replicas;
@@ -71,6 +73,12 @@ const (
 	// PersistenceStrong is 0-Persistence.
 	PersistenceStrong = core.PersistenceStrong
 )
+
+// DefaultPipelineDepth is the consensus ordering window W used when
+// Config.PipelineDepth (or ClusterConfig.PipelineDepth) is left zero: up to
+// W instances are ordered concurrently while blocks commit strictly in
+// instance order. Set PipelineDepth to 1 for strictly sequential ordering.
+const DefaultPipelineDepth = core.DefaultPipelineDepth
 
 // Verification and storage strategies (paper Table I / Fig. 6 axes).
 type (
