@@ -10,17 +10,22 @@
 //	benchrunner -exp fig8              # Figure 8 replica-update times
 //	benchrunner -exp ablate            # pipeline ablation
 //	benchrunner -exp window            # ordering window W=1 vs W=8
+//	benchrunner -exp openloop          # closed-loop vs async vs unordered reads
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
 // -paper scales clients and measurement windows up toward the paper's
-// methodology (2400 clients; slower but sharper numbers).
+// methodology (2400 clients; slower but sharper numbers). -windows sets
+// the ordering-window sweep the Fig. 6 rows cover; -inflight sets the
+// per-client pipeline depth of the open-loop experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"smartchain/internal/harness"
@@ -29,19 +34,31 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|verify|all")
-		clients = flag.Int("clients", 240, "closed-loop clients")
-		measure = flag.Duration("measure", 2*time.Second, "measured window per configuration")
-		warmup  = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
-		paper   = flag.Bool("paper", false, "paper-scale run (2400 clients, 10s windows)")
-		ssd     = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
+		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|verify|all")
+		clients  = flag.Int("clients", 240, "closed-loop clients")
+		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
+		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+		paper    = flag.Bool("paper", false, "paper-scale run (2400 clients, 10s windows)")
+		ssd      = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
+		windows  = flag.String("windows", "1,8", "comma-separated ordering windows W for the fig6 sweep")
+		inflight = flag.Int("inflight", 16, "per-client in-flight cap for -exp openloop")
 	)
 	flag.Parse()
 
+	depths, err := parseWindows(*windows)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	if *inflight < 1 {
+		fmt.Fprintln(os.Stderr, "benchrunner: -inflight must be ≥ 1 (1 = async machinery at closed-loop depth)")
+		os.Exit(1)
+	}
 	opts := harness.ExpOptions{
 		Clients: *clients,
 		Warmup:  *warmup,
 		Measure: *measure,
+		Depths:  depths,
 	}
 	if *paper {
 		opts.Clients = 2400
@@ -52,13 +69,30 @@ func main() {
 		opts.Disk = storage.SSDProfile
 	}
 
-	if err := run(*exp, opts, *paper); err != nil {
+	if err := run(*exp, opts, *paper, *inflight); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp string, opts harness.ExpOptions, paper bool) error {
+// parseWindows parses the -windows flag ("1,8" → []int{1, 8}).
+func parseWindows(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		w, err := strconv.Atoi(part)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad -windows entry %q", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}
+
+func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 	all := exp == "all"
 	ran := false
 	if all || exp == "table1" {
@@ -151,6 +185,18 @@ func run(exp string, opts harness.ExpOptions, paper bool) error {
 		printRows(rows)
 		if len(rows) == 2 && rows[0].Throughput > 0 {
 			fmt.Printf("  speedup: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
+		}
+	}
+	if all || exp == "openloop" {
+		ran = true
+		fmt.Println("== Invocation API: closed-loop vs async open-loop vs unordered reads (W=8) ==")
+		rows, err := harness.OpenLoop(inflight, 5*time.Millisecond, opts)
+		if err != nil {
+			return err
+		}
+		printRows(rows)
+		if len(rows) >= 2 && rows[0].Throughput > 0 {
+			fmt.Printf("  async speedup over closed-loop: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
 		}
 	}
 	if all || exp == "verify" {

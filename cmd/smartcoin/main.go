@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"encoding/hex"
 	"flag"
 	"fmt"
@@ -57,6 +58,8 @@ func run() error {
 
 	key := crypto.SeededKeyPair(*chainID+"/minter", *minterID)
 	proxy := client.New(net, key, members)
+	defer proxy.Close()
+	ctx := context.Background()
 
 	switch args[0] {
 	case "mint":
@@ -75,7 +78,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := proxy.Invoke(core.WrapAppOp(tx.Encode()))
+		res, err := proxy.Invoke(ctx, core.WrapAppOp(tx.Encode()))
 		if err != nil {
 			return err
 		}
@@ -103,7 +106,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		res, err := proxy.Invoke(core.WrapAppOp(tx.Encode()))
+		res, err := proxy.Invoke(ctx, core.WrapAppOp(tx.Encode()))
 		if err != nil {
 			return err
 		}
@@ -114,6 +117,18 @@ func run() error {
 		for _, c := range coins {
 			fmt.Printf("new coin %s\n", c)
 		}
+	case "balance":
+		// Consensus-free read: answered directly from replica state, made
+		// trustworthy by the matching-reply quorum.
+		res, err := proxy.InvokeUnordered(ctx, core.WrapAppOp(coin.EncodeBalanceQuery(key.Public())))
+		if err != nil {
+			return err
+		}
+		balance, err := coin.ParseUint64Result(res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("balance of identity %d: %d\n", *minterID, balance)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -42,12 +43,13 @@ func run() error {
 	defer cluster.Stop()
 
 	proxy := smartchain.NewClient(cluster.ClientEndpoint(), minter, cluster.Members())
+	defer proxy.Close()
 	for nonce := uint64(1); nonce <= 5; nonce++ {
 		tx, err := coin.NewMint(minter, nonce, nonce*10)
 		if err != nil {
 			return err
 		}
-		if _, err := proxy.Invoke(smartchain.WrapAppOp(tx.Encode())); err != nil {
+		if _, err := proxy.Invoke(context.Background(), smartchain.WrapAppOp(tx.Encode())); err != nil {
 			return err
 		}
 	}

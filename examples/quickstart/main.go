@@ -1,8 +1,10 @@
 // Quickstart: a four-replica SMARTCHAIN deployment in one process — mint
-// coins, transfer them, and verify the blockchain like an external auditor.
+// coins, transfer them asynchronously, read a balance without consensus,
+// and verify the blockchain like an external auditor.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -40,15 +42,18 @@ func run() error {
 	defer cluster.Stop()
 
 	// A client: signs operations, broadcasts to the view, waits for a
-	// Byzantine quorum of matching replies.
+	// Byzantine quorum of matching replies. One proxy multiplexes any
+	// number of concurrent invocations; contexts bound each call.
 	proxy := smartchain.NewClient(cluster.ClientEndpoint(), minter, cluster.Members())
+	defer proxy.Close()
+	ctx := context.Background()
 
-	// MINT 3 coins.
+	// MINT 3 coins (ordered through consensus).
 	mintTx, err := coin.NewMint(minter, 1, 100, 250, 50)
 	if err != nil {
 		return err
 	}
-	res, err := proxy.Invoke(smartchain.WrapAppOp(mintTx.Encode()))
+	res, err := proxy.Invoke(ctx, smartchain.WrapAppOp(mintTx.Encode()))
 	if err != nil {
 		return err
 	}
@@ -58,23 +63,49 @@ func run() error {
 	}
 	fmt.Printf("minted %d coins (400 total value)\n", len(coins))
 
-	// SPEND: transfer the 250-coin to Alice, keeping the change.
+	// SPEND asynchronously: transfer the 250-coin to Alice keeping the
+	// change, and pay Bob from the 100-coin — both in flight at once on
+	// the same proxy, completing via Futures.
 	alice := smartchain.SeededKeyPair("quickstart-alice", 1)
-	spendTx, err := coin.NewSpend(minter, 2, coins[1:2], []coin.Output{
+	bob := smartchain.SeededKeyPair("quickstart-bob", 1)
+	spendAlice, err := coin.NewSpend(minter, 2, coins[1:2], []coin.Output{
 		{Owner: alice.Public(), Value: 200},
 		{Owner: minter.Public(), Value: 50},
 	})
 	if err != nil {
 		return err
 	}
-	res, err = proxy.Invoke(smartchain.WrapAppOp(spendTx.Encode()))
+	spendBob, err := coin.NewSpend(minter, 3, coins[0:1], []coin.Output{
+		{Owner: bob.Public(), Value: 100},
+	})
 	if err != nil {
 		return err
 	}
-	if code, _, _ := coin.ParseResult(res); code != coin.ResultOK {
-		return fmt.Errorf("spend failed: code=%d", code)
+	futAlice := proxy.InvokeAsync(ctx, smartchain.WrapAppOp(spendAlice.Encode()))
+	futBob := proxy.InvokeAsync(ctx, smartchain.WrapAppOp(spendBob.Encode()))
+	for name, fut := range map[string]*smartchain.Future{"alice": futAlice, "bob": futBob} {
+		res, err := fut.Result()
+		if err != nil {
+			return fmt.Errorf("spend to %s: %w", name, err)
+		}
+		if code, _, _ := coin.ParseResult(res); code != coin.ResultOK {
+			return fmt.Errorf("spend to %s failed: code=%d", name, code)
+		}
 	}
-	fmt.Println("transferred 200 to alice, 50 change back")
+	fmt.Println("transferred 200 to alice (50 change) and 100 to bob, pipelined")
+
+	// Read Alice's balance WITHOUT consensus: the unordered request is
+	// answered directly from replica state, and the matching-reply quorum
+	// makes the answer trustworthy despite f Byzantine replicas.
+	res, err = proxy.InvokeUnordered(ctx, smartchain.WrapAppOp(coin.EncodeBalanceQuery(alice.Public())))
+	if err != nil {
+		return err
+	}
+	balance, err := coin.ParseUint64Result(res)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("alice's balance (consensus-free quorum read): %d\n", balance)
 
 	// Every replica agrees on balances.
 	time.Sleep(300 * time.Millisecond) // let the slowest replica execute

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -36,13 +37,14 @@ func run() error {
 	}
 	defer cluster.Stop()
 	proxy := smartchain.NewClient(cluster.ClientEndpoint(), minter, cluster.Members())
+	defer proxy.Close()
 
 	mint := func(nonce uint64) error {
 		tx, err := coin.NewMint(minter, nonce, 10)
 		if err != nil {
 			return err
 		}
-		_, err = proxy.Invoke(smartchain.WrapAppOp(tx.Encode()))
+		_, err = proxy.Invoke(context.Background(), smartchain.WrapAppOp(tx.Encode()))
 		return err
 	}
 

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -57,7 +58,7 @@ func TestDuraSMaRtMintRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Invoke(tx.Encode())
+	res, err := p.Invoke(context.Background(), tx.Encode())
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -107,7 +108,7 @@ func TestDuraSMaRtGroupCommitsUnderLoad(t *testing.T) {
 					err = txErr
 					break
 				}
-				if _, invErr := p.Invoke(tx.Encode()); invErr != nil {
+				if _, invErr := p.Invoke(context.Background(), tx.Encode()); invErr != nil {
 					err = invErr
 					break
 				}
@@ -132,7 +133,7 @@ func TestTendermintCommitsWithDoubleWrite(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := p.Invoke(tx.Encode())
+		res, err := p.Invoke(context.Background(), tx.Encode())
 		if err != nil {
 			t.Fatalf("invoke %d: %v", n, err)
 		}
@@ -154,7 +155,7 @@ func TestFabricEndorseOrderValidate(t *testing.T) {
 	if err != nil {
 		t.Fatalf("endorse: %v", err)
 	}
-	res, err := p.Invoke(endorsed.Encode())
+	res, err := p.Invoke(context.Background(), endorsed.Encode())
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -181,7 +182,7 @@ func TestFabricRejectsBadEndorsements(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Invoke(forged.Encode())
+	res, err := p.Invoke(context.Background(), forged.Encode())
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -205,7 +206,7 @@ func TestFabricMVCCConflictDetection(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := p.Invoke(endorsed.Encode())
+		res, err := p.Invoke(context.Background(), endorsed.Encode())
 		if err != nil {
 			t.Fatalf("invoke: %v", err)
 		}

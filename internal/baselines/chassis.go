@@ -31,10 +31,12 @@ import (
 	"smartchain/internal/view"
 )
 
-// Chassis message types (shared with core's values for client compat).
+// Chassis message types: the shared client⇄replica wire contract defined
+// in the smr package, so baseline replicas answer the same client proxy as
+// SMARTCHAIN nodes.
 const (
-	msgRequest uint16 = 200
-	msgReply   uint16 = 201
+	msgRequest = smr.MsgRequest
+	msgReply   = smr.MsgReply
 )
 
 // CommitFunc is a system's commit discipline: given the decided batch, make
@@ -106,8 +108,7 @@ func NewReplica(cfg ChassisConfig) *Replica {
 			if len(value) == 0 {
 				return true
 			}
-			_, err := smr.DecodeBatch(value)
-			return err == nil
+			return smr.ValidBatchValue(value)
 		},
 		RequestValue: func(int64) []byte {
 			if b, ok := r.batcher.TryNext(); ok {
@@ -279,6 +280,7 @@ func MakeReplies(self int32, batch smr.Batch, results [][]byte) []smr.Reply {
 			ReplicaID: self,
 			ClientID:  batch.Requests[i].ClientID,
 			Seq:       batch.Requests[i].Seq,
+			Digest:    batch.Requests[i].Digest(),
 			Result:    results[i],
 		}
 	}

@@ -24,9 +24,12 @@ type DuraSMaRt struct {
 	pending []pendingReply
 }
 
-// Executor is the minimal application contract the baselines need.
+// Executor is the minimal application contract the baselines need — the
+// same batch-execution shape as core.Application, so one service
+// implementation (e.g. coin.Service) runs under SMARTCHAIN and every
+// baseline unchanged.
 type Executor interface {
-	ExecuteBatch(reqs []smr.Request) [][]byte
+	ExecuteBatch(bc smr.BatchContext, reqs []smr.Request) [][]byte
 }
 
 type pendingReply struct {
@@ -71,8 +74,11 @@ func (d *DuraSMaRt) commit(dec consensus.Decision, batch smr.Batch, send func([]
 		wg.Done()
 	})
 
-	// Execution overlaps the (group-committed) log write.
-	results := d.app.ExecuteBatch(stripOps(batch.Requests))
+	// Execution overlaps the (group-committed) log write. Dura-SMaRt has
+	// no blockchain, so the consensus instance doubles as the "block"
+	// coordinate of the ordering context.
+	bc := smr.NewBatchContext(dec.Instance, dec.Instance, dec.Epoch, &batch)
+	results := d.app.ExecuteBatch(bc, stripOps(batch.Requests))
 	wg.Wait()
 	if logErr != nil {
 		return

@@ -207,7 +207,7 @@ func (f *Fabric) commit(dec consensus.Decision, batch smr.Batch, send func([]smr
 	}
 
 	// Apply the valid transactions and commit the block synchronously.
-	appResults := f.app.ExecuteBatch(validReqs)
+	appResults := f.app.ExecuteBatch(smr.NewBatchContext(height, dec.Instance, dec.Epoch, &batch), validReqs)
 	for j, idx := range validIdx {
 		res := append([]byte{FabricValid}, appResults[j]...)
 		results[idx] = res

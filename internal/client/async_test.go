@@ -1,0 +1,396 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+)
+
+// gatedReplica buffers every request until the test releases the gate, then
+// answers everything — the only way N invocations can all complete is if
+// the proxy really kept N requests in flight simultaneously.
+type gatedReplica struct {
+	ep      transport.Endpoint
+	mu      sync.Mutex
+	held    []smr.Request
+	from    []int32
+	release bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func startGatedReplica(net *transport.MemNetwork, id int32) *gatedReplica {
+	r := &gatedReplica{
+		ep:   net.Endpoint(id),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(r.done)
+		for {
+			select {
+			case <-r.stop:
+				return
+			case m, ok := <-r.ep.Receive():
+				if !ok {
+					return
+				}
+				if m.Type != smr.MsgRequest {
+					continue
+				}
+				req, err := smr.DecodeRequest(m.Payload)
+				if err != nil {
+					continue
+				}
+				r.mu.Lock()
+				if r.release {
+					r.mu.Unlock()
+					r.reply(m.From, req)
+					continue
+				}
+				r.held = append(r.held, req)
+				r.from = append(r.from, m.From)
+				r.mu.Unlock()
+			}
+		}
+	}()
+	return r
+}
+
+func (r *gatedReplica) reply(to int32, req smr.Request) {
+	rep := smr.Reply{
+		ReplicaID: r.ep.ID(),
+		ClientID:  req.ClientID,
+		Seq:       req.Seq,
+		Digest:    req.Digest(),
+		Result:    []byte(fmt.Sprintf("res-%d", req.Seq)),
+	}
+	_ = r.ep.Send(to, smr.MsgReply, rep.Encode())
+}
+
+// heldSeqs counts the DISTINCT sequence numbers currently held back.
+func (r *gatedReplica) heldSeqs() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[uint64]bool)
+	for i := range r.held {
+		seen[r.held[i].Seq] = true
+	}
+	return len(seen)
+}
+
+// open releases the gate: everything held is answered, and future requests
+// are answered immediately.
+func (r *gatedReplica) open() {
+	r.mu.Lock()
+	held, from := r.held, r.from
+	r.held, r.from = nil, nil
+	r.release = true
+	r.mu.Unlock()
+	for i := range held {
+		r.reply(from[i], held[i])
+	}
+}
+
+func (r *gatedReplica) Stop() {
+	close(r.stop)
+	r.ep.Close()
+	<-r.done
+}
+
+// TestConcurrentInFlightInvocations proves one Proxy sustains ≥ 16
+// concurrent in-flight ordered invocations: replicas hold every reply back
+// until all 16 distinct requests are in the air, so no invocation can
+// complete before all are simultaneously outstanding.
+func TestConcurrentInFlightInvocations(t *testing.T) {
+	const inflight = 16
+	net := transport.NewMemNetwork()
+	var replicas []*gatedReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startGatedReplica(net, i))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 10),
+		[]int32{0, 1, 2, 3}, WithTimeout(10*time.Second))
+	defer p.Close()
+
+	results := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		go func(i int) {
+			res, err := p.Invoke(context.Background(), []byte(fmt.Sprintf("op-%d", i)))
+			if err == nil && len(res) == 0 {
+				err = errors.New("empty result")
+			}
+			results <- err
+		}(i)
+	}
+
+	// Wait until replica 0 holds all 16 distinct in-flight requests.
+	deadline := time.Now().Add(5 * time.Second)
+	for replicas[0].heldSeqs() < inflight {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d distinct requests in flight", replicas[0].heldSeqs())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, r := range replicas {
+		r.open()
+	}
+	for i := 0; i < inflight; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("concurrent invoke: %v", err)
+		}
+	}
+}
+
+// TestInvokeAsyncCompletesOutOfOrder pipelines futures and completes them
+// out of submission order.
+func TestInvokeAsyncCompletesOutOfOrder(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var replicas []*gatedReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startGatedReplica(net, i))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 11),
+		[]int32{0, 1, 2, 3}, WithTimeout(10*time.Second))
+	defer p.Close()
+
+	var futs []*Future
+	for i := 0; i < 8; i++ {
+		futs = append(futs, p.InvokeAsync(context.Background(), []byte(fmt.Sprintf("op-%d", i))))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for replicas[0].heldSeqs() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d requests in flight", replicas[0].heldSeqs())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	for _, r := range replicas {
+		r.open()
+	}
+	// Drain in reverse submission order: each future holds its own result.
+	for i := len(futs) - 1; i >= 0; i-- {
+		res, err := futs[i].Result()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		want := fmt.Sprintf("res-%d", i+1) // seqs start at 1
+		if string(res) != want {
+			t.Fatalf("future %d result: got %q want %q", i, res, want)
+		}
+	}
+}
+
+// TestInvokeContextCancellation cancels mid-invoke: the call returns
+// promptly with the context error and its demux slot is released.
+func TestInvokeContextCancellation(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var replicas []*fakeReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, nil)) // all silent
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 12),
+		[]int32{0, 1, 2, 3}, WithTimeout(time.Minute))
+	defer p.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := p.Invoke(ctx, []byte("op"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation not prompt: %v", time.Since(start))
+	}
+	// The abandoned call must not leak a demux slot.
+	deadline := time.Now().Add(time.Second)
+	for {
+		p.mu.Lock()
+		n := len(p.calls)
+		p.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d calls leaked after cancellation", n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestContextDeadlineOverridesDefault: a caller deadline is authoritative
+// even when far shorter than the proxy's WithTimeout fallback.
+func TestContextDeadlineOverridesDefault(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var replicas []*fakeReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, nil)) // silent
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 13),
+		[]int32{0, 1, 2, 3}, WithTimeout(time.Hour))
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.Invoke(ctx, []byte("op"))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("deadline not honored: %v", time.Since(start))
+	}
+}
+
+// TestUnorderedRequestsUseDisjointSeqSpace: unordered requests carry the
+// flag and draw sequence numbers from the UnorderedSeqBit space, so they
+// can never shadow an ordered sequence number server-side.
+func TestUnorderedRequestsUseDisjointSeqSpace(t *testing.T) {
+	net := transport.NewMemNetwork()
+	type seen struct {
+		seq       uint64
+		unordered bool
+	}
+	var mu sync.Mutex
+	var reqs []seen
+	echo := func(req smr.Request) []byte {
+		mu.Lock()
+		reqs = append(reqs, seen{seq: req.Seq, unordered: req.Unordered()})
+		mu.Unlock()
+		return []byte("ok")
+	}
+	var replicas []*fakeReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, echo))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 14),
+		[]int32{0, 1, 2, 3}, WithTimeout(5*time.Second))
+	defer p.Close()
+
+	if _, err := p.Invoke(context.Background(), []byte("w")); err != nil {
+		t.Fatalf("ordered: %v", err)
+	}
+	if _, err := p.InvokeUnordered(context.Background(), []byte("r")); err != nil {
+		t.Fatalf("unordered: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawOrdered, sawUnordered bool
+	for _, s := range reqs {
+		if s.unordered {
+			sawUnordered = true
+			if s.seq&smr.UnorderedSeqBit == 0 {
+				t.Fatalf("unordered seq %d missing UnorderedSeqBit", s.seq)
+			}
+		} else {
+			sawOrdered = true
+			if s.seq&smr.UnorderedSeqBit != 0 {
+				t.Fatalf("ordered seq %d carries UnorderedSeqBit", s.seq)
+			}
+		}
+	}
+	if !sawOrdered || !sawUnordered {
+		t.Fatalf("missing request kinds: ordered=%v unordered=%v", sawOrdered, sawUnordered)
+	}
+}
+
+// TestRepliesToForeignRequestsAreRejected: a Byzantine party signs its own
+// request but stamps the victim's ClientID and a predictable in-flight
+// Seq; honest replicas execute it and reply to the victim. The victim's
+// proxy must not count those replies toward ITS call — replies must echo
+// the digest of the request the victim signed.
+func TestRepliesToForeignRequestsAreRejected(t *testing.T) {
+	net := transport.NewMemNetwork()
+	var replicas []*fakeReplica
+	for i := int32(0); i < 4; i++ {
+		replicas = append(replicas, startFakeReplica(net, i, func(smr.Request) []byte { return []byte("attacker-data") }))
+	}
+	defer func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+	}()
+
+	victimEp := net.Endpoint(transport.ClientIDBase)
+	victim := New(victimEp, crypto.SeededKeyPair("victim", 1), []int32{0, 1, 2, 3},
+		WithTimeout(400*time.Millisecond), WithRetry(100*time.Millisecond))
+	defer victim.Close()
+
+	// The attacker broadcasts a VALIDLY SIGNED (by its own key) request
+	// carrying the victim's ClientID and the victim's next unordered seq.
+	attackerKey := crypto.SeededKeyPair("attacker", 1)
+	forged, err := smr.NewSignedUnordered(int64(victimEp.ID()), 1, []byte("attacker-query"), attackerKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attackerEp := net.Endpoint(transport.ClientIDBase + 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			for m := int32(0); m < 4; m++ {
+				_ = attackerEp.Send(m, smr.MsgRequest, forged.Encode())
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	// The victim's own unordered read (same ClientID, same Seq=1|bit) must
+	// NOT resolve to the attacker-induced replies. The fake replicas answer
+	// every request with the same result bytes, so without digest matching
+	// the forged request's replies would satisfy the victim's quorum; with
+	// digest matching, only replies echoing the victim's own signed request
+	// count — which these fakes also send, so the call still succeeds, but
+	// the forged-reply copies must be discarded. To make rejection
+	// observable, close the honest path: silence replies to the victim's
+	// request by having the fakes answer only the forged digest.
+	for _, r := range replicas {
+		fr := forged
+		r.mu.Lock()
+		r.result = func(req smr.Request) []byte {
+			if req.Digest() == fr.Digest() {
+				return []byte("attacker-data")
+			}
+			return nil // handled below: nil means the fake goes silent
+		}
+		r.mu.Unlock()
+	}
+	if _, err := victim.InvokeUnordered(context.Background(), []byte("victim-query")); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("victim accepted replies to a request it never signed: err=%v", err)
+	}
+}

@@ -3,9 +3,25 @@
 // matching replies from a dissemination Byzantine quorum ⌈(n+f+1)/2⌉ —
 // the condition under which the operation is externally durable and its
 // result trustworthy despite up to f Byzantine replicas.
+//
+// One Proxy multiplexes any number of concurrent invocations over a single
+// endpoint: a demultiplexing receive loop routes each reply to its
+// in-flight call by sequence number, so open-loop load generators and
+// pipelined applications do not need one proxy (or one connection) per
+// outstanding request. Three invocation shapes are offered:
+//
+//   - Invoke: ordered through consensus, blocking, context-aware.
+//   - InvokeAsync: ordered, returns a Future immediately.
+//   - InvokeUnordered: read-only, served directly from replica state
+//     without consuming a consensus instance; the reply quorum alone
+//     makes the result trustworthy (BFT-SMaRt's unordered requests).
+//
+// Context deadlines are authoritative: a deadline on ctx bounds the call
+// exactly; when ctx carries none, the proxy's WithTimeout default applies.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -17,22 +33,16 @@ import (
 	"smartchain/internal/view"
 )
 
-// Message types shared with the core package (duplicated here to keep the
-// client free of a core dependency; the values are part of the wire
-// contract).
-const (
-	msgRequest uint16 = 200
-	msgReply   uint16 = 201
-)
-
-// Errors returned by Invoke.
+// Errors returned by invocations.
 var (
 	ErrTimeout = errors.New("client: quorum of matching replies not reached")
 	ErrClosed  = errors.New("client: proxy closed")
 )
 
 // Proxy is one client identity bound to a transport endpoint. It is safe
-// for sequential use; run one Proxy per closed-loop client goroutine.
+// for concurrent use: many goroutines may invoke through one Proxy, and
+// each call is matched to its replies by sequence number. The Proxy owns
+// the endpoint; Close releases both.
 type Proxy struct {
 	id      int64
 	key     *crypto.KeyPair
@@ -43,13 +53,36 @@ type Proxy struct {
 	mu      sync.Mutex
 	members []int32
 	quorum  int
+	seq     uint64 // ordered sequence space
+	useq    uint64 // unordered sequence space (UnorderedSeqBit added)
+	calls   map[uint64]*call
+	closed  bool
+
+	stop      chan struct{} // closes the retransmit loop
+	recvDone  chan struct{}
+	stopOnce  sync.Once
+	closeOnce sync.Once
+}
+
+// call is one in-flight invocation awaiting its reply quorum.
+type call struct {
 	seq     uint64
+	payload []byte      // encoded signed request, for (re)transmission
+	digest  crypto.Hash // of the signed request; replies must echo it
+	quorum  int
+	counts  map[string]map[int32]bool // result bytes → replica set
+
+	// result/err are written once, under Proxy.mu, before done closes.
+	done   chan struct{}
+	result []byte
+	err    error
 }
 
 // Option configures a Proxy.
 type Option func(*Proxy)
 
-// WithTimeout sets the total per-invocation deadline (default 10 s).
+// WithTimeout sets the per-invocation deadline applied when the caller's
+// context has none (default 10 s). A context deadline always wins.
 func WithTimeout(d time.Duration) Option {
 	return func(p *Proxy) { p.timeout = d }
 }
@@ -59,25 +92,32 @@ func WithRetry(d time.Duration) Option {
 	return func(p *Proxy) { p.retry = d }
 }
 
-// New creates a proxy. The endpoint's ID doubles as the client ID; members
-// is the current view membership.
+// New creates a proxy and starts its receive demultiplexer. The endpoint's
+// ID doubles as the client ID; members is the current view membership. The
+// proxy takes ownership of the endpoint — Close the proxy to release it.
 func New(ep transport.Endpoint, key *crypto.KeyPair, members []int32, opts ...Option) *Proxy {
 	p := &Proxy{
-		id:      int64(ep.ID()),
-		key:     key,
-		ep:      ep,
-		timeout: 10 * time.Second,
-		retry:   time.Second,
+		id:       int64(ep.ID()),
+		key:      key,
+		ep:       ep,
+		timeout:  10 * time.Second,
+		retry:    time.Second,
+		calls:    make(map[uint64]*call),
+		stop:     make(chan struct{}),
+		recvDone: make(chan struct{}),
 	}
 	p.SetMembers(members)
 	for _, o := range opts {
 		o(p)
 	}
+	go p.receiveLoop()
+	go p.retransmitLoop()
 	return p
 }
 
 // SetMembers updates the view membership the proxy talks to (after a
-// reconfiguration).
+// reconfiguration). Calls already in flight keep the quorum they started
+// with.
 func (p *Proxy) SetMembers(members []int32) {
 	ms := make([]int32, len(members))
 	copy(ms, members)
@@ -95,68 +135,261 @@ func (p *Proxy) ID() int64 { return p.id }
 // PublicKey returns the client's public key.
 func (p *Proxy) PublicKey() crypto.PublicKey { return p.key.Public() }
 
-// Invoke submits one operation and blocks until a Byzantine quorum of
-// replicas return the same result, retransmitting periodically. The
-// returned bytes are that matching result.
-func (p *Proxy) Invoke(op []byte) ([]byte, error) {
-	p.mu.Lock()
-	p.seq++
-	seq := p.seq
-	members := p.members
-	quorum := p.quorum
-	p.mu.Unlock()
+// Close detaches the proxy: pending and future invocations fail with
+// ErrClosed, the receive and retransmit loops exit, and the endpoint is
+// closed. Safe to call multiple times.
+func (p *Proxy) Close() {
+	p.closeOnce.Do(func() {
+		p.signalStop()
+		_ = p.ep.Close() // unblocks the receive loop, which fails the calls
+		<-p.recvDone
+	})
+}
 
-	req, err := smr.NewSignedRequest(p.id, seq, op, p.key)
-	if err != nil {
-		return nil, fmt.Errorf("client: sign: %w", err)
-	}
-	payload := req.Encode()
-	send := func() {
-		for _, m := range members {
-			_ = p.ep.Send(m, msgRequest, payload)
+// signalStop ends the retransmit loop (idempotent). It fires from Close
+// and from the receive loop's exit path, so an endpoint closed underneath
+// the proxy (network teardown, dropped connection) cannot leak the ticker
+// goroutine.
+func (p *Proxy) signalStop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+}
+
+// receiveLoop is the demultiplexer: every inbound reply is routed to the
+// in-flight call with its sequence number, and a call completes the moment
+// some result value accumulates a quorum of distinct replicas.
+func (p *Proxy) receiveLoop() {
+	defer close(p.recvDone)
+	for m := range p.ep.Receive() {
+		if m.Type != smr.MsgReply {
+			continue
 		}
+		rep, err := smr.DecodeReply(m.Payload)
+		if err != nil || rep.ClientID != p.id || rep.ReplicaID != m.From {
+			continue
+		}
+		p.mu.Lock()
+		c := p.calls[rep.Seq]
+		if c == nil || rep.Digest != c.digest {
+			// No such call, or the reply answers a request this proxy
+			// never signed (a third party reusing our ClientID/Seq):
+			// only replies echoing OUR request's digest may count.
+			p.mu.Unlock()
+			continue
+		}
+		k := string(rep.Result)
+		if c.counts[k] == nil {
+			c.counts[k] = make(map[int32]bool)
+		}
+		c.counts[k][rep.ReplicaID] = true
+		if len(c.counts[k]) >= c.quorum {
+			delete(p.calls, c.seq)
+			c.result = append([]byte(nil), rep.Result...)
+			close(c.done)
+		}
+		p.mu.Unlock()
 	}
-	send()
+	// Endpoint closed: fail everything still in flight and stop the
+	// retransmit loop (the endpoint may have been closed underneath us,
+	// without Proxy.Close).
+	p.signalStop()
+	p.mu.Lock()
+	p.closed = true
+	for seq, c := range p.calls {
+		delete(p.calls, seq)
+		c.err = ErrClosed
+		close(c.done)
+	}
+	p.mu.Unlock()
+}
 
-	// Count matching results from distinct replicas.
-	counts := make(map[string]map[int32]bool)
-	deadline := time.After(p.timeout)
-	retry := time.NewTicker(p.retry)
-	defer retry.Stop()
+// retransmitLoop periodically rebroadcasts every in-flight request — one
+// shared ticker, not one timer per call, so thousands of outstanding
+// invocations cost one goroutine.
+func (p *Proxy) retransmitLoop() {
+	t := time.NewTicker(p.retry)
+	defer t.Stop()
 	for {
 		select {
-		case m, ok := <-p.ep.Receive():
-			if !ok {
-				return nil, ErrClosed
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.mu.Lock()
+			members := p.members
+			payloads := make([][]byte, 0, len(p.calls))
+			for _, c := range p.calls {
+				payloads = append(payloads, c.payload)
 			}
-			if m.Type != msgReply {
-				continue
+			p.mu.Unlock()
+			for _, payload := range payloads {
+				for _, m := range members {
+					_ = p.ep.Send(m, smr.MsgRequest, payload)
+				}
 			}
-			rep, err := smr.DecodeReply(m.Payload)
-			if err != nil || rep.ClientID != p.id || rep.Seq != seq || rep.ReplicaID != m.From {
-				continue
-			}
-			k := string(rep.Result)
-			if counts[k] == nil {
-				counts[k] = make(map[int32]bool)
-			}
-			counts[k][rep.ReplicaID] = true
-			if len(counts[k]) >= quorum {
-				out := make([]byte, len(rep.Result))
-				copy(out, rep.Result)
-				return out, nil
-			}
-		case <-retry.C:
-			send()
-		case <-deadline:
-			return nil, ErrTimeout
 		}
 	}
 }
 
+// register signs a request and enters it into the demux table.
+func (p *Proxy) register(op []byte, unordered bool) (*call, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	var seq uint64
+	var req smr.Request
+	var err error
+	if unordered {
+		p.useq++
+		useq := p.useq
+		seq = useq | smr.UnorderedSeqBit
+		p.mu.Unlock()
+		req, err = smr.NewSignedUnordered(p.id, useq, op, p.key)
+	} else {
+		p.seq++
+		seq = p.seq
+		p.mu.Unlock()
+		req, err = smr.NewSignedRequest(p.id, seq, op, p.key)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("client: sign: %w", err)
+	}
+	c := &call{
+		seq:     seq,
+		payload: req.Encode(),
+		digest:  req.Digest(),
+		counts:  make(map[string]map[int32]bool),
+		done:    make(chan struct{}),
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.quorum = p.quorum
+	p.calls[seq] = c
+	members := p.members
+	p.mu.Unlock()
+	for _, m := range members {
+		_ = p.ep.Send(m, smr.MsgRequest, c.payload)
+	}
+	return c, nil
+}
+
+// abandon removes a call whose caller gave up (deadline, cancellation).
+func (p *Proxy) abandon(c *call) {
+	p.mu.Lock()
+	delete(p.calls, c.seq)
+	p.mu.Unlock()
+}
+
+// callContext applies the deadline policy: the caller's deadline is
+// authoritative; without one, the proxy's configured timeout bounds the
+// call so an unreachable view can never block forever.
+func (p *Proxy) callContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, p.timeout)
+}
+
+// Future is the handle to one asynchronous invocation.
+type Future struct {
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// Done returns a channel closed when the invocation completed (with a
+// result or an error). Select on it to pump many futures at once.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Result blocks until the invocation completes and returns its outcome.
+func (f *Future) Result() ([]byte, error) {
+	<-f.done
+	return f.result, f.err
+}
+
+// invokeAsync is the common open-loop path for ordered and unordered ops.
+func (p *Proxy) invokeAsync(ctx context.Context, op []byte, unordered bool) *Future {
+	f := &Future{done: make(chan struct{})}
+	cctx, cancel := p.callContext(ctx)
+	if err := cctx.Err(); err != nil {
+		// Already cancelled/expired: fail before signing or broadcasting,
+		// so "returned ctx.Err()" reliably implies "was never submitted".
+		cancel()
+		f.err = err
+		close(f.done)
+		return f
+	}
+	c, err := p.register(op, unordered)
+	if err != nil {
+		cancel()
+		f.err = err
+		close(f.done)
+		return f
+	}
+	go func() {
+		defer cancel()
+		select {
+		case <-c.done:
+			f.result, f.err = c.result, c.err
+		case <-cctx.Done():
+			p.abandon(c)
+			select {
+			case <-c.done:
+				// Both were ready and select picked the deadline: the
+				// quorum result arrived — deliver it, don't discard it.
+				f.result, f.err = c.result, c.err
+			default:
+				// The proxy's fallback deadline (no caller deadline, no
+				// cancellation) keeps reporting the classic quorum
+				// timeout; a caller-imposed deadline or cancellation
+				// surfaces as the context error so the caller can tell
+				// its own bound fired.
+				if ctx.Err() != nil {
+					f.err = ctx.Err()
+				} else {
+					f.err = ErrTimeout
+				}
+			}
+		}
+		close(f.done)
+	}()
+	return f
+}
+
+// Invoke submits one ordered operation and blocks until a Byzantine quorum
+// of replicas return the same result, retransmitting periodically. The
+// returned bytes are that matching result.
+func (p *Proxy) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	return p.invokeAsync(ctx, op, false).Result()
+}
+
+// InvokeAsync submits one ordered operation without blocking; the returned
+// Future completes when the reply quorum (or the deadline) is reached. Any
+// number of futures may be in flight on one proxy.
+func (p *Proxy) InvokeAsync(ctx context.Context, op []byte) *Future {
+	return p.invokeAsync(ctx, op, false)
+}
+
+// InvokeUnordered submits a read-only operation that skips consensus:
+// replicas execute it directly against their current state and the call
+// completes when a Byzantine quorum return the same result. During
+// reconfigurations or load spikes the states visible at different replicas
+// may briefly diverge; retransmission keeps polling until a quorum agrees.
+func (p *Proxy) InvokeUnordered(ctx context.Context, op []byte) ([]byte, error) {
+	return p.invokeAsync(ctx, op, true).Result()
+}
+
+// InvokeUnorderedAsync is InvokeUnordered returning a Future.
+func (p *Proxy) InvokeUnorderedAsync(ctx context.Context, op []byte) *Future {
+	return p.invokeAsync(ctx, op, true)
+}
+
 // InvokeOrdered is Invoke for callers that only care that the operation
 // committed, discarding the result.
-func (p *Proxy) InvokeOrdered(op []byte) error {
-	_, err := p.Invoke(op)
+func (p *Proxy) InvokeOrdered(ctx context.Context, op []byte) error {
+	_, err := p.Invoke(ctx, op)
 	return err
 }

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -38,7 +39,7 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 				if !ok {
 					return
 				}
-				if m.Type != msgRequest {
+				if m.Type != smr.MsgRequest {
 					continue
 				}
 				req, err := smr.DecodeRequest(m.Payload)
@@ -47,17 +48,23 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 				}
 				r.mu.Lock()
 				r.seen++
+				result := r.result
 				r.mu.Unlock()
-				if r.result == nil {
+				if result == nil {
 					continue // silent replica
+				}
+				body := result(req)
+				if body == nil {
+					continue // selectively silent (per-request)
 				}
 				rep := smr.Reply{
 					ReplicaID: r.ep.ID(),
 					ClientID:  req.ClientID,
 					Seq:       req.Seq,
-					Result:    r.result(req),
+					Digest:    req.Digest(),
+					Result:    body,
 				}
-				_ = r.ep.Send(m.From, msgReply, rep.Encode())
+				_ = r.ep.Send(m.From, smr.MsgReply, rep.Encode())
 			}
 		}
 	}()
@@ -92,7 +99,7 @@ func TestInvokeQuorumOfMatchingReplies(t *testing.T) {
 	key := crypto.SeededKeyPair("cl", 1)
 	p := New(net.Endpoint(transport.ClientIDBase), key, []int32{0, 1, 2, 3},
 		WithTimeout(2*time.Second))
-	res, err := p.Invoke([]byte("op"))
+	res, err := p.Invoke(context.Background(), []byte("op"))
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -131,7 +138,7 @@ func TestInvokeToleratesOneLyingReplica(t *testing.T) {
 
 	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 2),
 		[]int32{0, 1, 2, 3}, WithTimeout(2*time.Second))
-	res, err := p.Invoke([]byte("op"))
+	res, err := p.Invoke(context.Background(), []byte("op"))
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -157,7 +164,7 @@ func TestInvokeTimesOutBelowQuorum(t *testing.T) {
 
 	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 3),
 		[]int32{0, 1, 2, 3}, WithTimeout(300*time.Millisecond), WithRetry(100*time.Millisecond))
-	if _, err := p.Invoke([]byte("op")); !errors.Is(err, ErrTimeout) {
+	if _, err := p.Invoke(context.Background(), []byte("op")); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("want ErrTimeout, got %v", err)
 	}
 	// Retransmission happened: the silent replicas saw > 1 request copy.
@@ -188,11 +195,11 @@ func TestInvokeIgnoresStaleAndForeignReplies(t *testing.T) {
 	// Inject garbage replies before invoking: wrong seq, wrong client,
 	// impersonated replica ID.
 	garbage := smr.Reply{ReplicaID: 1, ClientID: int64(clientEp.ID()), Seq: 99, Result: []byte("stale")}
-	_ = tricky.ep.Send(clientEp.ID(), msgReply, garbage.Encode())
+	_ = tricky.ep.Send(clientEp.ID(), smr.MsgReply, garbage.Encode())
 	impersonated := smr.Reply{ReplicaID: 2, ClientID: int64(clientEp.ID()), Seq: 1, Result: []byte("fake")}
-	_ = tricky.ep.Send(clientEp.ID(), msgReply, impersonated.Encode()) // From=0 but claims replica 2
+	_ = tricky.ep.Send(clientEp.ID(), smr.MsgReply, impersonated.Encode()) // From=0 but claims replica 2
 
-	res, err := p.Invoke([]byte("op"))
+	res, err := p.Invoke(context.Background(), []byte("op"))
 	if err != nil {
 		t.Fatalf("invoke: %v", err)
 	}
@@ -215,15 +222,21 @@ func TestSetMembersChangesQuorum(t *testing.T) {
 	}()
 	p := New(net.Endpoint(transport.ClientIDBase), crypto.SeededKeyPair("cl", 5),
 		[]int32{0, 1, 2, 3}, WithTimeout(2*time.Second))
-	if _, err := p.Invoke([]byte("a")); err != nil {
+	if _, err := p.Invoke(context.Background(), []byte("a")); err != nil {
 		t.Fatalf("invoke in 4-view: %v", err)
 	}
 	p.SetMembers([]int32{0, 1, 2, 3, 4, 5, 6})
-	if _, err := p.Invoke([]byte("b")); err != nil {
+	if _, err := p.Invoke(context.Background(), []byte("b")); err != nil {
 		t.Fatalf("invoke in 7-view: %v", err)
 	}
-	// The larger view's replicas were contacted too.
-	if replicas[6].Seen() == 0 {
-		t.Fatal("new member never contacted after SetMembers")
+	// The larger view's replicas were contacted too. Invoke returns at the
+	// 5-of-7 reply quorum, so the slowest members may still be processing
+	// their (broadcast) copy: poll.
+	deadline := time.Now().Add(2 * time.Second)
+	for replicas[6].Seen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("new member never contacted after SetMembers")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }

@@ -346,7 +346,7 @@ func TestServiceExecuteBatch(t *testing.T) {
 		t.Fatalf("req: %v", err)
 	}
 
-	results := svc.ExecuteBatch([]smr.Request{req, hijack, garbage})
+	results := svc.ExecuteBatch(smr.BatchContext{}, []smr.Request{req, hijack, garbage})
 	if results[0][0] != ResultOK {
 		t.Fatalf("mint result: %d", results[0][0])
 	}

@@ -29,8 +29,10 @@ func (s *Service) State() *State { return s.state }
 // ExecuteBatch executes each request operation in order and returns one
 // result per request. Requests whose operations fail to parse yield a
 // malformed result rather than aborting the batch: correct replicas must
-// stay in lockstep even on garbage input.
-func (s *Service) ExecuteBatch(reqs []smr.Request) [][]byte {
+// stay in lockstep even on garbage input. The coin rules do not consume
+// the ordering context — SMaRtCoin state is a pure function of the
+// transaction sequence — so bc is accepted and ignored.
+func (s *Service) ExecuteBatch(bc smr.BatchContext, reqs []smr.Request) [][]byte {
 	results := make([][]byte, len(reqs))
 	for i := range reqs {
 		tx, err := Decode(reqs[i].Op)
@@ -48,6 +50,67 @@ func (s *Service) ExecuteBatch(reqs []smr.Request) [][]byte {
 		results[i] = s.state.Apply(&tx)
 	}
 	return results
+}
+
+// Read-only query operations, served over the consensus-free unordered
+// path (ExecuteUnordered). Query payloads are tagged with a leading kind
+// byte from a namespace disjoint from transaction encodings, so a query
+// can never be mistaken for a state-changing transaction.
+const (
+	// QueryBalance asks for the total value owned by an address.
+	QueryBalance byte = 0x51
+	// QueryUTXOCount asks for the global number of unspent coins.
+	QueryUTXOCount byte = 0x52
+)
+
+// EncodeBalanceQuery frames a balance query for addr.
+func EncodeBalanceQuery(addr crypto.PublicKey) []byte {
+	return append([]byte{QueryBalance}, addr...)
+}
+
+// EncodeUTXOCountQuery frames a UTXO-count query.
+func EncodeUTXOCountQuery() []byte { return []byte{QueryUTXOCount} }
+
+// ParseUint64Result decodes a numeric query result (balance, UTXO count).
+func ParseUint64Result(result []byte) (uint64, error) {
+	if len(result) != 9 || result[0] != ResultOK {
+		return 0, fmt.Errorf("coin: bad query result")
+	}
+	d := codec.NewDecoder(result[1:])
+	v := d.Uint64()
+	if err := d.Finish(); err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func uint64Result(v uint64) []byte {
+	e := codec.NewEncoder(9)
+	e.Byte(ResultOK)
+	e.Uint64(v)
+	return e.Bytes()
+}
+
+// ExecuteUnordered implements the consensus-free read capability: queries
+// are answered from the current local UTXO state. Results are
+// deterministic functions of that state, so the client-side matching-reply
+// quorum establishes that a Byzantine quorum of replicas agree on the
+// answer.
+func (s *Service) ExecuteUnordered(req smr.Request) []byte {
+	if len(req.Op) == 0 {
+		return []byte{ResultErrMalformed}
+	}
+	switch req.Op[0] {
+	case QueryBalance:
+		return uint64Result(s.state.Balance(crypto.PublicKey(req.Op[1:])))
+	case QueryUTXOCount:
+		if len(req.Op) != 1 {
+			return []byte{ResultErrMalformed}
+		}
+		return uint64Result(uint64(s.state.UTXOCount()))
+	default:
+		return []byte{ResultErrMalformed}
+	}
 }
 
 // VerifyOp implements deep per-request verification used by the parallel

@@ -23,16 +23,19 @@ import (
 	"smartchain/internal/view"
 )
 
-// Core-layer transport message types (consensus owns 100–119).
+// Core-layer transport message types (consensus owns 100–119). The
+// request/reply pair is the client⇄replica wire contract and is defined
+// once, in the smr package; the aliases keep core's message-type namespace
+// complete in one place.
 const (
-	MsgRequest     uint16 = 200 // client → replicas: encoded smr.Request
-	MsgReply       uint16 = 201 // replica → client: encoded smr.Reply
-	MsgPersist     uint16 = 210 // PERSIST phase signature share
-	MsgStateReq    uint16 = 220 // state transfer request
-	MsgStateRep    uint16 = 221 // state transfer response
-	MsgJoinAsk     uint16 = 230 // candidate → member: reconfig.JoinRequest
-	MsgJoinVote    uint16 = 231 // member → candidate: reconfig.Vote
-	MsgKeyAnnounce uint16 = 232 // fresh consensus key after a view change
+	MsgRequest            = smr.MsgRequest // client → replicas: encoded smr.Request
+	MsgReply              = smr.MsgReply   // replica → client: encoded smr.Reply
+	MsgPersist     uint16 = 210            // PERSIST phase signature share
+	MsgStateReq    uint16 = 220            // state transfer request
+	MsgStateRep    uint16 = 221            // state transfer response
+	MsgJoinAsk     uint16 = 230            // candidate → member: reconfig.JoinRequest
+	MsgJoinVote    uint16 = 231            // member → candidate: reconfig.Vote
+	MsgKeyAnnounce uint16 = 232            // fresh consensus key after a view change
 )
 
 // Operation kinds: the first byte of every request Op routes it to the
@@ -99,7 +102,10 @@ func (p Persistence) String() string {
 // the canonical implementation.
 type Application interface {
 	// ExecuteBatch applies ordered requests, returning one result each.
-	ExecuteBatch(reqs []smr.Request) [][]byte
+	// The BatchContext carries the ordering coordinates (block number,
+	// consensus instance, epoch) and the decided batch timestamp, which is
+	// identical on every replica and therefore safe to fold into state.
+	ExecuteBatch(bc smr.BatchContext, reqs []smr.Request) [][]byte
 	// Snapshot serializes the service state deterministically.
 	Snapshot() []byte
 	// Restore replaces the state with a snapshot.
@@ -107,6 +113,54 @@ type Application interface {
 	// VerifyOp deeply verifies one request's operation (e.g. the embedded
 	// transaction signature); used by the verification pool.
 	VerifyOp(req *smr.Request) bool
+}
+
+// UnorderedApplication is the optional capability for serving read-only
+// requests directly from replica state, without consensus (paper §II-B:
+// BFT-SMaRt's unordered invocations). Implementations must be
+// deterministic reads of the current state and safe to call concurrently
+// with ExecuteBatch — the unordered path runs outside the ordering driver.
+type UnorderedApplication interface {
+	// ExecuteUnordered answers one read-only request from local state.
+	ExecuteUnordered(req smr.Request) []byte
+}
+
+// LegacyApplication is the pre-BatchContext service contract. Existing
+// applications written against it keep working through AdaptApplication.
+type LegacyApplication interface {
+	ExecuteBatch(reqs []smr.Request) [][]byte
+	Snapshot() []byte
+	Restore(snapshot []byte) error
+	VerifyOp(req *smr.Request) bool
+}
+
+// AdaptApplication wraps a LegacyApplication as an Application, discarding
+// the BatchContext. If the legacy service also implements
+// UnorderedApplication, the capability is preserved.
+func AdaptApplication(app LegacyApplication) Application {
+	base := legacyAdapter{app: app}
+	if u, ok := app.(UnorderedApplication); ok {
+		return &legacyUnorderedAdapter{legacyAdapter: base, unordered: u}
+	}
+	return &base
+}
+
+type legacyAdapter struct{ app LegacyApplication }
+
+func (a *legacyAdapter) ExecuteBatch(_ smr.BatchContext, reqs []smr.Request) [][]byte {
+	return a.app.ExecuteBatch(reqs)
+}
+func (a *legacyAdapter) Snapshot() []byte               { return a.app.Snapshot() }
+func (a *legacyAdapter) Restore(snapshot []byte) error  { return a.app.Restore(snapshot) }
+func (a *legacyAdapter) VerifyOp(req *smr.Request) bool { return a.app.VerifyOp(req) }
+
+type legacyUnorderedAdapter struct {
+	legacyAdapter
+	unordered UnorderedApplication
+}
+
+func (a *legacyUnorderedAdapter) ExecuteUnordered(req smr.Request) []byte {
+	return a.unordered.ExecuteUnordered(req)
 }
 
 // Config parameterizes a node.
@@ -216,6 +270,7 @@ type Node struct {
 	blocksBuilt    atomic.Int64
 	viewChanges    atomic.Int64
 	lastReplyBlock atomic.Int64
+	unorderedReads atomic.Int64
 }
 
 // Errors returned by node operations.
@@ -339,8 +394,7 @@ func (n *Node) startEngineLocked() {
 			if len(value) == 0 {
 				return true
 			}
-			_, err := smr.DecodeBatch(value)
-			return err == nil
+			return smr.ValidBatchValue(value)
 		},
 		// RequestValue is deliberately absent: batch handout stays with
 		// the ordering driver, which tracks every handed-out batch per
@@ -416,15 +470,22 @@ type Stats struct {
 	Blocks      int64
 	ViewChanges int64
 	Height      int64
+	// UnorderedReads counts read-only requests served from local state.
+	UnorderedReads int64
+	// Instances is the number of consensus instances committed so far —
+	// the accounting that lets tests prove unordered reads consume none.
+	Instances int64
 }
 
 // Stats returns current counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		ExecutedTxs: n.executedTxs.Load(),
-		Blocks:      n.blocksBuilt.Load(),
-		ViewChanges: n.viewChanges.Load(),
-		Height:      n.ledger.Height(),
+		ExecutedTxs:    n.executedTxs.Load(),
+		Blocks:         n.blocksBuilt.Load(),
+		ViewChanges:    n.viewChanges.Load(),
+		Height:         n.ledger.Height(),
+		UnorderedReads: n.unorderedReads.Load(),
+		Instances:      n.nextInstance.Load() - 1,
 	}
 }
 
@@ -461,6 +522,51 @@ func (n *Node) enqueueRequest(req smr.Request) {
 	}
 }
 
+// serveUnordered answers a read-only request directly from the local
+// application state: verify the request envelope per the configured
+// strategy, execute against the current state, reply immediately. The
+// batcher, consensus, the ledger, and the durability path are never
+// involved, so the read consumes no consensus instance and costs no
+// ordering latency. Any reachable replica answers; the client's matching-
+// reply quorum is what makes the result trustworthy.
+func (n *Node) serveUnordered(req smr.Request) {
+	n.mu.Lock()
+	retired := n.retired
+	n.mu.Unlock()
+	if retired {
+		return
+	}
+	exec := func(r smr.Request, ok bool) {
+		if !ok {
+			return
+		}
+		var result []byte
+		if len(r.Op) > 0 && r.Op[0] == OpApp {
+			if ua, capable := n.app.(UnorderedApplication); capable {
+				unwrapped := r
+				unwrapped.Op = r.Op[1:]
+				result = ua.ExecuteUnordered(unwrapped)
+			} else {
+				result = resultUnorderedUnsupported
+			}
+		} else {
+			// Only application reads exist on this path: reconfiguration
+			// operations are state changes and must be ordered.
+			result = resultBadOperation
+		}
+		n.unorderedReads.Add(1)
+		rep := smr.Reply{ReplicaID: n.cfg.Self, ClientID: r.ClientID, Seq: r.Seq,
+			Digest: r.Digest(), Result: result}
+		_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode())
+	}
+	// Every mode goes through the verifier pool, whose workers implement
+	// the mode's semantics (VerifyNone passes, VerifySequential is one
+	// worker, VerifyParallel is a pool). Crucially, this moves signature
+	// checking AND the state read off the dispatch goroutine: a burst of
+	// reads must never head-of-line-block consensus messages behind it.
+	n.verifier.Submit(req, exec)
+}
+
 // receiveLoop dispatches transport messages to the right handler.
 func (n *Node) receiveLoop() {
 	defer close(n.recvDone)
@@ -490,6 +596,12 @@ func (n *Node) dispatch(m transport.Message) {
 	case m.Type == MsgRequest:
 		req, err := smr.DecodeRequest(m.Payload)
 		if err != nil {
+			return
+		}
+		if req.Unordered() {
+			// Consensus-free read path: never touches the batcher or the
+			// ordering driver.
+			n.serveUnordered(req)
 			return
 		}
 		n.enqueueRequest(req)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -52,7 +53,7 @@ func mint(t *testing.T, p *client.Proxy, nonce uint64, values ...uint64) []coin.
 	if err != nil {
 		t.Fatalf("mint tx: %v", err)
 	}
-	res, err := p.Invoke(WrapAppOp(tx.Encode()))
+	res, err := p.Invoke(context.Background(), WrapAppOp(tx.Encode()))
 	if err != nil {
 		t.Fatalf("invoke mint: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestClusterMintAndSpend(t *testing.T) {
 	if err != nil {
 		t.Fatalf("spend tx: %v", err)
 	}
-	res, err := p.Invoke(WrapAppOp(spend.Encode()))
+	res, err := p.Invoke(context.Background(), WrapAppOp(spend.Encode()))
 	if err != nil {
 		t.Fatalf("invoke spend: %v", err)
 	}
@@ -303,6 +304,10 @@ func TestClusterLeave(t *testing.T) {
 	if err := c.Leave(4, 15*time.Second); err != nil {
 		t.Fatalf("leave: %v", err)
 	}
+	// Leave returns when the LEAVER has retired; the remaining replicas
+	// install the new view as they commit the reconfiguration block, which
+	// can lag by a moment — poll instead of snapshotting.
+	deadline := time.Now().Add(10 * time.Second)
 	for id, cn := range c.Nodes {
 		if id == 4 {
 			if !cn.Node.Retired() {
@@ -310,9 +315,15 @@ func TestClusterLeave(t *testing.T) {
 			}
 			continue
 		}
-		v := cn.Node.View()
-		if v.N() != 4 || v.Contains(4) {
-			t.Fatalf("replica %d view after leave: %v", id, v)
+		for {
+			v := cn.Node.View()
+			if v.N() == 4 && !v.Contains(4) {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replica %d view after leave: %v", id, v)
+			}
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 	p.SetMembers(c.Members())
@@ -402,7 +413,7 @@ func TestClusterRejectsForgedClientRequests(t *testing.T) {
 	forged := WrapAppOp(tx.Encode())
 	ep := c.ClientEndpoint()
 	evil := client.New(ep, crypto.SeededKeyPair("evil", 1), c.Members(), client.WithTimeout(time.Second))
-	if _, err := evil.Invoke(forged); err == nil {
+	if _, err := evil.Invoke(context.Background(), forged); err == nil {
 		t.Fatal("forged transaction must not gather a reply quorum")
 	}
 

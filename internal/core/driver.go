@@ -19,6 +19,9 @@ var (
 	resultReconfigOK    = []byte{0x01}
 	resultReconfigError = []byte{0xF2}
 	resultDuplicate     = []byte{0xF3}
+	// resultUnorderedUnsupported answers unordered reads when the hosted
+	// application does not implement UnorderedApplication.
+	resultUnorderedUnsupported = []byte{0xF4}
 )
 
 // driverLoop is the ordering driver: it keeps a window of up to
@@ -348,7 +351,8 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 	fresh := n.batcher.Fresh(batch.Requests)
 	n.batcher.MarkDelivered(batch.Requests)
 
-	results, update := n.executeBatch(batch.Requests, fresh)
+	bc := smr.NewBatchContext(n.ledger.Height()+1, d.Instance, d.Epoch, &batch)
+	results, update := n.executeBatch(bc, batch.Requests, fresh)
 	n.executedTxs.Add(int64(len(batch.Requests)))
 
 	kind := blockchain.KindTransactions
@@ -370,6 +374,7 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 			ReplicaID: n.cfg.Self,
 			ClientID:  batch.Requests[i].ClientID,
 			Seq:       batch.Requests[i].Seq,
+			Digest:    batch.Requests[i].Digest(),
 			Result:    results[i],
 		}
 	}
@@ -428,13 +433,13 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 }
 
 // executeBatch routes each ordered request: application operations go to
-// the service (in one bulk ExecuteBatch call, preserving order), and
-// reconfiguration operations run the membership logic (paper §V-D). At most
-// one view change takes effect per block; competing changes in the same
-// batch fail deterministically. Requests whose fresh flag is false were
-// already executed in an earlier block and are skipped with a
-// deterministic duplicate result.
-func (n *Node) executeBatch(reqs []smr.Request, fresh []bool) ([][]byte, *blockchain.ViewUpdate) {
+// the service (in one bulk ExecuteBatch call with the ordering context,
+// preserving order), and reconfiguration operations run the membership
+// logic (paper §V-D). At most one view change takes effect per block;
+// competing changes in the same batch fail deterministically. Requests
+// whose fresh flag is false were already executed in an earlier block and
+// are skipped with a deterministic duplicate result.
+func (n *Node) executeBatch(bc smr.BatchContext, reqs []smr.Request, fresh []bool) ([][]byte, *blockchain.ViewUpdate) {
 	results := make([][]byte, len(reqs))
 	sequential := n.cfg.Verify == smr.VerifySequential
 
@@ -518,7 +523,7 @@ func (n *Node) executeBatch(reqs []smr.Request, fresh []bool) ([][]byte, *blockc
 	}
 
 	if len(appReqs) > 0 {
-		appResults := n.app.ExecuteBatch(appReqs)
+		appResults := n.app.ExecuteBatch(bc, appReqs)
 		for j, idx := range appIdx {
 			results[idx] = appResults[j]
 		}

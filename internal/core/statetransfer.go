@@ -134,7 +134,10 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 		}
 	}
 	if len(appReqs) > 0 {
-		n.app.ExecuteBatch(appReqs)
+		// Same ordering context as the live execution: replay must be
+		// bit-identical, including any timestamp-derived state.
+		bc := smr.NewBatchContext(b.Header.Number, b.Body.ConsensusID, b.Body.Epoch, &batch)
+		n.app.ExecuteBatch(bc, appReqs)
 	}
 	if b.Body.Kind == blockchain.KindReconfig && b.Body.Update != nil {
 		u := b.Body.Update

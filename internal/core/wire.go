@@ -6,6 +6,7 @@ import (
 	"smartchain/internal/blockchain"
 	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
 	"smartchain/internal/view"
 )
 
@@ -90,10 +91,11 @@ type snapshotEnvelope struct {
 	View         view.View
 	PermKeys     map[int32]crypto.PublicKey
 	AppState     []byte
-	// Watermarks is the per-client executed sequence watermark at Height:
+	// Watermarks is the per-client executed-sequence record at Height
+	// (contiguous low watermark plus the out-of-order executed set):
 	// replaying blocks after the snapshot must skip exactly the duplicate
 	// ordered requests the live execution skipped.
-	Watermarks map[int64]uint64
+	Watermarks map[int64]smr.Watermark
 }
 
 func (s *snapshotEnvelope) encode() []byte {
@@ -110,8 +112,13 @@ func (s *snapshotEnvelope) encode() []byte {
 	e.WriteBytes(s.AppState)
 	e.Uint32(uint32(len(s.Watermarks)))
 	for _, c := range sortedClients(s.Watermarks) {
+		w := s.Watermarks[c]
 		e.Int64(c)
-		e.Uint64(s.Watermarks[c])
+		e.Uint64(w.Low)
+		e.Uint32(uint32(len(w.Executed)))
+		for _, seq := range w.Executed {
+			e.Uint64(seq)
+		}
 	}
 	return e.Bytes()
 }
@@ -141,10 +148,19 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 	if d.Err() != nil || nw > 1<<24 {
 		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad watermark count")
 	}
-	s.Watermarks = make(map[int64]uint64, nw)
+	s.Watermarks = make(map[int64]smr.Watermark, nw)
 	for i := uint32(0); i < nw; i++ {
 		c := d.Int64()
-		s.Watermarks[c] = d.Uint64()
+		var w smr.Watermark
+		w.Low = d.Uint64()
+		ne := d.Uint32()
+		if d.Err() != nil || ne > 1<<24 {
+			return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad executed-set count")
+		}
+		for j := uint32(0); j < ne; j++ {
+			w.Executed = append(w.Executed, d.Uint64())
+		}
+		s.Watermarks[c] = w
 	}
 	if err := d.Finish(); err != nil {
 		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: %w", err)
@@ -154,7 +170,7 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 
 // sortedClients orders watermark client IDs so snapshot bytes are
 // deterministic across replicas.
-func sortedClients(m map[int64]uint64) []int64 {
+func sortedClients(m map[int64]smr.Watermark) []int64 {
 	out := make([]int64, 0, len(m))
 	for c := range m {
 		out = append(out, c)

@@ -25,6 +25,11 @@ type ExpOptions struct {
 	MaxBatch int
 	// Disk selects the storage device model (nil = HDD profile).
 	Disk func() *storage.SimDisk
+	// Depths is the set of consensus ordering windows W the Fig. 6-style
+	// sweeps cover (ROADMAP follow-up from PR 1: the window is an axis of
+	// the evaluation, not a fixed constant). Empty means {0}, i.e. the
+	// node default.
+	Depths []int
 }
 
 // Defaults fills unset fields.
@@ -44,7 +49,18 @@ func (o ExpOptions) Defaults() ExpOptions {
 	if o.Disk == nil {
 		o.Disk = storage.HDDProfile
 	}
+	if len(o.Depths) == 0 {
+		o.Depths = []int{0}
+	}
 	return o
+}
+
+// depthLabel renders a window depth for experiment labels.
+func depthLabel(w int) string {
+	if w <= 0 {
+		return fmt.Sprintf("W=%d", core.DefaultPipelineDepth)
+	}
+	return fmt.Sprintf("W=%d", w)
 }
 
 // Row is one labeled measurement.
@@ -81,9 +97,10 @@ func verifyCoinOp(req *smr.Request) bool {
 	return tx.VerifySig() == nil
 }
 
-// runSmartChain measures one SMARTCHAIN configuration.
+// runSmartChain measures one SMARTCHAIN configuration. depth is the
+// ordering window W (0 = node default).
 func runSmartChain(label string, n int, persistence core.Persistence, storageMode smr.StorageMode,
-	verify smr.VerifyMode, pipeline bool, mintOnly bool, o ExpOptions) (Row, error) {
+	verify smr.VerifyMode, pipeline bool, mintOnly bool, depth int, o ExpOptions) (Row, error) {
 	appFactory, _ := coinAppFactory(label, o.Clients)
 	cluster, err := core.NewCluster(core.ClusterConfig{
 		N:                n,
@@ -92,6 +109,7 @@ func runSmartChain(label string, n int, persistence core.Persistence, storageMod
 		Storage:          storageMode,
 		Verify:           verify,
 		Pipeline:         pipeline,
+		PipelineDepth:    depth,
 		DiskFactory:      o.Disk,
 		MaxBatch:         o.MaxBatch,
 		ConsensusTimeout: 2 * time.Second,
@@ -190,7 +208,7 @@ func TableI(o ExpOptions) ([]Row, error) {
 			{"par-verify/async", smr.VerifyParallel, smr.StorageAsync, tx.mintOnly},
 		} {
 			label := fmt.Sprintf("t1/%s/%s", tx.name, c.name)
-			row, err := runSmartChain(label, 4, core.PersistenceWeak, c.storage, c.verify, false, tx.mintOnly, o)
+			row, err := runSmartChain(label, 4, core.PersistenceWeak, c.storage, c.verify, false, tx.mintOnly, 0, o)
 			if err != nil {
 				return rows, err
 			}
@@ -226,21 +244,29 @@ func Fig6(sizes []int, o ExpOptions) ([]Row, error) {
 	for _, n := range sizes {
 		for _, c := range configs {
 			for _, sys := range []string{"strong", "weak", "dura"} {
-				label := fmt.Sprintf("f6/n%d/%s/%s", n, sys, c.name)
-				var row Row
-				var err error
-				switch sys {
-				case "strong":
-					row, err = runSmartChain(label, n, core.PersistenceStrong, c.storage, c.verify, true, false, o)
-				case "weak":
-					row, err = runSmartChain(label, n, core.PersistenceWeak, c.storage, c.verify, true, false, o)
-				case "dura":
-					row, err = runBaseline(label, baselines.KindDuraSMaRt, n, c.storage, c.verify, o)
+				if sys == "dura" {
+					// The baseline has no ordering window; measure it once
+					// per (n, config) regardless of the depth sweep.
+					label := fmt.Sprintf("f6/n%d/%s/%s", n, sys, c.name)
+					row, err := runBaseline(label, baselines.KindDuraSMaRt, n, c.storage, c.verify, o)
+					if err != nil {
+						return rows, err
+					}
+					rows = append(rows, row)
+					continue
 				}
-				if err != nil {
-					return rows, err
+				for _, w := range o.Depths {
+					label := fmt.Sprintf("f6/n%d/%s/%s/%s", n, sys, c.name, depthLabel(w))
+					persistence := core.PersistenceStrong
+					if sys == "weak" {
+						persistence = core.PersistenceWeak
+					}
+					row, err := runSmartChain(label, n, persistence, c.storage, c.verify, true, false, w, o)
+					if err != nil {
+						return rows, err
+					}
+					rows = append(rows, row)
 				}
-				rows = append(rows, row)
 			}
 		}
 	}
@@ -253,12 +279,12 @@ func Fig6(sizes []int, o ExpOptions) ([]Row, error) {
 func TableII(o ExpOptions) ([]Row, error) {
 	o = o.Defaults()
 	var rows []Row
-	row, err := runSmartChain("t2/smartchain-strong", 4, core.PersistenceStrong, smr.StorageSync, smr.VerifyParallel, true, false, o)
+	row, err := runSmartChain("t2/smartchain-strong", 4, core.PersistenceStrong, smr.StorageSync, smr.VerifyParallel, true, false, 0, o)
 	if err != nil {
 		return rows, err
 	}
 	rows = append(rows, row)
-	row, err = runSmartChain("t2/smartchain-weak", 4, core.PersistenceWeak, smr.StorageSync, smr.VerifyParallel, true, false, o)
+	row, err = runSmartChain("t2/smartchain-weak", 4, core.PersistenceWeak, smr.StorageSync, smr.VerifyParallel, true, false, 0, o)
 	if err != nil {
 		return rows, err
 	}
@@ -286,7 +312,7 @@ func AblationPipeline(o ExpOptions) ([]Row, error) {
 		name     string
 		pipeline bool
 	}{{"pipeline-on", true}, {"pipeline-off", false}} {
-		row, err := runSmartChain("ablate/"+p.name, 4, core.PersistenceWeak, smr.StorageSync, smr.VerifyParallel, p.pipeline, false, o)
+		row, err := runSmartChain("ablate/"+p.name, 4, core.PersistenceWeak, smr.StorageSync, smr.VerifyParallel, p.pipeline, false, 0, o)
 		if err != nil {
 			return rows, err
 		}
@@ -343,6 +369,92 @@ func PipelineWindow(depths []int, latency time.Duration, o ExpOptions) ([]Row, e
 	return rows, nil
 }
 
+// OpenLoop isolates the invocation-API axis: the same W=8 deployment under
+// (a) closed-loop clients (one in-flight op each — the load shape that
+// starved PR 1's ordering window), (b) the same number of asynchronous
+// open-loop clients each keeping `inflight` invocations outstanding via
+// InvokeAsync, and (c) the same fleet issuing unordered balance reads that
+// skip consensus entirely. Mint-only and query scripts keep the workloads
+// prev-independent so the async pipeline is exercised honestly.
+func OpenLoop(inflight int, latency time.Duration, o ExpOptions) ([]Row, error) {
+	o = o.Defaults()
+	if inflight <= 0 {
+		inflight = 16
+	}
+	type mode struct {
+		name        string
+		concurrency int
+		unordered   bool
+	}
+	modes := []mode{
+		{"closed-loop", 1, false},
+		{fmt.Sprintf("async/K=%d", inflight), inflight, false},
+		{"unordered-reads", 1, true},
+	}
+	var rows []Row
+	for _, m := range modes {
+		label := "openloop/" + m.name
+		appFactory, _ := coinAppFactory(label, o.Clients)
+		cluster, err := core.NewCluster(core.ClusterConfig{
+			N:                4,
+			AppFactory:       appFactory,
+			Persistence:      core.PersistenceWeak,
+			Storage:          smr.StorageMemory,
+			Verify:           smr.VerifyNone,
+			Pipeline:         true,
+			PipelineDepth:    8,
+			MaxBatch:         64,
+			ConsensusTimeout: 2 * time.Second,
+			NetLatency:       latency,
+			ChainID:          label,
+		})
+		if err != nil {
+			return rows, err
+		}
+		instancesBefore := clusterInstances(cluster)
+		res := Run(cluster, Options{
+			Clients:     o.Clients,
+			Warmup:      o.Warmup,
+			Duration:    o.Measure,
+			Concurrency: m.concurrency,
+			Unordered:   m.unordered,
+			Scripts: func(i int) workload.Script {
+				if m.unordered {
+					return workload.NewBalanceQueryScript(label, int64(i))
+				}
+				return workload.NewMintOnlyScript(label, int64(i))
+			},
+			WrapOp: core.WrapAppOp,
+		})
+		row := Row{Label: label, Throughput: res.Throughput, Std: res.ThroughputStd,
+			MeanLat: res.MeanLatency, P99Lat: res.P99Latency}
+		if m.unordered {
+			// The consensus-free claim, checked by accounting: reads
+			// completed while the instance counter stood still (empty-batch
+			// noise aside, a quiet cluster commits no instances).
+			if used := clusterInstances(cluster) - instancesBefore; used > 0 {
+				row.Label += fmt.Sprintf(" (+%d consensus instances!)", used)
+			} else {
+				row.Label += " (0 consensus instances)"
+			}
+		}
+		cluster.Stop()
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// clusterInstances sums committed consensus instances across live replicas.
+func clusterInstances(c *core.Cluster) int64 {
+	var total int64
+	for _, cn := range c.Nodes {
+		if cn.Node != nil {
+			total += cn.Node.Stats().Instances
+		}
+	}
+	return total
+}
+
 // Fig8Point measures the replica-update (state transfer replay) time for a
 // chain of `blocks` blocks with a checkpoint every `ckptPeriod` blocks
 // (0 = no checkpoints): the receiving replica restores the latest snapshot
@@ -373,7 +485,7 @@ func Fig8Point(blocks int, ckptPeriod int, txPerBlock int) (time.Duration, error
 		if err != nil {
 			return 0, err
 		}
-		fresh.ExecuteBatch(batch.Requests)
+		fresh.ExecuteBatch(smr.BatchContext{}, batch.Requests)
 	}
 	return time.Since(start), nil
 }
@@ -406,7 +518,7 @@ func buildChain(label string, blocks, ckptPeriod, txPerBlock int) ([][]byte, map
 		batch := smr.Batch{Requests: reqs}
 		data := batch.Encode()
 		chain = append(chain, data)
-		svc.ExecuteBatch(reqs)
+		svc.ExecuteBatch(smr.BatchContext{}, reqs)
 		if ckptPeriod > 0 && b%ckptPeriod == 0 {
 			snapshots[b] = svc.Snapshot()
 		}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -100,6 +101,7 @@ func Fig7(opts Fig7Options) ([]Fig7Point, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			defer proxy.Close()
 			var prev []byte
 			for {
 				select {
@@ -111,7 +113,7 @@ func Fig7(opts Fig7Options) ([]Fig7Point, error) {
 				if !ok {
 					return
 				}
-				res, err := proxy.Invoke(core.WrapAppOp(op))
+				res, err := proxy.Invoke(context.Background(), core.WrapAppOp(op))
 				if err != nil {
 					prev = nil
 					// Membership may have changed under us.

@@ -1,10 +1,11 @@
-// Package harness drives load experiments: closed-loop client fleets over
-// an in-process deployment, interval throughput measurement, and the
-// paper's methodology (§VI-A) of discarding the highest-variance intervals
-// before averaging.
+// Package harness drives load experiments: closed-loop and open-loop
+// (asynchronous, capped in-flight) client fleets over an in-process
+// deployment, interval throughput measurement, and the paper's methodology
+// (§VI-A) of discarding the highest-variance intervals before averaging.
 package harness
 
 import (
+	"context"
 	"math"
 	"sort"
 	"sync"
@@ -40,8 +41,19 @@ type Options struct {
 	WrapOp func([]byte) []byte
 	// SampleEvery sets the throughput sampling interval (default 250 ms).
 	SampleEvery time.Duration
-	// InvokeTimeout bounds one invocation (default 30 s).
+	// InvokeTimeout bounds one invocation when the context carries no
+	// deadline (default 30 s); it is installed as the proxy's WithTimeout
+	// fallback, so a caller-supplied context deadline always wins.
 	InvokeTimeout time.Duration
+	// Concurrency caps the in-flight invocations per client. 0 or 1 is the
+	// classic closed loop (each NextOp feeds on the previous result);
+	// K > 1 is an open-loop pipeline of up to K outstanding InvokeAsync
+	// calls per client — scripts must then be prev-independent (mint-only,
+	// queries), since results complete out of submission order.
+	Concurrency int
+	// Unordered routes every operation through InvokeUnordered: the
+	// consensus-free read path answered directly from replica state.
+	Unordered bool
 }
 
 // Result summarizes one run.
@@ -88,13 +100,35 @@ func Run(sys System, opts Options) Result {
 		latMu     sync.Mutex
 		latencies []time.Duration
 	)
+	record := func(start time.Time, err error) {
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		if measuring.Load() {
+			completed.Add(1)
+			d := time.Since(start)
+			latMu.Lock()
+			if len(latencies) < 1<<20 {
+				latencies = append(latencies, d)
+			}
+			latMu.Unlock()
+		}
+	}
 
+	ctx := context.Background()
 	members := sys.Members()
+	proxies := make([]*client.Proxy, 0, opts.Clients)
 	for i := 0; i < opts.Clients; i++ {
 		script := opts.Scripts(i)
 		proxy := client.New(sys.ClientEndpoint(), script.Key(), members,
 			client.WithTimeout(opts.InvokeTimeout))
+		proxies = append(proxies, proxy)
 		wg.Add(1)
+		if opts.Concurrency > 1 {
+			go openLoopClient(ctx, &wg, stop, proxy, script, wrap, opts, record)
+			continue
+		}
 		go func() {
 			defer wg.Done()
 			var prev []byte
@@ -109,22 +143,20 @@ func Run(sys System, opts Options) Result {
 					return
 				}
 				start := time.Now()
-				res, err := proxy.Invoke(wrap(op))
+				var res []byte
+				var err error
+				if opts.Unordered {
+					res, err = proxy.InvokeUnordered(ctx, wrap(op))
+				} else {
+					res, err = proxy.Invoke(ctx, wrap(op))
+				}
 				if err != nil {
-					errs.Add(1)
+					record(start, err)
 					prev = nil
 					continue
 				}
 				prev = res
-				if measuring.Load() {
-					completed.Add(1)
-					d := time.Since(start)
-					latMu.Lock()
-					if len(latencies) < 1<<20 {
-						latencies = append(latencies, d)
-					}
-					latMu.Unlock()
-				}
+				record(start, nil)
 			}
 		}()
 	}
@@ -157,6 +189,9 @@ sampling:
 	measuring.Store(false)
 	close(stop)
 	wg.Wait()
+	for _, p := range proxies {
+		p.Close()
+	}
 
 	res := Result{
 		Completed: completed.Load(),
@@ -166,6 +201,46 @@ sampling:
 	res.Throughput, res.ThroughputStd = TrimmedMean(samples, 0.2)
 	res.MeanLatency, res.P99Latency = latencyStats(latencies)
 	return res
+}
+
+// openLoopClient pumps up to opts.Concurrency asynchronous invocations per
+// client: it submits through InvokeAsync without waiting for the previous
+// result (the open-loop load PR 1's ordering window was starved of by
+// closed-loop clients), bounded by an in-flight cap so a slow system
+// applies backpressure instead of accumulating unbounded futures.
+func openLoopClient(ctx context.Context, wg *sync.WaitGroup, stop <-chan struct{},
+	proxy *client.Proxy, script workload.Script, wrap func([]byte) []byte,
+	opts Options, record func(time.Time, error)) {
+	defer wg.Done()
+	inflight := make(chan struct{}, opts.Concurrency)
+	var futures sync.WaitGroup
+	defer futures.Wait()
+	for {
+		select {
+		case <-stop:
+			return
+		case inflight <- struct{}{}:
+		}
+		op, ok := script.NextOp(nil)
+		if !ok {
+			<-inflight
+			return
+		}
+		start := time.Now()
+		var fut *client.Future
+		if opts.Unordered {
+			fut = proxy.InvokeUnorderedAsync(ctx, wrap(op))
+		} else {
+			fut = proxy.InvokeAsync(ctx, wrap(op))
+		}
+		futures.Add(1)
+		go func() {
+			defer futures.Done()
+			_, err := fut.Result()
+			record(start, err)
+			<-inflight
+		}()
+	}
 }
 
 // TrimmedMean discards the `trim` fraction of samples farthest from the

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math"
+	"strings"
 	"testing"
 	"time"
 )
@@ -99,5 +100,36 @@ func TestExpOptionsDefaults(t *testing.T) {
 	o2 := ExpOptions{Clients: 7}.Defaults()
 	if o2.Clients != 7 {
 		t.Fatalf("explicit clients overridden: %d", o2.Clients)
+	}
+}
+
+// TestOpenLoopAsyncBeatsClosedLoop is a scaled-down regression of the
+// openloop experiment: equal client counts at W=8, async pipelining must
+// out-deliver the closed loop, and the unordered-read row must report zero
+// consensus instances consumed.
+func TestOpenLoopAsyncBeatsClosedLoop(t *testing.T) {
+	rows, err := OpenLoop(16, 2*time.Millisecond, ExpOptions{
+		Clients: 16,
+		Warmup:  300 * time.Millisecond,
+		Measure: 1200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for _, r := range rows {
+		t.Logf("%s", r)
+		if r.Throughput <= 0 {
+			t.Fatalf("%s: zero throughput", r.Label)
+		}
+	}
+	if rows[1].Throughput < 1.5*rows[0].Throughput {
+		t.Fatalf("async (%.0f tx/s) does not beat closed-loop (%.0f tx/s)",
+			rows[1].Throughput, rows[0].Throughput)
+	}
+	if !strings.Contains(rows[2].Label, "(0 consensus instances)") {
+		t.Fatalf("unordered reads consumed consensus instances: %s", rows[2].Label)
 	}
 }

@@ -1,13 +1,15 @@
 package smr
 
 import (
+	"sort"
 	"sync"
+	"time"
 )
 
 // Batcher accumulates verified client requests and hands out batches of at
 // most maxBatch for the next consensus instance (paper §II-C1: "a leader
 // replica proposing a batch of client operations"). It deduplicates by
-// (client, seq), tracks the highest executed sequence number per client so
+// (client, seq), tracks which sequence numbers each client has executed so
 // replayed or duplicate requests are never ordered twice, and exposes a
 // readiness channel so a driver can select on "work available" alongside
 // other events.
@@ -18,21 +20,90 @@ import (
 // instance was abandoned), so no request can appear in two concurrent
 // batches. Outstanding reports how many requests are in that handed-out
 // state.
+//
+// The executed record per client is a low watermark plus a sparse set of
+// executed sequence numbers above it, NOT a plain high watermark: an
+// asynchronous client keeps many invocations in flight on one identity,
+// and with W concurrent instances seq 6 can commit before seq 5. A high
+// watermark would then misclassify seq 5 as a replay forever; the sparse
+// set keeps the gap open until seq 5 really executes. The state remains a
+// pure function of the committed prefix (plus the restored checkpoint), so
+// every replica judges freshness identically.
 type Batcher struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
 	pending  []Request
 	inFlight map[dedupeKey]bool
-	handed   map[dedupeKey]bool // handed out in a batch, not yet delivered
-	lastExec map[int64]uint64   // client → highest executed seq
+	handed   map[dedupeKey]bool       // handed out in a batch, not yet delivered
+	executed map[int64]*executedMarks // sender ident → executed-seq record
 	maxBatch int
 	closed   bool
 	ready    chan struct{}
 }
 
 type dedupeKey struct {
-	client int64
-	seq    uint64
+	ident int64 // Request.Ident(): fingerprint of (ClientID, PubKey)
+	seq   uint64
+}
+
+// seqWindowSpan bounds how far the sparse executed set may trail behind a
+// client's newest executed sequence number. A sequence the client abandoned
+// (cancelled context, crash) would otherwise leave a hole that pins the low
+// watermark forever; once it falls this far behind it is deterministically
+// declared stale — the same closure BFT-SMaRt's request watermarks apply.
+const seqWindowSpan = 1 << 16
+
+// executedMarks is one client's executed record: every seq ≤ low has
+// executed or is permanently stale; above contains the executed seqs > low.
+type executedMarks struct {
+	low   uint64
+	max   uint64
+	above map[uint64]struct{}
+}
+
+func (m *executedMarks) contains(seq uint64) bool {
+	if seq <= m.low {
+		return true
+	}
+	_, ok := m.above[seq]
+	return ok
+}
+
+// mark records seq as executed and advances the contiguous low watermark,
+// then closes the window: holes older than seqWindowSpan behind max become
+// stale. Deterministic given the same mark sequence.
+func (m *executedMarks) mark(seq uint64) {
+	if m.contains(seq) {
+		return
+	}
+	m.above[seq] = struct{}{}
+	if seq > m.max {
+		m.max = seq
+	}
+	for {
+		if _, ok := m.above[m.low+1]; !ok {
+			break
+		}
+		m.low++
+		delete(m.above, m.low)
+	}
+	if m.max > seqWindowSpan && m.low < m.max-seqWindowSpan {
+		m.low = m.max - seqWindowSpan
+		for s := range m.above {
+			if s <= m.low {
+				delete(m.above, s)
+			}
+		}
+	}
+}
+
+// Watermark is the serializable form of one client's executed record,
+// shipped inside checkpoints and state transfer.
+type Watermark struct {
+	// Low is the contiguous watermark: every seq ≤ Low is executed/stale.
+	Low uint64
+	// Executed lists the executed seqs above Low, sorted ascending.
+	Executed []uint64
 }
 
 // NewBatcher creates a batcher with the given maximum batch size (the
@@ -44,7 +115,7 @@ func NewBatcher(maxBatch int) *Batcher {
 	b := &Batcher{
 		inFlight: make(map[dedupeKey]bool),
 		handed:   make(map[dedupeKey]bool),
-		lastExec: make(map[int64]uint64),
+		executed: make(map[int64]*executedMarks),
 		maxBatch: maxBatch,
 		ready:    make(chan struct{}, 1),
 	}
@@ -52,13 +123,33 @@ func NewBatcher(maxBatch int) *Batcher {
 	return b
 }
 
+// marksFor returns (creating on demand) the executed record for a sender
+// identity (Request.Ident()).
+func (b *Batcher) marksFor(ident int64) *executedMarks {
+	m := b.executed[ident]
+	if m == nil {
+		m = &executedMarks{above: make(map[uint64]struct{})}
+		b.executed[ident] = m
+	}
+	return m
+}
+
+// executedLocked reports whether (ident, seq) has already executed.
+func (b *Batcher) executedLocked(ident int64, seq uint64) bool {
+	m := b.executed[ident]
+	return m != nil && m.contains(seq)
+}
+
 // Add queues a verified request. Duplicates — same (client, seq) already
-// pending, or a sequence number at or below the client's last executed one
-// — are dropped. Returns whether it was queued.
+// pending, or a sequence number the client has already executed — are
+// dropped. Returns whether it was queued.
 func (b *Batcher) Add(req Request) bool {
-	k := dedupeKey{req.ClientID, req.Seq}
+	if !req.Orderable() {
+		return false // unordered requests never enter the ordering queue
+	}
+	k := dedupeKey{req.Ident(), req.Seq}
 	b.mu.Lock()
-	if b.closed || b.inFlight[k] || req.Seq <= b.lastExec[req.ClientID] {
+	if b.closed || b.inFlight[k] || b.executedLocked(k.ident, req.Seq) {
 		b.mu.Unlock()
 		return false
 	}
@@ -107,10 +198,10 @@ func (b *Batcher) TryNext() (Batch, bool) {
 
 func (b *Batcher) takeLocked() Batch {
 	n := min(len(b.pending), b.maxBatch)
-	batch := Batch{Requests: make([]Request, n)}
+	batch := Batch{Timestamp: time.Now().UnixNano(), Requests: make([]Request, n)}
 	copy(batch.Requests, b.pending[:n])
 	for i := 0; i < n; i++ {
-		b.handed[dedupeKey{batch.Requests[i].ClientID, batch.Requests[i].Seq}] = true
+		b.handed[dedupeKey{batch.Requests[i].Ident(), batch.Requests[i].Seq}] = true
 	}
 	rest := copy(b.pending, b.pending[n:])
 	// Zero the moved-from tail so the GC can reclaim request payloads.
@@ -125,9 +216,10 @@ func (b *Batcher) takeLocked() Batch {
 }
 
 // MarkDelivered records that the given requests were ordered and executed:
-// their dedupe slots are released, the per-client executed watermark rises,
-// and any pending copies (queued locally but ordered via another replica's
-// proposal) are purged so they are never proposed again.
+// their dedupe slots are released, the per-client executed record absorbs
+// their sequence numbers, and any pending copies (queued locally but
+// ordered via another replica's proposal) are purged so they are never
+// proposed again.
 func (b *Batcher) MarkDelivered(reqs []Request) {
 	if len(reqs) == 0 {
 		return
@@ -136,17 +228,22 @@ func (b *Batcher) MarkDelivered(reqs []Request) {
 	defer b.mu.Unlock()
 	delivered := make(map[dedupeKey]bool, len(reqs))
 	for i := range reqs {
-		k := dedupeKey{reqs[i].ClientID, reqs[i].Seq}
+		if !reqs[i].Orderable() {
+			// Only a Byzantine leader's decided value can carry an
+			// unordered request; its UnorderedSeqBit sequence number must
+			// never reach the executed record (whose staleness closure it
+			// would weaponize against the signer's ordered sequence space).
+			continue
+		}
+		k := dedupeKey{reqs[i].Ident(), reqs[i].Seq}
 		delivered[k] = true
 		delete(b.inFlight, k)
 		delete(b.handed, k)
-		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
-			b.lastExec[reqs[i].ClientID] = reqs[i].Seq
-		}
+		b.marksFor(k.ident).mark(reqs[i].Seq)
 	}
 	kept := b.pending[:0]
 	for _, p := range b.pending {
-		if !delivered[dedupeKey{p.ClientID, p.Seq}] {
+		if !delivered[dedupeKey{p.Ident(), p.Seq}] {
 			kept = append(kept, p)
 		}
 	}
@@ -171,8 +268,8 @@ func (b *Batcher) Requeue(reqs []Request) {
 	}
 	merged := make([]Request, 0, len(reqs)+len(b.pending))
 	for i := range reqs {
-		delete(b.handed, dedupeKey{reqs[i].ClientID, reqs[i].Seq})
-		if reqs[i].Seq > b.lastExec[reqs[i].ClientID] {
+		delete(b.handed, dedupeKey{reqs[i].Ident(), reqs[i].Seq})
+		if reqs[i].Orderable() && !b.executedLocked(reqs[i].Ident(), reqs[i].Seq) {
 			merged = append(merged, reqs[i])
 		}
 	}
@@ -202,10 +299,10 @@ func (b *Batcher) Outstanding() int {
 }
 
 // Fresh reports, for each request of an ordered batch, whether it executes
-// for the first time: its sequence number is above the client's executed
-// watermark, accounting for duplicates earlier in the same batch. The
-// commit path calls it BEFORE MarkDelivered raises the watermark. The
-// result is deterministic across replicas because the watermark is a pure
+// for the first time: its (client, seq) is not in the client's executed
+// record and did not appear earlier in the same batch. The commit path
+// calls it BEFORE MarkDelivered absorbs the batch. The result is
+// deterministic across replicas because the executed record is a pure
 // function of the committed chain prefix (plus the restored checkpoint):
 // with a pipelined window a request can be ordered twice — once in a
 // leader-change re-proposal and once in a fresh slot — and every replica
@@ -214,41 +311,55 @@ func (b *Batcher) Fresh(reqs []Request) []bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	out := make([]bool, len(reqs))
-	seen := make(map[int64]uint64, 8)
+	inBatch := make(map[dedupeKey]bool, len(reqs))
 	for i := range reqs {
-		c, s := reqs[i].ClientID, reqs[i].Seq
-		hi, ok := seen[c]
-		if !ok {
-			hi = b.lastExec[c]
+		if !reqs[i].Orderable() {
+			continue // never fresh: must not execute via the ordered path
 		}
-		if s > hi {
-			out[i] = true
-			seen[c] = s
+		k := dedupeKey{reqs[i].Ident(), reqs[i].Seq}
+		if inBatch[k] || b.executedLocked(k.ident, k.seq) {
+			continue
 		}
+		out[i] = true
+		inBatch[k] = true
 	}
 	return out
 }
 
-// Watermarks snapshots the per-client executed watermark for a checkpoint.
-func (b *Batcher) Watermarks() map[int64]uint64 {
+// Watermarks snapshots the per-client executed records for a checkpoint.
+func (b *Batcher) Watermarks() map[int64]Watermark {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make(map[int64]uint64, len(b.lastExec))
-	for c, s := range b.lastExec {
-		out[c] = s
+	out := make(map[int64]Watermark, len(b.executed))
+	for c, m := range b.executed {
+		w := Watermark{Low: m.low, Executed: make([]uint64, 0, len(m.above))}
+		for s := range m.above {
+			w.Executed = append(w.Executed, s)
+		}
+		sort.Slice(w.Executed, func(i, j int) bool { return w.Executed[i] < w.Executed[j] })
+		out[c] = w
 	}
 	return out
 }
 
-// RestoreWatermarks replaces the executed watermark when installing a
+// RestoreWatermarks replaces the executed records when installing a
 // checkpoint: replay after the snapshot must judge freshness exactly as the
 // replicas that executed those blocks live did.
-func (b *Batcher) RestoreWatermarks(w map[int64]uint64) {
+func (b *Batcher) RestoreWatermarks(w map[int64]Watermark) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.lastExec = make(map[int64]uint64, len(w))
-	for c, s := range w {
-		b.lastExec[c] = s
+	b.executed = make(map[int64]*executedMarks, len(w))
+	for c, wm := range w {
+		m := &executedMarks{low: wm.Low, max: wm.Low, above: make(map[uint64]struct{}, len(wm.Executed))}
+		for _, s := range wm.Executed {
+			if s > m.low {
+				m.above[s] = struct{}{}
+				if s > m.max {
+					m.max = s
+				}
+			}
+		}
+		b.executed[c] = m
 	}
 }
 

@@ -1,0 +1,169 @@
+package smr
+
+import (
+	"testing"
+
+	"smartchain/internal/crypto"
+)
+
+func oooReq(t *testing.T, key *crypto.KeyPair, client int64, seq uint64) Request {
+	t.Helper()
+	r, err := NewSignedRequest(client, seq, []byte{byte(seq)}, key)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	return r
+}
+
+// TestBatcherOutOfOrderDelivery is the asynchronous-client scenario: one
+// client has seq 5 and 6 in flight at once and instance order commits 6
+// first. Seq 5 must stay fresh — a plain high watermark would drop it.
+func TestBatcherOutOfOrderDelivery(t *testing.T) {
+	key := crypto.SeededKeyPair("ooo", 1)
+	b := NewBatcher(16)
+	r5 := oooReq(t, key, 7, 5)
+	r6 := oooReq(t, key, 7, 6)
+
+	b.MarkDelivered([]Request{r6}) // instance carrying seq 6 commits first
+
+	if fresh := b.Fresh([]Request{r5}); !fresh[0] {
+		t.Fatal("seq 5 judged stale after seq 6 executed")
+	}
+	if fresh := b.Fresh([]Request{r6}); fresh[0] {
+		t.Fatal("seq 6 judged fresh after executing")
+	}
+	if !b.Add(r5) {
+		t.Fatal("retransmitted seq 5 rejected after seq 6 executed")
+	}
+	if b.Add(r6) {
+		t.Fatal("executed seq 6 re-admitted")
+	}
+
+	b.MarkDelivered([]Request{r5})
+	if fresh := b.Fresh([]Request{r5}); fresh[0] {
+		t.Fatal("seq 5 still fresh after executing")
+	}
+}
+
+// TestBatcherWatermarkRoundTripWithHoles: checkpoint serialization must
+// preserve the out-of-order executed set exactly, or replay diverges.
+func TestBatcherWatermarkRoundTripWithHoles(t *testing.T) {
+	key := crypto.SeededKeyPair("ooo", 2)
+	b := NewBatcher(16)
+	// Execute 1, 2, 4, 6 — holes at 3 and 5.
+	for _, s := range []uint64{1, 2, 4, 6} {
+		b.MarkDelivered([]Request{oooReq(t, key, 9, s)})
+	}
+
+	// Records are keyed by the sender identity fingerprint, not ClientID.
+	identReq := oooReq(t, key, 9, 1)
+	ident := identReq.Ident()
+	w := b.Watermarks()
+	if got := w[ident]; got.Low != 2 || len(got.Executed) != 2 || got.Executed[0] != 4 || got.Executed[1] != 6 {
+		t.Fatalf("watermark: %+v", got)
+	}
+
+	b2 := NewBatcher(16)
+	b2.RestoreWatermarks(w)
+	for _, tc := range []struct {
+		seq   uint64
+		fresh bool
+	}{{1, false}, {2, false}, {3, true}, {4, false}, {5, true}, {6, false}, {7, true}} {
+		if got := b2.Fresh([]Request{oooReq(t, key, 9, tc.seq)})[0]; got != tc.fresh {
+			t.Fatalf("restored freshness of seq %d: got %v want %v", tc.seq, got, tc.fresh)
+		}
+	}
+
+	// Filling hole 3 slides the contiguous watermark to 4.
+	b2.MarkDelivered([]Request{oooReq(t, key, 9, 3)})
+	if w2 := b2.Watermarks()[ident]; w2.Low != 4 || len(w2.Executed) != 1 || w2.Executed[0] != 6 {
+		t.Fatalf("after filling hole: %+v", w2)
+	}
+}
+
+// TestBatcherStaleWindowCloses: a hole abandoned far enough behind the
+// newest executed seq is deterministically declared stale, bounding the
+// sparse set.
+func TestBatcherStaleWindowCloses(t *testing.T) {
+	key := crypto.SeededKeyPair("ooo", 3)
+	b := NewBatcher(16)
+	b.MarkDelivered([]Request{oooReq(t, key, 3, 1)})
+	// Skip seq 2 (abandoned forever), then jump past the window span.
+	far := uint64(2 + seqWindowSpan)
+	b.MarkDelivered([]Request{oooReq(t, key, 3, far)})
+	if fresh := b.Fresh([]Request{oooReq(t, key, 3, 2)}); fresh[0] {
+		t.Fatal("hole older than the window span still fresh")
+	}
+	idReq := oooReq(t, key, 3, 1)
+	if w := b.Watermarks()[idReq.Ident()]; w.Low != far-seqWindowSpan {
+		t.Fatalf("low: got %d want %d", w.Low, far-seqWindowSpan)
+	}
+}
+
+// TestBatcherFreshInBatchDuplicate: the same (client, seq) twice inside one
+// decided batch executes once.
+func TestBatcherFreshInBatchDuplicate(t *testing.T) {
+	key := crypto.SeededKeyPair("ooo", 4)
+	b := NewBatcher(16)
+	r := oooReq(t, key, 5, 1)
+	fresh := b.Fresh([]Request{r, r})
+	if !fresh[0] || fresh[1] {
+		t.Fatalf("in-batch duplicate: %v", fresh)
+	}
+}
+
+// TestBatcherForeignKeyCannotPoisonSeqSpace: executed records are keyed by
+// the (ClientID, PubKey) fingerprint, so an attacker signing requests with
+// its OWN key but a victim's ClientID and future seqs (even one aimed at
+// the staleness closure) burns only its own sequence space.
+func TestBatcherForeignKeyCannotPoisonSeqSpace(t *testing.T) {
+	victim := crypto.SeededKeyPair("ooo", 5)
+	attacker := crypto.SeededKeyPair("ooo", 6)
+	b := NewBatcher(16)
+	b.MarkDelivered([]Request{oooReq(t, attacker, 7, 5), oooReq(t, attacker, 7, 1<<40)})
+	if fresh := b.Fresh([]Request{oooReq(t, victim, 7, 5)}); !fresh[0] {
+		t.Fatal("attacker-signed requests poisoned the victim's sequence space")
+	}
+	if !b.Add(oooReq(t, victim, 7, 5)) {
+		t.Fatal("victim's request rejected after attacker pre-burn")
+	}
+}
+
+// TestBatcherImmuneToOrderedUnorderedRequests: a Byzantine leader batching
+// a victim's signed UNORDERED request (huge UnorderedSeqBit seq) must not
+// poison the victim's ordered executed record via the staleness closure —
+// and such a value must fail proposal validation outright.
+func TestBatcherImmuneToOrderedUnorderedRequests(t *testing.T) {
+	key := crypto.SeededKeyPair("ooo", 7)
+	read, err := NewSignedUnordered(11, 1, []byte("q"), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatcher(16)
+	if b.Add(read) {
+		t.Fatal("unordered request admitted to the ordering queue")
+	}
+	// Even if a hostile decided value reaches the commit path, the record
+	// must stay untouched and the request must never execute as fresh.
+	if fresh := b.Fresh([]Request{read}); fresh[0] {
+		t.Fatal("unordered request judged fresh on the ordered path")
+	}
+	b.MarkDelivered([]Request{read})
+	if len(b.Watermarks()) != 0 {
+		t.Fatalf("unordered request reached the executed record: %v", b.Watermarks())
+	}
+	ordered := oooReq(t, key, 11, 1)
+	if fresh := b.Fresh([]Request{ordered}); !fresh[0] {
+		t.Fatal("victim's ordered seq censored")
+	}
+
+	// Proposal validation rejects the whole value.
+	bad := Batch{Requests: []Request{oooReq(t, key, 11, 2), read}}
+	if ValidBatchValue(bad.Encode()) {
+		t.Fatal("batch carrying an unordered request passed validation")
+	}
+	good := Batch{Requests: []Request{oooReq(t, key, 11, 2)}}
+	if !ValidBatchValue(good.Encode()) {
+		t.Fatal("clean batch rejected")
+	}
+}

@@ -8,6 +8,7 @@ package smr
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
@@ -15,6 +16,32 @@ import (
 
 // ContextRequest is the signature domain for client requests.
 const ContextRequest = "smartchain/request/v1"
+
+// Wire message types of the client⇄replica request/reply contract. This is
+// the single authoritative definition: the client proxy, the SMARTCHAIN
+// node, and the baseline replicas all speak these values (they used to be
+// copy-pasted per package, which could drift).
+const (
+	// MsgRequest carries an encoded Request, client → replicas.
+	MsgRequest uint16 = 200
+	// MsgReply carries an encoded Reply, replica → client.
+	MsgReply uint16 = 201
+)
+
+// Request flag bits (part of the signed portion, so a Byzantine relay
+// cannot re-route a request between the ordered and unordered paths).
+const (
+	// FlagUnordered marks a read-only request served directly from replica
+	// state, skipping consensus (paper §II-B: BFT-SMaRt's unordered
+	// invocations).
+	FlagUnordered uint8 = 1 << 0
+)
+
+// UnorderedSeqBit partitions the per-client sequence space: unordered
+// requests set the top bit so their sequence numbers can never collide with
+// — or perforate — the ordered execution watermark replicas keep per
+// client.
+const UnorderedSeqBit uint64 = 1 << 63
 
 // Errors for request validation.
 var (
@@ -28,24 +55,45 @@ var (
 type Request struct {
 	ClientID int64
 	Seq      uint64
+	Flags    uint8
 	Op       []byte
 	PubKey   crypto.PublicKey
 	Sig      []byte
+
+	// ident memoizes Ident() (0 = not yet computed; a genuinely zero
+	// fingerprint merely recomputes). Never encoded.
+	ident int64
 }
+
+// Unordered reports whether the request takes the consensus-free read path.
+func (r *Request) Unordered() bool { return r.Flags&FlagUnordered != 0 }
 
 // signedPortion returns the bytes covered by the request signature.
 func (r *Request) signedPortion() []byte {
-	e := codec.NewEncoder(16 + len(r.Op) + len(r.PubKey))
+	e := codec.NewEncoder(17 + len(r.Op) + len(r.PubKey))
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
+	e.Byte(r.Flags)
 	e.WriteBytes(r.Op)
 	e.WriteBytes(r.PubKey)
 	return e.Bytes()
 }
 
-// NewSignedRequest builds and signs a request with the client key pair.
+// NewSignedRequest builds and signs an ordered request with the client key
+// pair.
 func NewSignedRequest(clientID int64, seq uint64, op []byte, key *crypto.KeyPair) (Request, error) {
-	r := Request{ClientID: clientID, Seq: seq, Op: op, PubKey: key.Public()}
+	return newSigned(clientID, seq, 0, op, key)
+}
+
+// NewSignedUnordered builds and signs an unordered (read-only) request. seq
+// must come from the unordered sequence space (UnorderedSeqBit set) so it
+// cannot shadow an ordered sequence number.
+func NewSignedUnordered(clientID int64, seq uint64, op []byte, key *crypto.KeyPair) (Request, error) {
+	return newSigned(clientID, seq|UnorderedSeqBit, FlagUnordered, op, key)
+}
+
+func newSigned(clientID int64, seq uint64, flags uint8, op []byte, key *crypto.KeyPair) (Request, error) {
+	r := Request{ClientID: clientID, Seq: seq, Flags: flags, Op: op, PubKey: key.Public()}
 	sig, err := key.Sign(ContextRequest, r.signedPortion())
 	if err != nil {
 		return Request{}, fmt.Errorf("sign request: %w", err)
@@ -68,10 +116,58 @@ func (r *Request) Digest() crypto.Hash {
 	return crypto.HashBytes(r.signedPortion(), r.Sig)
 }
 
+// Ident returns the sender's 64-bit dedupe identity: a fingerprint of
+// (ClientID, PubKey). Replicas key their executed-sequence records by it
+// rather than by ClientID alone — the key IS the identity, the ClientID is
+// only a reply-routing address — so a third party signing requests under
+// someone else's ClientID occupies its own sequence space and cannot
+// pre-burn or poison the victim's.
+func (r *Request) Ident() int64 {
+	if r.ident != 0 {
+		return r.ident
+	}
+	e := codec.NewEncoder(16 + len(r.PubKey))
+	e.Int64(r.ClientID)
+	e.WriteBytes(r.PubKey)
+	h := crypto.HashBytes(e.Bytes())
+	r.ident = int64(uint64(h[0]) | uint64(h[1])<<8 | uint64(h[2])<<16 | uint64(h[3])<<24 |
+		uint64(h[4])<<32 | uint64(h[5])<<40 | uint64(h[6])<<48 | uint64(h[7])<<56)
+	return r.ident
+}
+
+// Orderable reports whether the request may legitimately appear in an
+// ordered batch: unordered (read-only) requests — by flag or by sequence
+// space — must never be ordered. A Byzantine leader batching a victim's
+// signed unordered request would otherwise inject its huge UnorderedSeqBit
+// sequence number into the victim's executed record, whose staleness
+// closure would then censor all the victim's future ordered requests.
+func (r *Request) Orderable() bool {
+	return !r.Unordered() && r.Seq&UnorderedSeqBit == 0
+}
+
+// ValidBatchValue is the proposal-validity predicate shared by the
+// consensus Validate hooks (SMARTCHAIN node and baseline chassis): the
+// value must decode as a batch and carry only orderable requests, so a
+// batch smuggling an unordered request can never gather an honest vote
+// quorum.
+func ValidBatchValue(value []byte) bool {
+	b, err := DecodeBatch(value)
+	if err != nil {
+		return false
+	}
+	for i := range b.Requests {
+		if !b.Requests[i].Orderable() {
+			return false
+		}
+	}
+	return true
+}
+
 // EncodeInto serializes the request into e.
 func (r *Request) EncodeInto(e *codec.Encoder) {
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
+	e.Byte(r.Flags)
 	e.WriteBytes(r.Op)
 	e.WriteBytes(r.PubKey)
 	e.WriteBytes(r.Sig)
@@ -89,6 +185,7 @@ func DecodeRequestFrom(d *codec.Decoder) Request {
 	var r Request
 	r.ClientID = d.Int64()
 	r.Seq = d.Uint64()
+	r.Flags = d.Byte()
 	r.Op = d.ReadBytesCopy()
 	r.PubKey = crypto.PublicKey(d.ReadBytesCopy())
 	r.Sig = d.ReadBytesCopy()
@@ -107,14 +204,22 @@ func DecodeRequest(data []byte) (Request, error) {
 
 // Batch is the unit of ordering: the set of requests decided by one
 // consensus instance, which becomes the transaction list of one block.
+//
+// Timestamp is the proposing leader's wall clock (unix nanoseconds) at
+// batch assembly. Because it travels inside the decided value, every
+// replica observes the identical timestamp, so applications may use it
+// deterministically (it is NOT trusted time: a Byzantine leader can skew
+// it within whatever bounds the application enforces).
 type Batch struct {
-	Requests []Request
+	Timestamp int64
+	Requests  []Request
 }
 
 // Encode serializes the batch deterministically. The hash of these bytes is
 // what consensus votes on.
 func (b *Batch) Encode() []byte {
 	e := codec.NewEncoder(64 * (len(b.Requests) + 1))
+	e.Int64(b.Timestamp)
 	e.Uint32(uint32(len(b.Requests)))
 	for i := range b.Requests {
 		b.Requests[i].EncodeInto(e)
@@ -125,6 +230,7 @@ func (b *Batch) Encode() []byte {
 // DecodeBatch parses an encoded batch.
 func DecodeBatch(data []byte) (Batch, error) {
 	d := codec.NewDecoder(data)
+	ts := d.Int64()
 	n := d.Uint32()
 	if d.Err() != nil {
 		return Batch{}, fmt.Errorf("decode batch: %w", d.Err())
@@ -132,7 +238,7 @@ func DecodeBatch(data []byte) (Batch, error) {
 	if int(n) > len(data)/8+1 {
 		return Batch{}, fmt.Errorf("decode batch: %w: implausible count %d", ErrMalformed, n)
 	}
-	b := Batch{Requests: make([]Request, 0, n)}
+	b := Batch{Timestamp: ts, Requests: make([]Request, 0, n)}
 	for i := uint32(0); i < n; i++ {
 		b.Requests = append(b.Requests, DecodeRequestFrom(d))
 	}
@@ -147,21 +253,53 @@ func (b *Batch) Digest() crypto.Hash {
 	return crypto.HashBytes(b.Encode())
 }
 
-// Reply is a replica's response to one request, signed so clients can count
-// matching replies toward a Byzantine quorum.
+// BatchContext is the ordering context handed to the application alongside
+// each executed batch (the analogue of BFT-SMaRt's MessageContext): which
+// block the batch lands in, which consensus instance and epoch decided it,
+// and the decided (leader-assigned, replica-identical) batch timestamp.
+type BatchContext struct {
+	// BlockNumber is the chain height the batch's block occupies.
+	BlockNumber int64
+	// Instance is the consensus instance that decided the batch.
+	Instance int64
+	// Epoch is the consensus epoch (regency) the decision was reached in.
+	Epoch int64
+	// Timestamp is the decided batch timestamp — identical on every
+	// replica, so it is safe to derive replicated state from it.
+	Timestamp time.Time
+}
+
+// NewBatchContext assembles the context for one decided batch.
+func NewBatchContext(blockNumber, instance, epoch int64, b *Batch) BatchContext {
+	return BatchContext{
+		BlockNumber: blockNumber,
+		Instance:    instance,
+		Epoch:       epoch,
+		Timestamp:   time.Unix(0, b.Timestamp),
+	}
+}
+
+// Reply is a replica's response to one request. Digest echoes the hash of
+// the request being answered (covering its signature): a client matches
+// replies against the digest of the request IT signed, so a third party
+// cannot have replicas answer a victim's in-flight (ClientID, Seq) with
+// the result of an attacker-signed request — ClientID alone is a routing
+// address, not an identity.
 type Reply struct {
 	ReplicaID int32
 	ClientID  int64
 	Seq       uint64
+	Digest    crypto.Hash
 	Result    []byte
 }
 
 // Encode serializes the reply.
 func (r *Reply) Encode() []byte {
-	e := codec.NewEncoder(24 + len(r.Result))
+	e := codec.NewEncoder(56 + len(r.Result))
 	e.Int32(r.ReplicaID)
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
+	e.Bytes32(r.Digest)
 	e.WriteBytes(r.Result)
 	return e.Bytes()
 }
@@ -173,6 +311,7 @@ func DecodeReply(data []byte) (Reply, error) {
 	r.ReplicaID = d.Int32()
 	r.ClientID = d.Int64()
 	r.Seq = d.Uint64()
+	r.Digest = d.Bytes32()
 	r.Result = d.ReadBytesCopy()
 	if err := d.Finish(); err != nil {
 		return Reply{}, fmt.Errorf("decode reply: %w", err)

@@ -120,6 +120,27 @@ func (s *CoinScript) NextOp(prev []byte) ([]byte, bool) {
 	return tx.Encode(), true
 }
 
+// BalanceQueryScript issues only read-only balance queries for the
+// client's own address — the unordered (consensus-free) read workload.
+// Queries are prev-independent, so the script also suits open-loop async
+// pipelines.
+type BalanceQueryScript struct {
+	key *crypto.KeyPair
+	op  []byte
+}
+
+// NewBalanceQueryScript builds a query script for client i.
+func NewBalanceQueryScript(label string, i int64) *BalanceQueryScript {
+	key := crypto.SeededKeyPair(label+"/client", i)
+	return &BalanceQueryScript{key: key, op: coin.EncodeBalanceQuery(key.Public())}
+}
+
+// Key implements Script.
+func (s *BalanceQueryScript) Key() *crypto.KeyPair { return s.key }
+
+// NextOp implements Script.
+func (s *BalanceQueryScript) NextOp(prev []byte) ([]byte, bool) { return s.op, true }
+
 // MintOnlyScript issues only MINT transactions (the MINT rows of Table I).
 type MintOnlyScript struct {
 	key   *crypto.KeyPair

@@ -31,13 +31,23 @@
 //	})
 //	...
 //	proxy := smartchain.NewClient(cluster.ClientEndpoint(), key, cluster.Members())
-//	result, err := proxy.Invoke(smartchain.WrapAppOp(op))
+//	defer proxy.Close()
+//	ctx := context.Background()
+//	result, err := proxy.Invoke(ctx, smartchain.WrapAppOp(op))       // ordered
+//	future := proxy.InvokeAsync(ctx, smartchain.WrapAppOp(op2))      // pipelined
+//	balance, err := proxy.InvokeUnordered(ctx, smartchain.WrapAppOp(q)) // consensus-free read
+//	...
+//	resp2, err := future.Result()
 //
-// See examples/ for runnable programs and cmd/smartchaind for a TCP-backed
-// replica daemon.
+// One proxy multiplexes any number of concurrent invocations; context
+// deadlines bound each call (WithTimeout supplies the default when a
+// context has none). See examples/ for runnable programs and
+// cmd/smartchaind for a TCP-backed replica daemon.
 package smartchain
 
 import (
+	"time"
+
 	"smartchain/internal/blockchain"
 	"smartchain/internal/client"
 	"smartchain/internal/coin"
@@ -56,8 +66,18 @@ type (
 	Node = core.Node
 	// Config parameterizes a Node.
 	Config = core.Config
-	// Application is the replicated service contract.
+	// Application is the replicated service contract: batch execution with
+	// an ordering context, snapshots, and deep operation verification.
 	Application = core.Application
+	// UnorderedApplication is the optional capability for consensus-free
+	// read-only requests served from local replica state.
+	UnorderedApplication = core.UnorderedApplication
+	// LegacyApplication is the pre-BatchContext service contract; wrap it
+	// with AdaptApplication.
+	LegacyApplication = core.LegacyApplication
+	// BatchContext carries a batch's ordering coordinates (block number,
+	// consensus instance, epoch) and its decided timestamp.
+	BatchContext = smr.BatchContext
 	// Cluster is an in-process deployment (tests, examples, benchmarks).
 	Cluster = core.Cluster
 	// ClusterConfig parameterizes a Cluster.
@@ -65,6 +85,10 @@ type (
 	// Persistence selects the durability variant.
 	Persistence = core.Persistence
 )
+
+// AdaptApplication wraps a LegacyApplication (no BatchContext) as an
+// Application, preserving an ExecuteUnordered capability if present.
+func AdaptApplication(app LegacyApplication) Application { return core.AdaptApplication(app) }
 
 // Durability variants (paper §V-C).
 const (
@@ -126,11 +150,24 @@ type (
 // Client access.
 type (
 	// Client invokes operations against a view with Byzantine reply
-	// quorums.
+	// quorums. One Client supports many concurrent in-flight invocations:
+	// Invoke (ordered, blocking), InvokeAsync (ordered, Future), and
+	// InvokeUnordered (consensus-free read).
 	Client = client.Proxy
+	// Future is the handle to one asynchronous invocation.
+	Future = client.Future
+	// ClientOption configures a Client at construction.
+	ClientOption = client.Option
 	// Endpoint is a process's network attachment.
 	Endpoint = transport.Endpoint
 )
+
+// WithInvokeTimeout sets the per-invocation deadline a Client applies when
+// the caller's context carries none (context deadlines are authoritative).
+func WithInvokeTimeout(d time.Duration) ClientOption { return client.WithTimeout(d) }
+
+// WithRetryInterval sets a Client's retransmission interval.
+func WithRetryInterval(d time.Duration) ClientOption { return client.WithRetry(d) }
 
 // Coin is the bundled SMaRtCoin application (paper §IV-A).
 type Coin = coin.Service
@@ -141,8 +178,9 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) { return core.NewCluster(cf
 // NewNode creates a single replica (wire it to a transport and storage).
 func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }
 
-// NewClient creates a client proxy bound to an endpoint.
-func NewClient(ep Endpoint, key *KeyPair, members []int32, opts ...client.Option) *Client {
+// NewClient creates a client proxy bound to an endpoint. The proxy takes
+// ownership of the endpoint; call Close to release both.
+func NewClient(ep Endpoint, key *KeyPair, members []int32, opts ...ClientOption) *Client {
 	return client.New(ep, key, members, opts...)
 }
 

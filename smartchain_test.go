@@ -4,6 +4,7 @@
 package smartchain
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -49,12 +50,13 @@ func TestEndToEndClusterPipelineDepths(t *testing.T) {
 				go func(i int) {
 					defer wg.Done()
 					proxy := NewClient(cluster.ClientEndpoint(), keys[i], cluster.Members())
+					defer proxy.Close()
 					mintTx, err := coin.NewMint(keys[i], 1, 50)
 					if err != nil {
 						errs <- err
 						return
 					}
-					res, err := proxy.Invoke(WrapAppOp(mintTx.Encode()))
+					res, err := proxy.Invoke(context.Background(), WrapAppOp(mintTx.Encode()))
 					if err != nil {
 						errs <- fmt.Errorf("client %d mint: %w", i, err)
 						return
@@ -70,7 +72,7 @@ func TestEndToEndClusterPipelineDepths(t *testing.T) {
 						errs <- err
 						return
 					}
-					res, err = proxy.Invoke(WrapAppOp(spendTx.Encode()))
+					res, err = proxy.Invoke(context.Background(), WrapAppOp(spendTx.Encode()))
 					if err != nil {
 						errs <- fmt.Errorf("client %d spend: %w", i, err)
 						return
@@ -119,5 +121,82 @@ func TestEndToEndClusterPipelineDepths(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFacadeAsyncAndUnordered drives the new invocation shapes end to end
+// through the public API only: pipelined futures on one client, then a
+// consensus-free balance read, with instance accounting proving the read
+// never entered consensus.
+func TestFacadeAsyncAndUnordered(t *testing.T) {
+	minter := SeededKeyPair("facade-async", 0)
+	cluster, err := NewCluster(ClusterConfig{
+		N:                4,
+		AppFactory:       func() Application { return NewCoinService([]PublicKey{minter.Public()}) },
+		Persistence:      PersistenceWeak,
+		Pipeline:         true,
+		MaxBatch:         8,
+		Minters:          []PublicKey{minter.Public()},
+		ConsensusTimeout: time.Second,
+		ChainID:          "facade-async",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	proxy := NewClient(cluster.ClientEndpoint(), minter, cluster.Members(),
+		WithInvokeTimeout(15*time.Second))
+	defer proxy.Close()
+	ctx := context.Background()
+
+	// Pipeline 8 mints on one proxy via futures.
+	const n = 8
+	futs := make([]*Future, n)
+	for i := 0; i < n; i++ {
+		tx, err := coin.NewMint(minter, uint64(i+1), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs[i] = proxy.InvokeAsync(ctx, WrapAppOp(tx.Encode()))
+	}
+	for i, f := range futs {
+		res, err := f.Result()
+		if err != nil {
+			t.Fatalf("future %d: %v", i, err)
+		}
+		if code, _, err := coin.ParseResult(res); err != nil || code != coin.ResultOK {
+			t.Fatalf("future %d: code=%d err=%v", i, code, err)
+		}
+	}
+
+	// Futures complete at a 3-of-4 reply quorum; wait for the 4th replica
+	// to finish committing before snapshotting the instance counters, or
+	// its trailing commit would masquerade as a read-consumed instance.
+	var tip int64
+	for _, cn := range cluster.Nodes {
+		if h := cn.Node.Ledger().Height(); h > tip {
+			tip = h
+		}
+	}
+	if err := cluster.WaitHeight(tip, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	before := make(map[int32]int64)
+	for id, cn := range cluster.Nodes {
+		before[id] = cn.Node.Stats().Instances
+	}
+	res, err := proxy.InvokeUnordered(ctx, WrapAppOp(coin.EncodeBalanceQuery(minter.Public())))
+	if err != nil {
+		t.Fatalf("unordered read: %v", err)
+	}
+	bal, err := coin.ParseUint64Result(res)
+	if err != nil || bal != n*10 {
+		t.Fatalf("balance: got %d err=%v want %d", bal, err, n*10)
+	}
+	for id, cn := range cluster.Nodes {
+		if got := cn.Node.Stats().Instances; got != before[id] {
+			t.Fatalf("replica %d consumed %d instances for an unordered read", id, got-before[id])
+		}
 	}
 }
