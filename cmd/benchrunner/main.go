@@ -11,16 +11,20 @@
 //	benchrunner -exp ablate            # pipeline ablation
 //	benchrunner -exp window            # ordering window W=1 vs W=8
 //	benchrunner -exp openloop          # closed-loop vs async vs unordered reads
+//	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
 // -paper scales clients and measurement windows up toward the paper's
 // methodology (2400 clients; slower but sharper numbers). -windows sets
 // the ordering-window sweep the Fig. 6 rows cover; -inflight sets the
-// per-client pipeline depth of the open-loop experiment.
+// per-client pipeline depth of the open-loop experiment. -json writes
+// every measured row to a JSON file (the CI workflow uploads it as a
+// per-commit artifact, so the perf trajectory is preserved).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -34,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|verify|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|failover|verify|all")
 		clients  = flag.Int("clients", 240, "closed-loop clients")
 		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -42,6 +46,7 @@ func main() {
 		ssd      = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
 		windows  = flag.String("windows", "1,8", "comma-separated ordering windows W for the fig6 sweep")
 		inflight = flag.Int("inflight", 16, "per-client in-flight cap for -exp openloop")
+		jsonPath = flag.String("json", "", "write all measured rows to this JSON file")
 	)
 	flag.Parse()
 
@@ -69,10 +74,31 @@ func main() {
 		opts.Disk = storage.SSDProfile
 	}
 
-	if err := run(*exp, opts, *paper, *inflight); err != nil {
-		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	report := make(map[string]any)
+	runErr := run(*exp, opts, *paper, *inflight, report)
+	if *jsonPath != "" && len(report) > 0 {
+		// Persist whatever completed even when a later experiment failed:
+		// the CI artifact should carry the partial trajectory too.
+		if err := writeReport(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: write json:", err)
+			if runErr == nil {
+				os.Exit(1)
+			}
+		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", runErr)
 		os.Exit(1)
 	}
+}
+
+// writeReport dumps the collected experiment rows as indented JSON.
+func writeReport(path string, report map[string]any) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // parseWindows parses the -windows flag ("1,8" → []int{1, 8}).
@@ -92,7 +118,7 @@ func parseWindows(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
+func run(exp string, opts harness.ExpOptions, paper bool, inflight int, report map[string]any) error {
 	all := exp == "all"
 	ran := false
 	if all || exp == "table1" {
@@ -102,6 +128,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["table1"] = rows
 		printRows(rows)
 	}
 	if all || exp == "fig6" {
@@ -111,6 +138,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["fig6"] = rows
 		printRows(rows)
 	}
 	if all || exp == "table2" {
@@ -120,6 +148,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["table2"] = rows
 		printRows(rows)
 	}
 	if all || exp == "fig7" {
@@ -134,6 +163,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["fig7"] = points
 		for _, p := range points {
 			marker := ""
 			if p.Event != "" {
@@ -173,6 +203,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["ablate"] = rows
 		printRows(rows)
 	}
 	if all || exp == "window" {
@@ -182,6 +213,7 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["window"] = rows
 		printRows(rows)
 		if len(rows) == 2 && rows[0].Throughput > 0 {
 			fmt.Printf("  speedup: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
@@ -194,9 +226,37 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int) error {
 		if err != nil {
 			return err
 		}
+		report["openloop"] = rows
 		printRows(rows)
 		if len(rows) >= 2 && rows[0].Throughput > 0 {
 			fmt.Printf("  async speedup over closed-loop: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
+		}
+	}
+	if all || exp == "failover" {
+		ran = true
+		fmt.Println("== Failover: time-to-first-commit after leader kill (regency-wide vs sequential drain) ==")
+		points, err := harness.Failover(opts)
+		report["failover"] = points
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("  %s\n", p)
+		}
+		// Pair up the deepest window for the headline ratio.
+		byKey := make(map[string]harness.FailoverPoint, len(points))
+		maxW := 0
+		for _, p := range points {
+			byKey[fmt.Sprintf("%v/%d", p.Sequential, p.Depth)] = p
+			if p.Depth > maxW {
+				maxW = p.Depth
+			}
+		}
+		wide, okW := byKey[fmt.Sprintf("false/%d", maxW)]
+		seq, okS := byKey[fmt.Sprintf("true/%d", maxW)]
+		if okW && okS && wide.RecoveryMS > 0 {
+			fmt.Printf("  W=%d recovery speedup over sequential drain: %.2fx\n",
+				maxW, float64(seq.RecoveryMS)/float64(wide.RecoveryMS))
 		}
 	}
 	if all || exp == "verify" {

@@ -194,34 +194,6 @@ func (b *Body) Batch() (smr.Batch, error) {
 	return smr.DecodeBatch(b.BatchData)
 }
 
-func encodeCertificateInto(e *codec.Encoder, c *crypto.Certificate) {
-	e.Bytes32(c.Digest)
-	e.Uint32(uint32(len(c.Sigs)))
-	for _, s := range c.Sigs {
-		e.Int32(s.Signer)
-		e.WriteBytes(s.Sig)
-	}
-}
-
-func decodeCertificateFrom(d *codec.Decoder) (crypto.Certificate, error) {
-	var c crypto.Certificate
-	c.Digest = d.Bytes32()
-	n := d.Uint32()
-	if d.Err() != nil || n > 1<<16 {
-		return crypto.Certificate{}, fmt.Errorf("decode certificate: bad count")
-	}
-	for i := uint32(0); i < n; i++ {
-		var s crypto.Signature
-		s.Signer = d.Int32()
-		s.Sig = d.ReadBytesCopy()
-		c.Sigs = append(c.Sigs, s)
-	}
-	if d.Err() != nil {
-		return crypto.Certificate{}, d.Err()
-	}
-	return c, nil
-}
-
 // Encode serializes the body.
 func (b *Body) Encode() []byte {
 	e := codec.NewEncoder(256 + len(b.BatchData))
@@ -229,7 +201,7 @@ func (b *Body) Encode() []byte {
 	e.Int64(b.ConsensusID)
 	e.Int64(b.Epoch)
 	e.WriteBytes(b.BatchData)
-	encodeCertificateInto(e, &b.Proof)
+	b.Proof.EncodeInto(e)
 	e.Uint32(uint32(len(b.Results)))
 	for _, r := range b.Results {
 		e.WriteBytes(r)
@@ -249,7 +221,7 @@ func decodeBodyFrom(d *codec.Decoder) (Body, error) {
 	b.ConsensusID = d.Int64()
 	b.Epoch = d.Int64()
 	b.BatchData = d.ReadBytesCopy()
-	proof, err := decodeCertificateFrom(d)
+	proof, err := crypto.DecodeCertificateFrom(d)
 	if err != nil {
 		return Body{}, err
 	}
@@ -299,7 +271,7 @@ func (b *Block) Encode() []byte {
 	e := codec.NewEncoder(160 + len(body))
 	e.Raw(b.Header.Encode())
 	e.WriteBytes(body)
-	encodeCertificateInto(e, &b.Cert)
+	b.Cert.EncodeInto(e)
 	return e.Bytes()
 }
 
@@ -313,7 +285,7 @@ func DecodeBlock(data []byte) (Block, error) {
 		return Block{}, fmt.Errorf("decode block %d: %w", b.Header.Number, err)
 	}
 	b.Body = body
-	cert, err := decodeCertificateFrom(d)
+	cert, err := crypto.DecodeCertificateFrom(d)
 	if err != nil {
 		return Block{}, fmt.Errorf("decode block %d cert: %w", b.Header.Number, err)
 	}

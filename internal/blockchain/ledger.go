@@ -40,7 +40,7 @@ func EncodeCertRecord(number int64, cert *crypto.Certificate) []byte {
 	e := codec.NewEncoder(64 + 100*len(cert.Sigs))
 	e.Byte(recCert)
 	e.Int64(number)
-	encodeCertificateInto(e, cert)
+	cert.EncodeInto(e)
 	return e.Bytes()
 }
 
@@ -65,7 +65,7 @@ func DecodeRecords(records [][]byte) ([]Block, error) {
 			blocks = append(blocks, b)
 		case recCert:
 			number := d.Int64()
-			cert, err := decodeCertificateFrom(d)
+			cert, err := crypto.DecodeCertificateFrom(d)
 			if err != nil {
 				return nil, fmt.Errorf("cert record: %w", err)
 			}

@@ -23,6 +23,12 @@ type harness struct {
 }
 
 func newHarness(t *testing.T, n int, timeout time.Duration, validate func(int64, []byte) bool) *harness {
+	return newHarnessCfg(t, n, timeout, validate, nil)
+}
+
+// newHarnessCfg is newHarness with a config hook (e.g. to flip
+// SequentialSync for the per-slot-drain baseline).
+func newHarnessCfg(t *testing.T, n int, timeout time.Duration, validate func(int64, []byte) bool, mutate func(*Config)) *harness {
 	t.Helper()
 	h := &harness{t: t, net: transport.NewMemNetwork()}
 	members := make([]int32, n)
@@ -40,7 +46,7 @@ func newHarness(t *testing.T, n int, timeout time.Duration, validate func(int64,
 	for i := 0; i < n; i++ {
 		ep := h.net.Endpoint(int32(i))
 		h.eps[i] = ep
-		eng := New(Config{
+		cfg := Config{
 			Self:     int32(i),
 			View:     h.view,
 			Signer:   h.keys[i],
@@ -50,7 +56,11 @@ func newHarness(t *testing.T, n int, timeout time.Duration, validate func(int64,
 			RequestValue: func(int64) []byte {
 				return []byte("fallback")
 			},
-		})
+		}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		eng := New(cfg)
 		h.engines[i] = eng
 		eng.Start()
 		stop := make(chan struct{})

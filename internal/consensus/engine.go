@@ -1,6 +1,7 @@
 package consensus
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,16 @@ type Config struct {
 	// idle system does not churn through leader changes. Nil means
 	// "always pending" (timeouts always escalate).
 	HasPending func() bool
+	// SequentialSync reverts to per-slot synchronization phases (one STOP
+	// campaign per open instance — the pre-epoch-change behavior) instead
+	// of the default regency-wide epoch change, which re-proposes the whole
+	// open window in a single round. Kept for A/B measurement
+	// (benchrunner -exp failover) and as a safety valve.
+	SequentialSync bool
+	// OnEpochChange, when non-nil, is called from the engine loop each time
+	// a synchronization round installs a new epoch (once per round, however
+	// many slots it drains).
+	OnEpochChange func(epoch int64)
 }
 
 // Engine runs consensus for a single view. All state is owned by the event
@@ -62,11 +73,12 @@ type Engine struct {
 	// which installs late-announced keys into it).
 	members []int32
 
-	regency   atomic.Int64 // current epoch, mirrored for Leader()
-	events    chan event
-	decisions chan Decision
-	stop      chan struct{}
-	done      chan struct{}
+	regency    atomic.Int64 // current epoch, mirrored for Leader()
+	syncRounds atomic.Int64 // synchronization rounds performed
+	events     chan event
+	decisions  chan Decision
+	stop       chan struct{}
+	done       chan struct{}
 }
 
 type event struct {
@@ -114,6 +126,12 @@ type instState struct {
 	// assembled (evidence a value may have been decided).
 	myWriteCert *writeCert
 	myCertValue []byte
+	// decidedEpoch/decisionProof retain the decision evidence after the
+	// slot decides, so a regency-wide EPOCH-STOP can claim the slot as
+	// decided (the strongest possible proof) and the new leader re-proposes
+	// the decided value for stragglers.
+	decidedEpoch  int64
+	decisionProof *crypto.Certificate
 }
 
 func newInstState(epoch int64) *instState {
@@ -125,6 +143,21 @@ func newInstState(epoch int64) *instState {
 		stops:     make(map[int64]map[int32]stopMsg),
 	}
 }
+
+// maxEpochSkew bounds how far ahead of the installed regency an EPOCH-STOP
+// (or EPOCH-SYNC) may campaign: far enough for any realistic spread between
+// correct replicas, small enough that the campaign map stays bounded under
+// Byzantine spam. A replica lagging further re-synchronizes through state
+// transfer instead.
+const maxEpochSkew = 64
+
+// futureWindow bounds how far beyond the highest started instance the
+// engine will hold state or buffered messages for future instances —
+// whether they arrive as ordinary votes (buffered in handleMsg) or as
+// EPOCH-SYNC re-proposals (pre-started in applySlot). Without the latter
+// cap a Byzantine leader could name an astronomically distant slot in a
+// SYNC and drive every correct replica into allocating state up to it.
+const futureWindow = 64
 
 // New creates an engine. Start must be called to run it.
 func New(cfg Config) *Engine {
@@ -192,6 +225,12 @@ func (e *Engine) ProposeValue(i int64, value []byte) {
 	e.enqueue(event{kind: evPropose, inst: i, value: value})
 }
 
+// SyncRounds returns how many synchronization rounds this engine has run.
+// With the regency-wide protocol one leader failure costs exactly one round
+// regardless of the window depth; the sequential mode pays one per open
+// slot. Safe from any goroutine.
+func (e *Engine) SyncRounds() int64 { return e.syncRounds.Load() }
+
 // Leader returns the member leading the current epoch (regency). The value
 // is a snapshot: by the time the caller acts on it, a synchronization phase
 // may have moved leadership on — callers use it only as a hint. Safe from
@@ -240,6 +279,10 @@ func (e *Engine) loop() {
 		buffered         = make(map[int64][]transport.Message)
 		timers           = make(map[int64]*time.Timer)
 		regency    int64 // current epoch across instances (Mod-SMaRt regency)
+		// epochStops collects regency-wide synchronization votes:
+		// nextEpoch → voter → message. Campaigns at or below the installed
+		// regency are garbage-collected on install.
+		epochStops = make(map[int64]map[int32]epochStopMsg)
 	)
 	defer func() {
 		for _, t := range timers {
@@ -399,6 +442,8 @@ func (e *Engine) loop() {
 			for voter, sig := range votes {
 				proof.Add(crypto.Signature{Signer: voter, Sig: sig})
 			}
+			s.decidedEpoch = s.epoch
+			s.decisionProof = &proof
 			dec := Decision{Instance: i, Epoch: s.epoch, Value: s.proposal, Proof: proof}
 			disarmTimer(i)
 			select {
@@ -463,6 +508,10 @@ func (e *Engine) loop() {
 			regency = next
 			e.regency.Store(next)
 		}
+		e.syncRounds.Add(1)
+		if e.cfg.OnEpochChange != nil {
+			e.cfg.OnEpochChange(next)
+		}
 		s.epoch = next
 		s.sentWrite = false
 		s.sentAccept = false
@@ -499,7 +548,275 @@ func (e *Engine) loop() {
 		adoptProposal(i, s, value)
 	}
 
+	// ---- Regency-wide epoch change (the default synchronization path) ----
+
+	// ensureStarted extends the live window up to inst: the EPOCH-SYNC may
+	// re-propose slots this replica's driver has not opened yet (its commit
+	// floor lagged the claimants'). Gap slots get fresh state at the current
+	// regency; the driver's later StartInstance for them merges harmlessly.
+	ensureStarted := func(inst int64) {
+		if inst <= maxStarted {
+			return
+		}
+		for j := maxStarted + 1; j <= inst; j++ {
+			s := st(j)
+			if !s.decided {
+				if _, armed := timers[j]; !armed {
+					armTimer(j, s.epoch)
+				}
+			}
+		}
+		maxStarted = inst
+	}
+
+	// installRegency moves every live undecided slot into epoch next in one
+	// step — the regency-wide replacement for W per-slot synchronization
+	// phases. Slots keep their write certificates (the evidence the next
+	// campaign would carry); proposals and votes reset for the new epoch.
+	installRegency := func(next int64) {
+		if next <= regency {
+			return
+		}
+		regency = next
+		e.regency.Store(next)
+		e.syncRounds.Add(1)
+		if e.cfg.OnEpochChange != nil {
+			e.cfg.OnEpochChange(next)
+		}
+		for i, s := range states {
+			if i < floor || s.decided || s.epoch >= next {
+				continue
+			}
+			s.epoch = next
+			s.sentWrite = false
+			s.sentAccept = false
+			s.proposal = nil
+			s.digest = crypto.ZeroHash
+			s.timeout *= 2 // back off: the network may still be asynchronous
+			armTimer(i, next)
+		}
+		for ep := range epochStops {
+			if ep <= regency {
+				delete(epochStops, ep)
+			}
+		}
+	}
+
+	// applySlot adopts one re-proposed value from a SYNC certificate. The
+	// value was already vetted against the justification; Validate still
+	// screens batch well-formedness like any proposal. Slots further ahead
+	// than the bounded future window are dropped (same cap the ordinary
+	// message path applies): a lagging replica recovers those through
+	// state transfer, and a Byzantine leader cannot force unbounded state.
+	applySlot := func(next, inst int64, value []byte) {
+		if inst < floor {
+			return
+		}
+		hi := maxStarted
+		if floor > hi {
+			hi = floor
+		}
+		if inst > hi+futureWindow {
+			return
+		}
+		ensureStarted(inst)
+		s := st(inst)
+		if s.decided || s.epoch != next || s.proposal != nil {
+			return
+		}
+		if e.cfg.Validate != nil && len(value) > 0 && !e.cfg.Validate(inst, value) {
+			return
+		}
+		adoptProposal(inst, s, value)
+	}
+
+	// maybeInstallHook breaks the declaration cycle: startEpochChange wants
+	// to re-check quorum after recording its own vote, and maybeInstall
+	// (defined below) wants to trigger joins.
+	var maybeInstallHook func(int64)
+
+	// startEpochChange broadcasts this replica's EPOCH-STOP for next: ONE
+	// signed message carrying its strongest claim (write certificate or
+	// decision proof) for every open slot of the window.
+	startEpochChange := func(next int64) {
+		if next <= regency {
+			return
+		}
+		if _, sent := epochStops[next][e.cfg.Self]; sent {
+			return
+		}
+		sm := epochStopMsg{NextEpoch: next, Voter: e.cfg.Self, Floor: floor}
+		insts := make([]int64, 0, len(states))
+		for i := range states {
+			if i >= floor {
+				insts = append(insts, i)
+			}
+		}
+		sort.Slice(insts, func(a, b int) bool { return insts[a] < insts[b] })
+		for _, i := range insts {
+			s := states[i]
+			switch {
+			case s.decided && s.decisionProof != nil:
+				sm.Claims = append(sm.Claims, slotClaim{Instance: i, Kind: claimDecided,
+					Epoch: s.decidedEpoch, Value: s.proposal, DProof: *s.decisionProof})
+			case !s.decided && s.myWriteCert != nil:
+				sm.Claims = append(sm.Claims, slotClaim{Instance: i, Kind: claimWrite,
+					Epoch: s.myWriteCert.Epoch, Value: s.myCertValue, WCert: *s.myWriteCert})
+			}
+		}
+		sig := e.cfg.Signer.MustSign(ctxEpochStop, sm.signedPortion())
+		if sig == nil {
+			return
+		}
+		sm.Sig = sig
+		if epochStops[next] == nil {
+			epochStops[next] = make(map[int32]epochStopMsg)
+		}
+		epochStops[next][e.cfg.Self] = sm
+		payload := sm.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgEpochStop, payload)
+		}
+		maybeInstallHook(next) // degenerate views where one vote is a quorum
+	}
+
+	// maybeInstall fires when a campaign for next may have reached quorum:
+	// install the regency and, if this replica leads the new epoch, assemble
+	// the SYNC certificate and re-propose the whole window at once — the
+	// certified (or decided) value where one is provably locked, the empty
+	// batch elsewhere (the same safety rule the per-slot path applies).
+	maybeInstall := func(next int64) {
+		stops := epochStops[next]
+		if len(stops) < e.quorum || next <= regency {
+			return
+		}
+		justif := make([]epochStopMsg, 0, len(stops))
+		for voter := range stops {
+			justif = append(justif, stops[voter])
+		}
+		installRegency(next) // GCs epochStops[next]; justif captured above
+		if e.cfg.View.Leader(next) != e.cfg.Self {
+			return
+		}
+		best := bestClaims(justif)
+		slotSet := make(map[int64]bool, len(states)+len(best))
+		for i, s := range states {
+			if i >= floor && !s.decided {
+				slotSet[i] = true
+			}
+		}
+		for i := range best {
+			if i >= floor {
+				slotSet[i] = true
+			}
+		}
+		insts := make([]int64, 0, len(slotSet))
+		for i := range slotSet {
+			insts = append(insts, i)
+		}
+		sort.Slice(insts, func(a, b int) bool { return insts[a] < insts[b] })
+		sync := epochSyncMsg{NextEpoch: next, Justif: justif}
+		for _, i := range insts {
+			var value []byte
+			if c, ok := best[i]; ok {
+				value = c.Value
+			} else if attestedUnlocked(justif, i) >= e.quorum {
+				// A quorum of live-on-i voters attests nothing is locked:
+				// the slot is provably open and the new leader may propose
+				// fresh work. The ordering driver leaves RequestValue nil,
+				// so the node proposes the empty filler and pending work
+				// flows into fresh slots instead.
+				if e.cfg.RequestValue != nil {
+					value = e.cfg.RequestValue(i)
+				}
+			} else {
+				// No claim, but some quorum voters settled the slot: it may
+				// have decided with a value this quorum cannot see. Leave
+				// it out — a later campaign with the right electorate (or
+				// state transfer) resolves it.
+				continue
+			}
+			sync.Slots = append(sync.Slots, slotProposal{Instance: i, Value: value})
+		}
+		payload := sync.encode()
+		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+			e.cfg.Send(peer, MsgEpochSync, payload)
+		}
+		for _, sp := range sync.Slots {
+			applySlot(next, sp.Instance, sp.Value)
+		}
+	}
+	maybeInstallHook = maybeInstall
+
+	// onEpochStop records a regency-wide synchronization vote: join on f+1
+	// distinct campaigns (echo our own claims), install on quorum. Votes
+	// are bounded to a horizon of future epochs: correct replicas campaign
+	// at most a few epochs ahead of a laggard, and without the cap a
+	// single Byzantine member could park verified stops for arbitrarily
+	// many future epochs in memory (they are only GC'd when the regency
+	// passes them).
+	onEpochStop := func(m transport.Message) {
+		sm, err := decodeEpochStop(m.Payload)
+		if err != nil || sm.Voter != m.From || !e.cfg.View.Contains(sm.Voter) {
+			return
+		}
+		if sm.NextEpoch <= regency || sm.NextEpoch > regency+maxEpochSkew {
+			return
+		}
+		if _, dup := epochStops[sm.NextEpoch][sm.Voter]; dup {
+			return
+		}
+		if err := sm.verify(e.cfg.View, e.quorum); err != nil {
+			return
+		}
+		if epochStops[sm.NextEpoch] == nil {
+			epochStops[sm.NextEpoch] = make(map[int32]epochStopMsg)
+		}
+		epochStops[sm.NextEpoch][sm.Voter] = sm
+		if len(epochStops[sm.NextEpoch]) >= e.cfg.View.F()+1 {
+			startEpochChange(sm.NextEpoch) // join the campaign
+		}
+		maybeInstall(sm.NextEpoch)
+	}
+
+	// onEpochSync validates a SYNC certificate from the new leader and
+	// adopts its whole-window re-proposal. The certificate is
+	// self-certifying, so a replica that missed the stop quorum still
+	// installs the regency here.
+	onEpochSync := func(m transport.Message) {
+		msg, err := decodeEpochSync(m.Payload)
+		if err != nil || m.From != e.cfg.View.Leader(msg.NextEpoch) || m.From == e.cfg.Self {
+			return
+		}
+		if msg.NextEpoch < regency {
+			return // a newer regency is already installed
+		}
+		if _, ok := e.validEpochSync(&msg); !ok {
+			return
+		}
+		installRegency(msg.NextEpoch) // no-op when already installed
+		for _, sp := range msg.Slots {
+			applySlot(msg.NextEpoch, sp.Instance, sp.Value)
+		}
+	}
+
 	handleMsg := func(m transport.Message) {
+		switch m.Type {
+		case MsgEpochStop:
+			if !e.cfg.SequentialSync {
+				onEpochStop(m)
+			}
+			return
+		case MsgEpochSync:
+			if !e.cfg.SequentialSync {
+				onEpochSync(m)
+			}
+			return
+		case MsgStop:
+			if !e.cfg.SequentialSync {
+				return // per-slot campaigns are disabled under the wide protocol
+			}
+		}
 		inst, ok := peekInstance(m)
 		if !ok {
 			return
@@ -510,7 +827,7 @@ func (e *Engine) loop() {
 		if inst > maxStarted {
 			// Future instance: buffer within a bounded window ahead of the
 			// highest started instance.
-			if maxStarted >= 0 && inst > maxStarted+64 {
+			if maxStarted >= 0 && inst > maxStarted+futureWindow {
 				return
 			}
 			if len(buffered[inst]) < 8*e.cfg.View.N() {
@@ -538,13 +855,23 @@ func (e *Engine) loop() {
 		case ev := <-e.events:
 			switch ev.kind {
 			case evStart:
-				if ev.inst <= maxStarted || ev.inst < floor {
+				if ev.inst < floor {
 					continue
 				}
-				maxStarted = ev.inst
+				// A regency-wide SYNC may have pre-started this slot (see
+				// ensureStarted): merge instead of skipping, so the driver's
+				// proposal is not lost for slots the SYNC left empty-handed.
+				if ev.inst > maxStarted {
+					maxStarted = ev.inst
+				}
 				s := st(ev.inst)
-				armTimer(ev.inst, s.epoch)
-				if e.cfg.View.Leader(s.epoch) == e.cfg.Self && ev.value != nil && !s.decided {
+				if !s.decided {
+					if _, armed := timers[ev.inst]; !armed {
+						armTimer(ev.inst, s.epoch)
+					}
+				}
+				if e.cfg.View.Leader(s.epoch) == e.cfg.Self && ev.value != nil && !s.decided &&
+					s.proposal == nil && s.epoch == s.baseEpoch {
 					pm := proposeMsg{Instance: ev.inst, Epoch: s.epoch, Value: ev.value}
 					payload := pm.encode()
 					for _, peer := range e.cfg.View.Others(e.cfg.Self) {
@@ -602,7 +929,8 @@ func (e *Engine) loop() {
 				// Idle system: no proposal, no votes, no stop campaign, and
 				// nothing pending locally — re-arm instead of churning
 				// through leader changes.
-				idle := s.proposal == nil && len(s.writes) == 0 && len(s.stops) == 0
+				idle := s.proposal == nil && len(s.writes) == 0 && len(s.stops) == 0 &&
+					len(epochStops) == 0
 				if idle && e.cfg.HasPending != nil && !e.cfg.HasPending() {
 					armTimer(ev.inst, s.epoch)
 					continue
@@ -614,7 +942,13 @@ func (e *Engine) loop() {
 					armTimer(ev.inst, s.epoch)
 					continue
 				}
-				startSync(ev.inst, s, s.epoch+1)
+				if e.cfg.SequentialSync {
+					startSync(ev.inst, s, s.epoch+1)
+				} else {
+					// Regency-wide: ONE campaign re-proposes the whole
+					// window instead of a STOP phase per open slot.
+					startEpochChange(regency + 1)
+				}
 				armTimer(ev.inst, s.epoch)
 			}
 		}
@@ -661,8 +995,14 @@ func (e *Engine) onPropose(m transport.Message, s *instState, inst int64, adopt 
 	}
 	switch {
 	case pm.Epoch > s.epoch:
-		// The leader is ahead of us: its justification (a quorum of valid
-		// STOPs) both advances our epoch and proves the value is safe.
+		// The leader is ahead of us. Under the regency-wide protocol,
+		// post-synchronization values arrive only through the EPOCH-SYNC
+		// certificate; under the sequential one, the proposal's own
+		// justification (a quorum of valid STOPs) both advances our epoch
+		// and proves the value is safe.
+		if !e.cfg.SequentialSync {
+			return
+		}
 		if !e.validSyncProposal(&pm, s) {
 			return
 		}
@@ -672,7 +1012,11 @@ func (e *Engine) onPropose(m transport.Message, s *instState, inst int64, adopt 
 		s.proposal = nil
 	case pm.Epoch > s.baseEpoch:
 		// Same epoch, but the instance went through a synchronization
-		// phase: still demand the justification before endorsing.
+		// phase: still demand the justification before endorsing (wide
+		// mode: the justification is the EPOCH-SYNC, not a bare proposal).
+		if !e.cfg.SequentialSync {
+			return
+		}
 		if !e.validSyncProposal(&pm, s) {
 			return
 		}
@@ -715,6 +1059,54 @@ func (e *Engine) validSyncProposal(pm *proposeMsg, s *instState) bool {
 		return false
 	}
 	return true
+}
+
+// validEpochSync checks an EPOCH-SYNC certificate: at least a quorum of
+// distinct valid EPOCH-STOPs for its epoch, and every re-proposed value
+// honoring the strongest claim among them — the decided or highest-epoch
+// certified value where one exists, the empty batch where nothing is
+// provably locked.
+func (e *Engine) validEpochSync(msg *epochSyncMsg) (map[int64]*slotClaim, bool) {
+	voters := make(map[int32]bool, len(msg.Justif))
+	for i := range msg.Justif {
+		sm := &msg.Justif[i]
+		if sm.NextEpoch != msg.NextEpoch || voters[sm.Voter] || !e.cfg.View.Contains(sm.Voter) {
+			return nil, false
+		}
+		if err := sm.verify(e.cfg.View, e.quorum); err != nil {
+			return nil, false
+		}
+		voters[sm.Voter] = true
+	}
+	if len(voters) < e.quorum {
+		return nil, false
+	}
+	best := bestClaims(msg.Justif)
+	seen := make(map[int64]bool, len(msg.Slots))
+	for i := range msg.Slots {
+		sp := &msg.Slots[i]
+		if seen[sp.Instance] {
+			return nil, false
+		}
+		seen[sp.Instance] = true
+		if c, ok := best[sp.Instance]; ok {
+			if crypto.HashBytes(sp.Value) != crypto.HashBytes(c.Value) {
+				return nil, false
+			}
+			continue
+		}
+		// Unclaimed slot: demand a quorum of live-on-it voters (Floor ≤
+		// slot, no claim) attesting nothing is locked. Voters that settled
+		// the slot do not count — they may have decided a value this
+		// justification cannot show — so a leader can never smuggle a
+		// conflicting filler into a decided slot. The value itself is the
+		// leader's choice (typically empty); Validate screens it at
+		// adoption like any proposal.
+		if attestedUnlocked(msg.Justif, sp.Instance) < e.quorum {
+			return nil, false
+		}
+	}
+	return best, true
 }
 
 // onWrite records a WRITE vote.

@@ -23,13 +23,16 @@ const (
 	MsgWrite
 	MsgAccept
 	MsgStop
+	MsgEpochStop // regency-wide synchronization vote with per-slot claims
+	MsgEpochSync // new leader's certificate + whole-window re-proposal
 )
 
 // Signature domain-separation contexts.
 const (
-	ctxWrite  = "smartchain/consensus/write/v1"
-	ctxAccept = "smartchain/consensus/accept/v1"
-	ctxStop   = "smartchain/consensus/stop/v1"
+	ctxWrite     = "smartchain/consensus/write/v1"
+	ctxAccept    = "smartchain/consensus/accept/v1"
+	ctxStop      = "smartchain/consensus/stop/v1"
+	ctxEpochStop = "smartchain/consensus/epochstop/v1"
 )
 
 // voteMessage returns the canonical byte string signed by WRITE and ACCEPT
@@ -306,6 +309,301 @@ func decodeStop(data []byte) (stopMsg, error) {
 	}
 	m.Sig = sig
 	return m, nil
+}
+
+// Claim kinds inside an EPOCH-STOP: the strongest evidence a replica holds
+// for one window slot. Absence of a claim means "nothing locked here".
+const (
+	claimWrite   uint8 = 1 // a WRITE certificate: the value MAY have been decided
+	claimDecided uint8 = 2 // a decision proof: the value WAS decided
+)
+
+// slotClaim is one instance's highest-state proof inside an EPOCH-STOP: the
+// voter's strongest write certificate for the slot, or — when the voter
+// already decided the slot — the decision proof itself, so the new leader
+// re-proposes the decided value and stragglers converge without state
+// transfer.
+type slotClaim struct {
+	Instance int64
+	Kind     uint8
+	Epoch    int64  // epoch of the certificate / decision
+	Value    []byte // the value matching the claimed digest
+	WCert    writeCert
+	DProof   crypto.Certificate
+}
+
+func (c *slotClaim) encodeInto(e *codec.Encoder) {
+	e.Int64(c.Instance)
+	e.Byte(c.Kind)
+	e.Int64(c.Epoch)
+	e.WriteBytes(c.Value)
+	switch c.Kind {
+	case claimWrite:
+		e.WriteBytes(c.WCert.encode())
+	case claimDecided:
+		c.DProof.EncodeInto(e)
+	}
+}
+
+func decodeSlotClaimFrom(d *codec.Decoder) (slotClaim, error) {
+	var c slotClaim
+	c.Instance = d.Int64()
+	c.Kind = d.Byte()
+	c.Epoch = d.Int64()
+	c.Value = d.ReadBytesCopy()
+	switch c.Kind {
+	case claimWrite:
+		cd := codec.NewDecoder(d.ReadBytes())
+		cert, err := decodeWriteCert(cd)
+		if err != nil {
+			return slotClaim{}, fmt.Errorf("decode claim cert: %w", err)
+		}
+		if err := cd.Finish(); err != nil {
+			return slotClaim{}, fmt.Errorf("decode claim cert: %w", err)
+		}
+		c.WCert = cert
+	case claimDecided:
+		proof, err := crypto.DecodeCertificateFrom(d)
+		if err != nil {
+			return slotClaim{}, fmt.Errorf("decode claim proof: %w", err)
+		}
+		c.DProof = proof
+	default:
+		return slotClaim{}, fmt.Errorf("decode claim: unknown kind %d", c.Kind)
+	}
+	if err := d.Err(); err != nil {
+		return slotClaim{}, err
+	}
+	return c, nil
+}
+
+// verify checks a claim's evidence: a valid quorum certificate whose digest
+// matches the carried value, bound to the claimed instance and epoch.
+func (c *slotClaim) verify(keys crypto.KeyResolver, quorum int, nextEpoch int64) error {
+	switch c.Kind {
+	case claimWrite:
+		if c.WCert.Instance != c.Instance || c.WCert.Epoch != c.Epoch {
+			return fmt.Errorf("consensus: claim cert binding mismatch")
+		}
+		if c.Epoch >= nextEpoch {
+			return fmt.Errorf("consensus: claim epoch %d not below next epoch %d", c.Epoch, nextEpoch)
+		}
+		if crypto.HashBytes(c.Value) != c.WCert.Digest {
+			return fmt.Errorf("consensus: claim value does not match cert digest")
+		}
+		return c.WCert.verify(keys, quorum)
+	case claimDecided:
+		return VerifyDecisionProof(keys, c.Instance, c.Epoch, crypto.HashBytes(c.Value), &c.DProof, quorum)
+	default:
+		return fmt.Errorf("consensus: unknown claim kind %d", c.Kind)
+	}
+}
+
+// epochStopMsg is one replica's signed vote to install nextEpoch as the
+// regency for the WHOLE ordering window: it carries the replica's strongest
+// claim for every open slot, so a single quorum of these messages gives the
+// new leader everything a per-slot STOP quorum would have — in one round
+// instead of W.
+type epochStopMsg struct {
+	NextEpoch int64
+	Voter     int32
+	// Floor is the voter's lowest still-live instance: everything below is
+	// settled (decided and committed) at the voter. It is load-bearing for
+	// safety, not informational: a stop only counts as a "nothing locked
+	// at slot i" attestation when Floor ≤ i. A replica that settled i
+	// carries no claim for it (the state is garbage-collected), and
+	// without this exclusion a 2f+1 quorum of such stops could look
+	// claim-free for a DECIDED slot, letting the new leader re-propose a
+	// conflicting empty filler — the regency-wide analogue of PBFT's
+	// stable-checkpoint rule in view changes.
+	Floor  int64
+	Claims []slotClaim
+	Sig    []byte // over signedPortion
+}
+
+func (m *epochStopMsg) signedPortion() []byte {
+	e := codec.NewEncoder(128)
+	e.Int64(m.NextEpoch)
+	e.Int32(m.Voter)
+	e.Int64(m.Floor)
+	e.Uint32(uint32(len(m.Claims)))
+	for i := range m.Claims {
+		m.Claims[i].encodeInto(e)
+	}
+	return e.Bytes()
+}
+
+func (m *epochStopMsg) encode() []byte {
+	e := codec.NewEncoder(256)
+	e.WriteBytes(m.signedPortion())
+	e.WriteBytes(m.Sig)
+	return e.Bytes()
+}
+
+func decodeEpochStop(data []byte) (epochStopMsg, error) {
+	outer := codec.NewDecoder(data)
+	body := outer.ReadBytes()
+	sig := outer.ReadBytesCopy()
+	if err := outer.Finish(); err != nil {
+		return epochStopMsg{}, fmt.Errorf("decode epoch stop: %w", err)
+	}
+	d := codec.NewDecoder(body)
+	var m epochStopMsg
+	m.NextEpoch = d.Int64()
+	m.Voter = d.Int32()
+	m.Floor = d.Int64()
+	n := d.Uint32()
+	if d.Err() != nil || n > 1024 {
+		return epochStopMsg{}, fmt.Errorf("decode epoch stop: bad claim count")
+	}
+	for i := uint32(0); i < n; i++ {
+		c, err := decodeSlotClaimFrom(d)
+		if err != nil {
+			return epochStopMsg{}, fmt.Errorf("decode epoch stop claim: %w", err)
+		}
+		m.Claims = append(m.Claims, c)
+	}
+	if err := d.Finish(); err != nil {
+		return epochStopMsg{}, fmt.Errorf("decode epoch stop: %w", err)
+	}
+	m.Sig = sig
+	return m, nil
+}
+
+// verify checks the epoch-stop signature, that claims are strictly
+// ascending by instance (no duplicates), and every claim's evidence.
+func (m *epochStopMsg) verify(keys crypto.KeyResolver, quorum int) error {
+	pub, ok := keys.PublicKeyOf(m.Voter)
+	if !ok {
+		return fmt.Errorf("consensus: epoch stop voter %d unknown", m.Voter)
+	}
+	if !crypto.Verify(pub, ctxEpochStop, m.signedPortion(), m.Sig) {
+		return fmt.Errorf("consensus: epoch stop signature of %d invalid", m.Voter)
+	}
+	for i := range m.Claims {
+		if i > 0 && m.Claims[i].Instance <= m.Claims[i-1].Instance {
+			return fmt.Errorf("consensus: epoch stop claims not ascending")
+		}
+		if err := m.Claims[i].verify(keys, quorum, m.NextEpoch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// slotProposal is one re-proposed (instance, value) pair inside an
+// EPOCH-SYNC.
+type slotProposal struct {
+	Instance int64
+	Value    []byte
+}
+
+// epochSyncMsg is the new leader's SYNC certificate: a quorum of
+// EPOCH-STOPs justifying nextEpoch, plus the re-proposal for every
+// undecided slot of the window — the certified (or decided) value where one
+// is provably locked, the empty batch elsewhere. Like proposeMsg it is
+// unsigned; the justification is self-certifying and the WRITE/ACCEPT votes
+// carry the protocol.
+type epochSyncMsg struct {
+	NextEpoch int64
+	Justif    []epochStopMsg
+	Slots     []slotProposal
+}
+
+func (m *epochSyncMsg) encode() []byte {
+	e := codec.NewEncoder(512)
+	e.Int64(m.NextEpoch)
+	e.Uint32(uint32(len(m.Justif)))
+	for i := range m.Justif {
+		e.WriteBytes(m.Justif[i].encode())
+	}
+	e.Uint32(uint32(len(m.Slots)))
+	for i := range m.Slots {
+		e.Int64(m.Slots[i].Instance)
+		e.WriteBytes(m.Slots[i].Value)
+	}
+	return e.Bytes()
+}
+
+func decodeEpochSync(data []byte) (epochSyncMsg, error) {
+	d := codec.NewDecoder(data)
+	var m epochSyncMsg
+	m.NextEpoch = d.Int64()
+	nj := d.Uint32()
+	if d.Err() != nil || nj > 4096 {
+		return epochSyncMsg{}, fmt.Errorf("decode epoch sync: bad justification count")
+	}
+	for i := uint32(0); i < nj; i++ {
+		sm, err := decodeEpochStop(d.ReadBytes())
+		if err != nil {
+			return epochSyncMsg{}, fmt.Errorf("decode epoch sync justification: %w", err)
+		}
+		m.Justif = append(m.Justif, sm)
+	}
+	ns := d.Uint32()
+	if d.Err() != nil || ns > 4096 {
+		return epochSyncMsg{}, fmt.Errorf("decode epoch sync: bad slot count")
+	}
+	for i := uint32(0); i < ns; i++ {
+		var sp slotProposal
+		sp.Instance = d.Int64()
+		sp.Value = d.ReadBytesCopy()
+		m.Slots = append(m.Slots, sp)
+	}
+	if err := d.Finish(); err != nil {
+		return epochSyncMsg{}, fmt.Errorf("decode epoch sync: %w", err)
+	}
+	return m, nil
+}
+
+// attestedUnlocked counts the stops attesting "slot inst is live and
+// nothing is locked there": Floor ≤ inst and no claim for inst. Settled
+// voters (Floor > inst) abstain, exactly like they abstain from a per-slot
+// STOP campaign — so for a decided slot the attestor pool can never reach
+// a quorum (≥ f+1 correct cert-holders either claim or have settled).
+func attestedUnlocked(stops []epochStopMsg, inst int64) int {
+	count := 0
+	for i := range stops {
+		if stops[i].Floor > inst {
+			continue
+		}
+		claimed := false
+		for j := range stops[i].Claims {
+			if stops[i].Claims[j].Instance == inst {
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			count++
+		}
+	}
+	return count
+}
+
+// bestClaims folds a set of epoch stops into the strongest claim per
+// instance: a decision proof dominates any write certificate, and among
+// write certificates the highest epoch wins (single-decree PBFT view-change
+// logic, applied slot-wise).
+func bestClaims(stops []epochStopMsg) map[int64]*slotClaim {
+	best := make(map[int64]*slotClaim)
+	for i := range stops {
+		for j := range stops[i].Claims {
+			c := &stops[i].Claims[j]
+			cur, ok := best[c.Instance]
+			if !ok {
+				best[c.Instance] = c
+				continue
+			}
+			if cur.Kind == claimDecided {
+				continue
+			}
+			if c.Kind == claimDecided || c.Epoch > cur.Epoch {
+				best[c.Instance] = c
+			}
+		}
+	}
+	return best
 }
 
 // verify checks the stop signature and, if present, the carried write

@@ -30,6 +30,12 @@ type ClusterConfig struct {
 	Pipeline    bool
 	// PipelineDepth is the consensus ordering window W (0 = default).
 	PipelineDepth int
+	// SequentialSync reverts leader replacement to one synchronization
+	// phase per open slot (A/B baseline for the regency-wide epoch change).
+	SequentialSync bool
+	// SessionGCBlocks is the per-client executed-record GC horizon in
+	// blocks (0 disables), identical on every replica.
+	SessionGCBlocks int64
 	// DiskFactory models each replica's storage device (nil = no device
 	// timing; storage is still crash-consistent).
 	DiskFactory func() *storage.SimDisk
@@ -165,6 +171,8 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 		Verify:              c.cfg.Verify,
 		Pipeline:            c.cfg.Pipeline,
 		PipelineDepth:       c.cfg.PipelineDepth,
+		SequentialSync:      c.cfg.SequentialSync,
+		SessionGCBlocks:     c.cfg.SessionGCBlocks,
 		MaxBatch:            c.cfg.MaxBatch,
 		ConsensusTimeout:    c.cfg.ConsensusTimeout,
 		SyncPeers:           syncPeers,

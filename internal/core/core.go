@@ -203,6 +203,18 @@ type Config struct {
 	// strictly sequential ordering. Pipeline=false (the naive baseline)
 	// forces W=1 so the baseline keeps its fully serial semantics.
 	PipelineDepth int
+	// SequentialSync reverts leader replacement to one synchronization
+	// phase per open window slot (the pre-epoch-change behavior, W
+	// sequential STOP campaigns after a leader failure). Default false:
+	// a single regency-wide epoch change re-proposes the whole window in
+	// one round. Kept for A/B measurement (benchrunner -exp failover).
+	SequentialSync bool
+	// SessionGCBlocks is the per-client session GC horizon, in blocks: a
+	// client whose executed-sequence record has not been touched for this
+	// many committed blocks is evicted from the batcher's dedupe state
+	// (and from every checkpoint envelope, so replicas stay identical).
+	// 0 disables eviction — records then live for the process lifetime.
+	SessionGCBlocks int64
 	// MaxBatch caps requests per block; 0 uses the genesis value.
 	MaxBatch int
 	// ConsensusTimeout is the leader-progress timeout.
@@ -269,6 +281,7 @@ type Node struct {
 	executedTxs    atomic.Int64
 	blocksBuilt    atomic.Int64
 	viewChanges    atomic.Int64
+	epochChanges   atomic.Int64
 	lastReplyBlock atomic.Int64
 	unorderedReads atomic.Int64
 }
@@ -340,6 +353,7 @@ func NewNode(cfg Config) (*Node, error) {
 		recvDone:      make(chan struct{}),
 	}
 	n.nextInstance.Store(1)
+	n.batcher.SetSessionGC(cfg.SessionGCBlocks)
 	n.persist = newPersistCollector(n)
 	n.keys = reconfig.NewKeyStore(cfg.Self, cfg.Permanent, 0, cfg.InitialConsensusKey, cfg.KeyGen)
 	return n, nil
@@ -402,7 +416,11 @@ func (n *Node) startEngineLocked() {
 		// drain, state transfer). A new leader elected mid-instance
 		// proposes the empty filler value instead; the pending work goes
 		// into the next window slots through the driver.
-		HasPending: func() bool { return n.batcher.Pending() > 0 },
+		HasPending:     func() bool { return n.batcher.Pending() > 0 },
+		SequentialSync: n.cfg.SequentialSync,
+		// Epoch changes accumulate across engines (one engine per view) so
+		// the stats survive reconfigurations.
+		OnEpochChange: func(int64) { n.epochChanges.Add(1) },
 	})
 	n.engine = eng
 	n.mu.Unlock()
@@ -469,7 +487,13 @@ type Stats struct {
 	ExecutedTxs int64
 	Blocks      int64
 	ViewChanges int64
-	Height      int64
+	// EpochChanges counts consensus synchronization rounds (regency
+	// installs) across all engines this node has run. With the
+	// regency-wide protocol one leader failure costs exactly one round
+	// regardless of the window depth; the sequential mode pays one per
+	// open slot — the accounting that lets tests prove the difference.
+	EpochChanges int64
+	Height       int64
 	// UnorderedReads counts read-only requests served from local state.
 	UnorderedReads int64
 	// Instances is the number of consensus instances committed so far —
@@ -483,6 +507,7 @@ func (n *Node) Stats() Stats {
 		ExecutedTxs:    n.executedTxs.Load(),
 		Blocks:         n.blocksBuilt.Load(),
 		ViewChanges:    n.viewChanges.Load(),
+		EpochChanges:   n.epochChanges.Load(),
 		Height:         n.ledger.Height(),
 		UnorderedReads: n.unorderedReads.Load(),
 		Instances:      n.nextInstance.Load() - 1,

@@ -347,11 +347,15 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 	// With a pipelined window a request can be ordered twice (a
 	// leader-change re-proposal plus a fresh slot); the executed watermark
 	// — a deterministic function of the committed prefix — filters the
-	// second execution identically on every replica.
+	// second execution identically on every replica. The committing height
+	// also drives the per-client session GC (idle executed records evict
+	// after Config.SessionGCBlocks), so eviction is block-driven and
+	// identical everywhere too.
+	number := n.ledger.Height() + 1
 	fresh := n.batcher.Fresh(batch.Requests)
-	n.batcher.MarkDelivered(batch.Requests)
+	n.batcher.MarkDeliveredAt(number, batch.Requests)
 
-	bc := smr.NewBatchContext(n.ledger.Height()+1, d.Instance, d.Epoch, &batch)
+	bc := smr.NewBatchContext(number, d.Instance, d.Epoch, &batch)
 	results, update := n.executeBatch(bc, batch.Requests, fresh)
 	n.executedTxs.Add(int64(len(batch.Requests)))
 
@@ -563,7 +567,11 @@ func (n *Node) takeCheckpoint(number int64) {
 	n.mu.Unlock()
 
 	env := snapshotEnvelope{
-		Height:       number,
+		Height: number,
+		// The checkpointed block's consensus coordinate, NOT the live
+		// floor: every replica checkpointing this height writes the same
+		// instance, keeping envelopes a pure function of the chain prefix.
+		Instance:     blk.Body.ConsensusID + 1,
 		BlockHash:    blk.Header.Hash(),
 		LastReconfig: n.ledger.LastReconfig(),
 		View:         v,

@@ -8,6 +8,79 @@ import (
 	"smartchain/internal/coin"
 )
 
+// failoverScenario warms a W=8 pipeline, isolates the epoch-0 leader, and
+// pushes five more mints through the surviving quorum. It returns the time
+// the FIRST post-kill mint took to commit and the synchronization rounds
+// the followers ran, after verifying no decided instance was lost.
+func failoverScenario(t *testing.T, sequential bool) (time.Duration, int64) {
+	t.Helper()
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.PipelineDepth = 8
+		cfg.Persistence = PersistenceWeak
+		cfg.SequentialSync = sequential
+	})
+	p := registeredClient(t, c, minter)
+	for i := uint64(1); i <= 3; i++ {
+		mint(t, p, i, 10)
+	}
+
+	c.Net.Isolate(0)
+	start := time.Now()
+	mint(t, p, 4, 10)
+	recovery := time.Since(start)
+	for i := uint64(5); i <= 8; i++ {
+		mint(t, p, i, 10)
+	}
+
+	for _, id := range []int32{1, 2, 3} {
+		svc := c.Nodes[id].App.(*coin.Service)
+		if got := svc.State().Balance(minter.Public()); got != 80 {
+			t.Fatalf("replica %d balance after failover: %d, want 80", id, got)
+		}
+	}
+	gb := blockchain.GenesisBlock(&c.Genesis)
+	blocks := append([]blockchain.Block{gb}, c.Nodes[1].Node.Ledger().CachedBlocks()...)
+	sum, err := blockchain.VerifyChain(blocks, blockchain.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("chain after failover: %v", err)
+	}
+	if sum.Transactions < 8 {
+		t.Fatalf("chain lost transactions: %d < 8", sum.Transactions)
+	}
+
+	var rounds int64
+	for _, id := range []int32{1, 2, 3} {
+		if r := c.Nodes[id].Node.Stats().EpochChanges; r > rounds {
+			rounds = r
+		}
+	}
+	return recovery, rounds
+}
+
+// TestRegencyWideFailoverDrainsWindowInOneRound is the tentpole's
+// fault-injection gate: killing the leader with a W=8 window open must
+// (a) lose no decided instance, (b) drain the whole window in EXACTLY one
+// synchronization round, and (c) recover faster than the sequential
+// per-slot baseline.
+func TestRegencyWideFailoverDrainsWindowInOneRound(t *testing.T) {
+	wideTime, wideRounds := failoverScenario(t, false)
+	if wideRounds != 1 {
+		t.Fatalf("regency-wide failover used %d synchronization rounds, want exactly 1", wideRounds)
+	}
+	seqTime, seqRounds := failoverScenario(t, true)
+	if seqRounds < 4 {
+		t.Fatalf("sequential baseline used %d rounds; expected one per open slot (≥4)", seqRounds)
+	}
+	// The wide drain pays ~1 progress timeout; the sequential drain pays
+	// ~one per open slot. Demand a conservative 1.5× to stay robust on
+	// loaded CI machines while still proving the mechanism.
+	if seqTime < wideTime*3/2 {
+		t.Fatalf("regency-wide recovery (%v) not faster than sequential drain (%v)", wideTime, seqTime)
+	}
+	t.Logf("time-to-first-commit after leader kill: wide=%v (1 round) sequential=%v (%d rounds)",
+		wideTime, seqTime, seqRounds)
+}
+
 // TestPipelineLeaderIsolationEpochChange isolates the epoch-0 leader with a
 // full ordering window (W=8) live. The remaining replicas must drive an
 // epoch change, drain every open slot, and keep committing — no decided
@@ -99,5 +172,130 @@ func TestPartitionedMinorityCatchesUpViaStateTransfer(t *testing.T) {
 	svc := c.Nodes[3].App.(*coin.Service)
 	if got := svc.State().Balance(minter.Public()); got != 70 {
 		t.Fatalf("healed replica balance: %d, want 70", got)
+	}
+}
+
+// TestCrashRecoveryDuringNewRegency crashes a follower after a regency-wide
+// epoch change and recovers it mid-regency: the recovering replica state-
+// transfers a snapshot whose envelope carries the session-GC'd watermarks
+// (checkpoints enabled), then rejoins ordering by riding the NEXT epoch
+// campaign — the cluster must keep committing with it on board.
+func TestCrashRecoveryDuringNewRegency(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.PipelineDepth = 8
+		cfg.Persistence = PersistenceWeak
+		cfg.CheckpointPeriod = 2
+		cfg.SessionGCBlocks = 64
+	})
+	p := registeredClient(t, c, minter)
+	for i := uint64(1); i <= 3; i++ {
+		mint(t, p, i, 10)
+	}
+
+	// Kill the leader mid-window: the survivors drain via one epoch change.
+	c.Net.Isolate(0)
+	for i := uint64(4); i <= 6; i++ {
+		mint(t, p, i, 10)
+	}
+
+	// Crash a follower inside the new regency and bring it back: recovery
+	// replays local state, then state-transfers the missed suffix from the
+	// two live peers while regency 1 is in force.
+	if err := c.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Recover(3); err != nil {
+		t.Fatalf("recover mid-regency: %v", err)
+	}
+
+	// Progress requires the recovered replica's votes (only 3 of 4 are
+	// reachable): it must join the ordering stream again.
+	for i := uint64(7); i <= 8; i++ {
+		mint(t, p, i, 10)
+	}
+	for _, id := range []int32{1, 2, 3} {
+		svc := c.Nodes[id].App.(*coin.Service)
+		if got := svc.State().Balance(minter.Public()); got != 80 {
+			t.Fatalf("replica %d balance after mid-regency recovery: %d, want 80", id, got)
+		}
+	}
+
+	// Heal the ex-leader; everyone converges.
+	c.Net.Heal()
+	mint(t, p, 9, 10)
+	target := c.Nodes[1].Node.Ledger().Height()
+	if err := c.WaitHeight(target, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// With checkpoints enabled every ledger prunes its cache, so chain
+	// verification from genesis does not apply; convergence is the tip:
+	// all four replicas — the recovered one and the healed ex-leader
+	// included — must sit on the same block hash at the same height.
+	h := c.Nodes[1].Node.Ledger().Height()
+	ref, ok := c.Nodes[1].Node.Ledger().CachedBlock(h)
+	if !ok {
+		t.Fatalf("replica 1 tip %d not cached", h)
+	}
+	for _, id := range []int32{0, 2, 3} {
+		b, ok := c.Nodes[id].Node.Ledger().CachedBlock(h)
+		if !ok || b.Hash() != ref.Hash() {
+			t.Fatalf("replica %d diverged from tip at height %d", id, h)
+		}
+	}
+}
+
+// TestReconfigurationAcrossEpochChangeBoundary joins a new replica while
+// the epoch-0 leader is isolated: the join commits through the post-epoch-
+// change quorum, the view boundary drains the window, and the NEW view's
+// engine — whose round-robin leader is the still-isolated replica — must
+// immediately epoch-change again to make progress. The healed ex-leader
+// then catches up into the new view.
+func TestReconfigurationAcrossEpochChangeBoundary(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.PipelineDepth = 8
+		cfg.Persistence = PersistenceWeak
+	})
+	p := registeredClient(t, c, minter)
+	for i := uint64(1); i <= 2; i++ {
+		mint(t, p, i, 10)
+	}
+
+	c.Net.Isolate(0)
+	for i := uint64(3); i <= 5; i++ {
+		mint(t, p, i, 10)
+	}
+
+	// Reconfiguration at the epoch-change boundary: replica 4 joins via the
+	// surviving quorum (n−f = 3 votes), replacing every engine.
+	if err := c.Join(4, 30*time.Second); err != nil {
+		t.Fatalf("join during epoch change: %v", err)
+	}
+	p.SetMembers(c.Members())
+
+	// New view: n=5, quorum 4, exactly the four reachable replicas — and
+	// its epoch-0 leader is the isolated one, forcing a fresh epoch change
+	// under the new membership before anything commits.
+	mint(t, p, 6, 10)
+	for _, id := range []int32{1, 2, 3, 4} {
+		svc := c.Nodes[id].App.(*coin.Service)
+		if got := svc.State().Balance(minter.Public()); got != 60 {
+			t.Fatalf("replica %d balance after boundary reconfig: %d, want 60", id, got)
+		}
+	}
+
+	c.Net.Heal()
+	mint(t, p, 7, 10)
+	target := c.Nodes[1].Node.Ledger().Height()
+	if err := c.WaitHeight(target, 30*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gb := blockchain.GenesisBlock(&c.Genesis)
+	blocks := append([]blockchain.Block{gb}, c.Nodes[4].Node.Ledger().CachedBlocks()...)
+	sum, err := blockchain.VerifyChain(blocks, blockchain.VerifyOptions{})
+	if err != nil {
+		t.Fatalf("chain across reconfig boundary: %v", err)
+	}
+	if sum.ViewChanges != 1 {
+		t.Fatalf("chain records %d view changes, want 1", sum.ViewChanges)
 	}
 }

@@ -95,10 +95,15 @@ func (n *Node) recoverLocal() error {
 }
 
 // installEnvelope positions ledger, view, instance counter, and the
-// executed watermark at a snapshot point.
+// executed watermark at a snapshot point. The commit floor only moves
+// forward: a snapshot can never rewind instances this replica already
+// released from the reorder buffer.
 func (n *Node) installEnvelope(env *snapshotEnvelope) {
 	n.ledger = blockchain.NewLedgerAt(n.cfg.Genesis, env.Height, env.BlockHash, env.LastReconfig, env.Height)
 	n.batcher.RestoreWatermarks(env.Watermarks)
+	if env.Instance > n.nextInstance.Load() {
+		n.nextInstance.Store(env.Instance)
+	}
 	n.mu.Lock()
 	n.curView = env.View
 	n.permanentKeys = clonePermKeys(env.PermKeys)
@@ -119,9 +124,10 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 	}
 	// Same duplicate filter as the live commit path: a request ordered
 	// twice by a pipelined window executed only once live, so replay must
-	// skip the same second occurrence.
+	// skip the same second occurrence. The block height drives the session
+	// GC identically to live execution.
 	fresh := n.batcher.Fresh(batch.Requests)
-	n.batcher.MarkDelivered(batch.Requests)
+	n.batcher.MarkDeliveredAt(b.Header.Number, batch.Requests)
 	appReqs := make([]smr.Request, 0, len(batch.Requests))
 	for i := range batch.Requests {
 		if !fresh[i] {
@@ -225,6 +231,7 @@ func (n *Node) currentEnvelope() snapshotEnvelope {
 	gb := blockchain.GenesisBlock(&n.cfg.Genesis)
 	return snapshotEnvelope{
 		Height:       0,
+		Instance:     1,
 		BlockHash:    gb.Hash(),
 		LastReconfig: 0,
 		View:         n.cfg.Genesis.InitialView(),
@@ -315,6 +322,8 @@ func (n *Node) installState(rep *stateRep) error {
 
 	if rep.Snapshot.Height > n.ledger.Height() {
 		// Jump to the snapshot, then replay the blocks after it.
+		// installEnvelope positions the commit floor at the envelope's
+		// consensus Instance (monotonically).
 		if len(rep.Snapshot.AppState) > 0 {
 			if err := n.app.Restore(rep.Snapshot.AppState); err != nil {
 				return fmt.Errorf("restore fetched state: %w", err)
@@ -324,7 +333,6 @@ func (n *Node) installState(rep *stateRep) error {
 		if err := n.cfg.Snapshots.Save(rep.Snapshot.Height, rep.Snapshot.encode()); err != nil {
 			return err
 		}
-		n.nextInstance.Store(maxInstanceAfter(rep.Snapshot.Height, n.nextInstance.Load()))
 	}
 	for i := range rep.Blocks {
 		b := &rep.Blocks[i]
@@ -342,15 +350,6 @@ func (n *Node) installState(rep *stateRep) error {
 	}
 	n.afterInstall()
 	return nil
-}
-
-// maxInstanceAfter keeps the instance counter monotonic when jumping over a
-// snapshot whose covered consensus IDs we cannot see.
-func maxInstanceAfter(height, current int64) int64 {
-	if height+1 > current {
-		return height + 1
-	}
-	return current
 }
 
 // afterInstall reconciles membership after new state arrived: a member

@@ -85,7 +85,15 @@ func decodeView(data []byte) (view.View, error) {
 // during state transfer: the application snapshot plus the ledger position
 // and view needed to resume from it.
 type snapshotEnvelope struct {
-	Height       int64 // last block covered
+	Height int64 // last block covered
+	// Instance is the next consensus instance after the checkpoint (the
+	// covered block's ConsensusID + 1, a pure function of the chain
+	// prefix). Restoring replicas position their commit floor here: block
+	// height alone undershoots whenever leader-change filler decisions
+	// consumed instance numbers without producing blocks, which would leave
+	// the restored replica driving slots the rest of the view has settled
+	// and garbage-collected — unable to ever decide them or advance.
+	Instance     int64
 	BlockHash    crypto.Hash
 	LastReconfig int64
 	View         view.View
@@ -101,6 +109,7 @@ type snapshotEnvelope struct {
 func (s *snapshotEnvelope) encode() []byte {
 	e := codec.NewEncoder(256 + len(s.AppState))
 	e.Int64(s.Height)
+	e.Int64(s.Instance)
 	e.Bytes32(s.BlockHash)
 	e.Int64(s.LastReconfig)
 	e.WriteBytes(encodeView(s.View))
@@ -115,6 +124,7 @@ func (s *snapshotEnvelope) encode() []byte {
 		w := s.Watermarks[c]
 		e.Int64(c)
 		e.Uint64(w.Low)
+		e.Int64(w.LastSeen)
 		e.Uint32(uint32(len(w.Executed)))
 		for _, seq := range w.Executed {
 			e.Uint64(seq)
@@ -127,6 +137,7 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 	d := codec.NewDecoder(data)
 	var s snapshotEnvelope
 	s.Height = d.Int64()
+	s.Instance = d.Int64()
 	s.BlockHash = d.Bytes32()
 	s.LastReconfig = d.Int64()
 	v, err := decodeView(d.ReadBytes())
@@ -153,6 +164,7 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 		c := d.Int64()
 		var w smr.Watermark
 		w.Low = d.Uint64()
+		w.LastSeen = d.Int64()
 		ne := d.Uint32()
 		if d.Err() != nil || ne > 1<<24 {
 			return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad executed-set count")

@@ -3,6 +3,8 @@ package crypto
 import (
 	"fmt"
 	"sort"
+
+	"smartchain/internal/codec"
 )
 
 // Signature is a protocol signature attributed to a process ID. The ID refers
@@ -148,3 +150,41 @@ func (r *KeyRing) Set(id int32, key PublicKey) {
 func (r *KeyRing) Len() int { return len(r.keys) }
 
 var _ KeyResolver = (*KeyRing)(nil)
+
+// MaxCertSigs bounds the signature count a decoded certificate may claim —
+// a plausibility cap far above any real view size, shared by every wire
+// format that embeds a Certificate (consensus proofs, block certificates,
+// epoch-change claims) so the codecs cannot drift apart.
+const MaxCertSigs = 1 << 16
+
+// EncodeInto serializes the certificate (digest, then signer/signature
+// pairs) into e. The format is shared by all certificate-bearing wire
+// messages; DecodeCertificateFrom is the inverse.
+func (c *Certificate) EncodeInto(e *codec.Encoder) {
+	e.Bytes32(c.Digest)
+	e.Uint32(uint32(len(c.Sigs)))
+	for _, s := range c.Sigs {
+		e.Int32(s.Signer)
+		e.WriteBytes(s.Sig)
+	}
+}
+
+// DecodeCertificateFrom reads a certificate written by EncodeInto.
+func DecodeCertificateFrom(d *codec.Decoder) (Certificate, error) {
+	var c Certificate
+	c.Digest = d.Bytes32()
+	n := d.Uint32()
+	if d.Err() != nil || n > MaxCertSigs {
+		return Certificate{}, fmt.Errorf("crypto: decode certificate: bad signature count")
+	}
+	for i := uint32(0); i < n; i++ {
+		var s Signature
+		s.Signer = d.Int32()
+		s.Sig = d.ReadBytesCopy()
+		c.Sigs = append(c.Sigs, s)
+	}
+	if err := d.Err(); err != nil {
+		return Certificate{}, fmt.Errorf("crypto: decode certificate: %w", err)
+	}
+	return c, nil
+}

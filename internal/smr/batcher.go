@@ -37,8 +37,14 @@ type Batcher struct {
 	handed   map[dedupeKey]bool       // handed out in a batch, not yet delivered
 	executed map[int64]*executedMarks // sender ident → executed-seq record
 	maxBatch int
-	closed   bool
-	ready    chan struct{}
+	// gcHorizon is the session GC horizon in blocks: an executed record
+	// untouched for more than this many committed blocks is evicted (its
+	// client's "session" expired). 0 disables eviction. Eviction is driven
+	// exclusively by committed block heights (MarkDeliveredAt), never by
+	// wall time, so every replica evicts identically.
+	gcHorizon int64
+	closed    bool
+	ready     chan struct{}
 }
 
 type dedupeKey struct {
@@ -55,10 +61,14 @@ const seqWindowSpan = 1 << 16
 
 // executedMarks is one client's executed record: every seq ≤ low has
 // executed or is permanently stale; above contains the executed seqs > low.
+// lastSeen is the height of the last committed block that touched the
+// record — a pure function of the committed prefix, so the session GC
+// evicts the same records at the same heights on every replica.
 type executedMarks struct {
-	low   uint64
-	max   uint64
-	above map[uint64]struct{}
+	low      uint64
+	max      uint64
+	above    map[uint64]struct{}
+	lastSeen int64
 }
 
 func (m *executedMarks) contains(seq uint64) bool {
@@ -104,6 +114,11 @@ type Watermark struct {
 	Low uint64
 	// Executed lists the executed seqs above Low, sorted ascending.
 	Executed []uint64
+	// LastSeen is the height of the last committed block that touched the
+	// record; the session GC measures idleness from it. Serialized through
+	// the checkpoint envelope so a replica restoring from a snapshot evicts
+	// exactly as the replicas that executed those blocks live did.
+	LastSeen int64
 }
 
 // NewBatcher creates a batcher with the given maximum batch size (the
@@ -221,6 +236,15 @@ func (b *Batcher) takeLocked() Batch {
 // ordered via another replica's proposal) are purged so they are never
 // proposed again.
 func (b *Batcher) MarkDelivered(reqs []Request) {
+	b.MarkDeliveredAt(0, reqs)
+}
+
+// MarkDeliveredAt is MarkDelivered with the committing block's height: the
+// touched executed records stamp it as their lastSeen, and records idle for
+// more than the session GC horizon are evicted. Height 0 (the plain
+// MarkDelivered path, used by the baselines) never advances lastSeen and
+// never evicts.
+func (b *Batcher) MarkDeliveredAt(height int64, reqs []Request) {
 	if len(reqs) == 0 {
 		return
 	}
@@ -239,7 +263,11 @@ func (b *Batcher) MarkDelivered(reqs []Request) {
 		delivered[k] = true
 		delete(b.inFlight, k)
 		delete(b.handed, k)
-		b.marksFor(k.ident).mark(reqs[i].Seq)
+		m := b.marksFor(k.ident)
+		m.mark(reqs[i].Seq)
+		if height > m.lastSeen {
+			m.lastSeen = height
+		}
 	}
 	kept := b.pending[:0]
 	for _, p := range b.pending {
@@ -251,6 +279,37 @@ func (b *Batcher) MarkDelivered(reqs []Request) {
 		b.pending[i] = Request{}
 	}
 	b.pending = kept
+	b.gcExecutedLocked(height)
+}
+
+// SetSessionGC configures the per-client session GC horizon in blocks
+// (0 disables). Must be identical on every replica of a deployment: the
+// horizon is part of what makes the executed records a deterministic
+// function of the committed prefix.
+func (b *Batcher) SetSessionGC(blocks int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if blocks < 0 {
+		blocks = 0
+	}
+	b.gcHorizon = blocks
+}
+
+// gcExecutedLocked evicts executed records idle past the horizon. A very
+// long-lived deployment otherwise accumulates one record per client
+// identity forever (ROADMAP follow-up from PR 3). An evicted client that
+// reuses an ancient sequence number is no longer filtered — the horizon is
+// the operator's replay-window-vs-memory trade, exactly as in BFT-SMaRt's
+// session eviction.
+func (b *Batcher) gcExecutedLocked(height int64) {
+	if b.gcHorizon <= 0 || height <= b.gcHorizon {
+		return
+	}
+	for ident, m := range b.executed {
+		if height-m.lastSeen > b.gcHorizon {
+			delete(b.executed, ident)
+		}
+	}
 }
 
 // Requeue returns requests to the front of the pending queue. Used when a
@@ -332,7 +391,7 @@ func (b *Batcher) Watermarks() map[int64]Watermark {
 	defer b.mu.Unlock()
 	out := make(map[int64]Watermark, len(b.executed))
 	for c, m := range b.executed {
-		w := Watermark{Low: m.low, Executed: make([]uint64, 0, len(m.above))}
+		w := Watermark{Low: m.low, LastSeen: m.lastSeen, Executed: make([]uint64, 0, len(m.above))}
 		for s := range m.above {
 			w.Executed = append(w.Executed, s)
 		}
@@ -350,7 +409,8 @@ func (b *Batcher) RestoreWatermarks(w map[int64]Watermark) {
 	defer b.mu.Unlock()
 	b.executed = make(map[int64]*executedMarks, len(w))
 	for c, wm := range w {
-		m := &executedMarks{low: wm.Low, max: wm.Low, above: make(map[uint64]struct{}, len(wm.Executed))}
+		m := &executedMarks{low: wm.Low, max: wm.Low, lastSeen: wm.LastSeen,
+			above: make(map[uint64]struct{}, len(wm.Executed))}
 		for _, s := range wm.Executed {
 			if s > m.low {
 				m.above[s] = struct{}{}

@@ -1,0 +1,110 @@
+package smr
+
+import (
+	"testing"
+
+	"smartchain/internal/crypto"
+)
+
+func gcReq(t *testing.T, key *crypto.KeyPair, client int64, seq uint64) Request {
+	t.Helper()
+	r, err := NewSignedRequest(client, seq, []byte{1}, key)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	return r
+}
+
+// TestSessionGCEvictsIdleClients checks the per-client executed records are
+// evicted once idle past the horizon, measured in committed block heights —
+// and that active clients survive.
+func TestSessionGCEvictsIdleClients(t *testing.T) {
+	b := NewBatcher(8)
+	b.SetSessionGC(4)
+	idle := crypto.SeededKeyPair("gc-idle", 1)
+	busy := crypto.SeededKeyPair("gc-busy", 2)
+
+	b.MarkDeliveredAt(1, []Request{gcReq(t, idle, 1, 1)})
+	for h := int64(2); h <= 5; h++ {
+		b.MarkDeliveredAt(h, []Request{gcReq(t, busy, 2, uint64(h))})
+	}
+	if len(b.Watermarks()) != 2 {
+		t.Fatalf("premature eviction: %v", b.Watermarks())
+	}
+	// Height 6: idle's lastSeen=1 is now 5 > 4 blocks behind.
+	b.MarkDeliveredAt(6, []Request{gcReq(t, busy, 2, 6)})
+	w := b.Watermarks()
+	if len(w) != 1 {
+		t.Fatalf("idle client not evicted: %v", w)
+	}
+	busyReq := gcReq(t, busy, 2, 6)
+	if _, ok := w[busyReq.Ident()]; !ok {
+		t.Fatalf("busy client evicted instead: %v", w)
+	}
+	// The evicted client's old sequence numbers are accepted again: the
+	// horizon is the replay-window-vs-memory trade.
+	if !b.Add(gcReq(t, idle, 1, 1)) {
+		t.Fatal("evicted client's request rejected")
+	}
+}
+
+// TestSessionGCDisabledKeepsRecords pins the default: horizon 0 never
+// evicts.
+func TestSessionGCDisabledKeepsRecords(t *testing.T) {
+	b := NewBatcher(8)
+	idle := crypto.SeededKeyPair("gc-none", 1)
+	busy := crypto.SeededKeyPair("gc-none", 2)
+	b.MarkDeliveredAt(1, []Request{gcReq(t, idle, 1, 1)})
+	for h := int64(2); h <= 100; h++ {
+		b.MarkDeliveredAt(h, []Request{gcReq(t, busy, 2, uint64(h))})
+	}
+	if len(b.Watermarks()) != 2 {
+		t.Fatalf("record evicted with GC disabled: %v", b.Watermarks())
+	}
+	if b.Add(gcReq(t, idle, 1, 1)) {
+		t.Fatal("replay accepted with GC disabled")
+	}
+}
+
+// TestSessionGCLastSeenRoundTripsThroughWatermarks checks that restoring
+// from a checkpoint carries the idleness clock, so a restored replica
+// evicts at exactly the same height as one that executed the blocks live.
+func TestSessionGCLastSeenRoundTripsThroughWatermarks(t *testing.T) {
+	b := NewBatcher(8)
+	b.SetSessionGC(4)
+	idle := crypto.SeededKeyPair("gc-rt", 1)
+	busy := crypto.SeededKeyPair("gc-rt", 2)
+	b.MarkDeliveredAt(1, []Request{gcReq(t, idle, 1, 1)})
+	b.MarkDeliveredAt(5, []Request{gcReq(t, busy, 2, 5)})
+
+	w := b.Watermarks()
+	idleReq := gcReq(t, idle, 1, 1)
+	if got := w[idleReq.Ident()].LastSeen; got != 1 {
+		t.Fatalf("idle LastSeen = %d, want 1", got)
+	}
+
+	restored := NewBatcher(8)
+	restored.SetSessionGC(4)
+	restored.RestoreWatermarks(w)
+	// The next committed block at height 6 evicts idle on BOTH batchers.
+	b.MarkDeliveredAt(6, []Request{gcReq(t, busy, 2, 6)})
+	restored.MarkDeliveredAt(6, []Request{gcReq(t, busy, 2, 6)})
+	lw, rw := b.Watermarks(), restored.Watermarks()
+	if len(lw) != 1 || len(rw) != 1 {
+		t.Fatalf("divergent eviction: live=%v restored=%v", lw, rw)
+	}
+}
+
+// TestMarkDeliveredWithoutHeightNeverEvicts pins the baselines' plain
+// MarkDelivered path: no height, no lastSeen advance, no eviction.
+func TestMarkDeliveredWithoutHeightNeverEvicts(t *testing.T) {
+	b := NewBatcher(8)
+	b.SetSessionGC(1)
+	key := crypto.SeededKeyPair("gc-legacy", 1)
+	for s := uint64(1); s <= 50; s++ {
+		b.MarkDelivered([]Request{gcReq(t, key, 1, s)})
+	}
+	if len(b.Watermarks()) != 1 {
+		t.Fatalf("legacy path evicted: %v", b.Watermarks())
+	}
+}

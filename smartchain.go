@@ -10,7 +10,9 @@
 //     persistence from request ordering and amortizes synchronous writes
 //     over many blocks (Algorithm 1), with pipelined ordering: up to
 //     Config.PipelineDepth consensus instances run concurrently and commit
-//     strictly in instance order;
+//     strictly in instance order — and a regency-wide epoch change that
+//     replaces a failed leader for the WHOLE window in one synchronization
+//     round (failover cost is independent of the window depth);
 //   - strong (0-Persistence) and weak (1-Persistence) durability variants —
 //     under the strong variant, every transaction whose client saw a reply
 //     quorum survives even a simultaneous crash of all replicas;
