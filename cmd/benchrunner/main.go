@@ -11,6 +11,7 @@
 //	benchrunner -exp ablate            # pipeline ablation
 //	benchrunner -exp window            # ordering window W=1 vs W=8
 //	benchrunner -exp openloop          # closed-loop vs async vs unordered reads
+//	benchrunner -exp reads             # quorum-fresh vs read-your-writes vs ordered reads
 //	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
@@ -38,7 +39,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|failover|verify|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|failover|verify|all")
 		clients  = flag.Int("clients", 240, "closed-loop clients")
 		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -230,6 +231,22 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int, report m
 		printRows(rows)
 		if len(rows) >= 2 && rows[0].Throughput > 0 {
 			fmt.Printf("  async speedup over closed-loop: %.2fx\n", rows[1].Throughput/rows[0].Throughput)
+		}
+	}
+	if all || exp == "reads" {
+		ran = true
+		fmt.Println("== Read consistency: quorum-fresh vs read-your-writes vs ordered reads (W=8) ==")
+		points, err := harness.Reads(5*time.Millisecond, opts)
+		report["reads"] = points
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("  %s\n", p)
+		}
+		if len(points) == 3 && points[2].Throughput > 0 {
+			fmt.Printf("  read-your-writes keeps %.0f%% of quorum-fresh throughput at 0 instances; ordered reads consumed %d\n",
+				100*points[1].Throughput/points[0].Throughput, points[2].Instances)
 		}
 	}
 	if all || exp == "failover" {

@@ -356,7 +356,7 @@ func TestRepliesToForeignRequestsAreRejected(t *testing.T) {
 	// The attacker broadcasts a VALIDLY SIGNED (by its own key) request
 	// carrying the victim's ClientID and the victim's next unordered seq.
 	attackerKey := crypto.SeededKeyPair("attacker", 1)
-	forged, err := smr.NewSignedUnordered(int64(victimEp.ID()), 1, []byte("attacker-query"), attackerKey)
+	forged, err := smr.NewSignedUnordered(int64(victimEp.ID()), 1, 0, []byte("attacker-query"), attackerKey)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,15 @@
 //     without consuming a consensus instance; the reply quorum alone
 //     makes the result trustworthy (BFT-SMaRt's unordered requests).
 //
+// The proxy is self-healing: every reply piggybacks a signed view tag
+// (view ID, epoch, membership hash, executed height), and when a quorum of
+// tags disagrees with the proxy's membership it fetches the installed view
+// with a view-query message, adopts it, and re-targets every in-flight
+// call — reconfigurations need no manual SetMembers call. Unordered reads
+// are session-consistent: the proxy tracks its highest reply-observed
+// height as a read floor, replicas park a read until they reach it, and a
+// quorum of "behind" replies makes the proxy fall back to an ordered read.
+//
 // Context deadlines are authoritative: a deadline on ctx bounds the call
 // exactly; when ctx carries none, the proxy's WithTimeout default applies.
 package client
@@ -24,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +47,12 @@ import (
 var (
 	ErrTimeout = errors.New("client: quorum of matching replies not reached")
 	ErrClosed  = errors.New("client: proxy closed")
+	// ErrReadBehind reports that a quorum of replicas could not serve an
+	// unordered read at the session read floor within their park window.
+	// InvokeUnordered handles it internally by falling back to an ordered
+	// read; it only escapes through InvokeUnorderedNoFallback-style uses of
+	// the raw future API.
+	ErrReadBehind = errors.New("client: read floor not reached at a quorum")
 )
 
 // Proxy is one client identity bound to a transport endpoint. It is safe
@@ -49,14 +65,39 @@ type Proxy struct {
 	ep      transport.Endpoint
 	timeout time.Duration
 	retry   time.Duration
+	// sessionReads enables the read floor on unordered requests (default
+	// true; WithQuorumReads reverts to quorum-fresh reads).
+	sessionReads bool
 
-	mu      sync.Mutex
-	members []int32
-	quorum  int
-	seq     uint64 // ordered sequence space
-	useq    uint64 // unordered sequence space (UnorderedSeqBit added)
-	calls   map[uint64]*call
-	closed  bool
+	mu        sync.Mutex
+	members   []int32
+	memberSet map[int32]bool
+	f         int
+	quorum    int
+	// viewID is the highest view this proxy has confirmed (-1 until the
+	// first reply tag or view adoption teaches it one).
+	viewID int64
+	// readFloor is the highest executed height observed in the view tags of
+	// completed calls — the session floor attached to unordered reads.
+	readFloor int64
+	// mismatch tracks members whose reply tags hash differently from our
+	// membership; f+1 distinct reporters trigger a view query (fewer could
+	// be pure Byzantine noise).
+	mismatch map[int32]bool
+	// viewVotes collects MsgViewInfo responses: responder → membership
+	// hash of the reported view (agreement is counted by hash alone).
+	viewVotes map[int32]crypto.Hash
+	lastQuery time.Time
+	// hashCache memoizes MembershipHash(hashCacheID, members) — in steady
+	// state every reply tag carries the same view ID, and recomputing the
+	// hash per reply under p.mu would serialize high-rate reply streams.
+	hashCacheID  int64
+	hashCacheVal crypto.Hash
+	hashCacheOK  bool
+	seq          uint64 // ordered sequence space
+	useq         uint64 // unordered sequence space (UnorderedSeqBit added)
+	calls        map[uint64]*call
+	closed       bool
 
 	stop      chan struct{} // closes the retransmit loop
 	recvDone  chan struct{}
@@ -66,16 +107,25 @@ type Proxy struct {
 
 // call is one in-flight invocation awaiting its reply quorum.
 type call struct {
-	seq     uint64
-	payload []byte      // encoded signed request, for (re)transmission
-	digest  crypto.Hash // of the signed request; replies must echo it
-	quorum  int
-	counts  map[string]map[int32]bool // result bytes → replica set
+	seq       uint64
+	payload   []byte      // encoded signed request, for (re)transmission
+	digest    crypto.Hash // of the signed request; replies must echo it
+	unordered bool
+	quorum    int
+	counts    map[string]map[int32]bool  // result bytes → replica set
+	heights   map[string]map[int32]int64 // result bytes → replica → tag height
+	behind    map[int32]bool             // replicas reporting a read-floor miss
 
 	// result/err are written once, under Proxy.mu, before done closes.
 	done   chan struct{}
 	result []byte
 	err    error
+}
+
+func (c *call) reset() {
+	c.counts = make(map[string]map[int32]bool)
+	c.heights = make(map[string]map[int32]int64)
+	c.behind = make(map[int32]bool)
 }
 
 // Option configures a Proxy.
@@ -92,19 +142,34 @@ func WithRetry(d time.Duration) Option {
 	return func(p *Proxy) { p.retry = d }
 }
 
+// WithQuorumReads disables the session read floor: unordered reads revert
+// to quorum-freshness (any replica state a Byzantine quorum agrees on),
+// the pre-read-your-writes behavior. Kept as the A/B baseline for the
+// reads experiment and for workloads that prefer latency over session
+// consistency.
+func WithQuorumReads() Option {
+	return func(p *Proxy) { p.sessionReads = false }
+}
+
 // New creates a proxy and starts its receive demultiplexer. The endpoint's
-// ID doubles as the client ID; members is the current view membership. The
-// proxy takes ownership of the endpoint — Close the proxy to release it.
+// ID doubles as the client ID; members is the current view membership (a
+// bootstrap hint — the proxy tracks reconfigurations on its own from reply
+// view tags). The proxy takes ownership of the endpoint — Close the proxy
+// to release it.
 func New(ep transport.Endpoint, key *crypto.KeyPair, members []int32, opts ...Option) *Proxy {
 	p := &Proxy{
-		id:       int64(ep.ID()),
-		key:      key,
-		ep:       ep,
-		timeout:  10 * time.Second,
-		retry:    time.Second,
-		calls:    make(map[uint64]*call),
-		stop:     make(chan struct{}),
-		recvDone: make(chan struct{}),
+		id:           int64(ep.ID()),
+		key:          key,
+		ep:           ep,
+		timeout:      10 * time.Second,
+		retry:        time.Second,
+		sessionReads: true,
+		viewID:       -1,
+		mismatch:     make(map[int32]bool),
+		viewVotes:    make(map[int32]crypto.Hash),
+		calls:        make(map[uint64]*call),
+		stop:         make(chan struct{}),
+		recvDone:     make(chan struct{}),
 	}
 	p.SetMembers(members)
 	for _, o := range opts {
@@ -115,18 +180,129 @@ func New(ep transport.Endpoint, key *crypto.KeyPair, members []int32, opts ...Op
 	return p
 }
 
-// SetMembers updates the view membership the proxy talks to (after a
-// reconfiguration). Calls already in flight keep the quorum they started
-// with.
+// SetMembers installs a view membership hint. Since the proxy discovers
+// reconfigurations on its own from reply view tags, calling it after a
+// reconfiguration is no longer required; it remains exported for tests and
+// for bootstrapping a proxy onto a different deployment. In-flight calls
+// are re-targeted at the new membership exactly as with a discovered view.
 func (p *Proxy) SetMembers(members []int32) {
+	p.mu.Lock()
+	payloads := p.installMembersLocked(-1, members)
+	targets := append([]int32(nil), p.members...)
+	p.mu.Unlock()
+	p.resend(payloads, targets)
+}
+
+// installMembersLocked replaces the membership (and, when id ≥ 0, records
+// the confirmed view ID) and re-targets every in-flight call at the new
+// view: the new quorum is installed, counted replies from processes the
+// new view does not contain are pruned (a quorum must consist of CURRENT
+// members only), calls the pruned counts already satisfy complete, and the
+// payloads of the rest are returned for retransmission to the new members
+// — so a call started before a reconfiguration can neither hang on an
+// unreachable old quorum (e.g. 4 matching replies wanted when the view
+// shrank to a state only 3 replicas will ever re-answer from) nor keep
+// broadcasting to dead replicas. Unordered calls restart their counts
+// entirely: their replies are only meaningful against one fixed
+// membership. Caller holds p.mu.
+func (p *Proxy) installMembersLocked(id int64, members []int32) [][]byte {
+	// Canonicalize (sort + dedup) before deriving anything: MembershipHash
+	// dedup-sorts internally, so a Byzantine view-info vote listing members
+	// twice would hash-match the honest votes — installing its RAW list
+	// would inflate n (and thus the quorum) past what the distinct replicas
+	// can ever satisfy, wedging the proxy.
 	ms := make([]int32, len(members))
 	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	dedup := ms[:0]
+	for i, m := range ms {
+		if i == 0 || m != ms[i-1] {
+			dedup = append(dedup, m)
+		}
+	}
+	ms = dedup
 	n := len(ms)
 	f := view.FaultTolerance(n)
-	p.mu.Lock()
 	p.members = ms
+	p.memberSet = make(map[int32]bool, n)
+	for _, m := range ms {
+		p.memberSet[m] = true
+	}
+	p.f = f
 	p.quorum = view.ByzantineQuorum(n, f)
-	p.mu.Unlock()
+	p.viewID = id
+	p.mismatch = make(map[int32]bool)
+	p.viewVotes = make(map[int32]crypto.Hash)
+	p.hashCacheOK = false
+
+	payloads := make([][]byte, 0, len(p.calls))
+	for _, c := range p.calls {
+		if c.unordered {
+			c.reset()
+			c.quorum = p.quorum
+			payloads = append(payloads, c.payload)
+			continue
+		}
+		c.quorum = p.quorum
+		completed := false
+		for k, voters := range c.counts {
+			for voter := range voters {
+				if !p.memberSet[voter] {
+					delete(voters, voter)
+					// Prune the height too: the floor's (f+1)-th-highest
+					// Byzantine bound holds per view, and an ex-member's
+					// retained height would let Byzantine entries from two
+					// views stack up inside the top f+1.
+					delete(c.heights[k], voter)
+				}
+			}
+			if len(voters) >= c.quorum {
+				p.completeLocked(c, k)
+				completed = true
+				break
+			}
+		}
+		if !completed {
+			payloads = append(payloads, c.payload)
+		}
+	}
+	return payloads
+}
+
+// completeLocked finishes a call with the winning result key. Caller holds
+// p.mu.
+func (p *Proxy) completeLocked(c *call, k string) {
+	delete(p.calls, c.seq)
+	c.result = []byte(k)
+	// The (f+1)-th highest tag height among the completing quorum becomes
+	// the session read floor: at least one HONEST quorum member reported a
+	// height at or above it, so a state at the floor includes this call's
+	// effects (read-your-writes) and everything read so far (monotonic
+	// reads) — while the ≤ f Byzantine members of the quorum, who can
+	// occupy at most f of the top f+1 heights, cannot inflate it to an
+	// unreachable value that would park every future session read into the
+	// ordered fallback.
+	hs := make([]int64, 0, len(c.heights[k]))
+	for _, h := range c.heights[k] {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] > hs[j] })
+	if len(hs) > p.f {
+		if floor := hs[p.f]; floor > p.readFloor {
+			p.readFloor = floor
+		}
+	}
+	close(c.done)
+}
+
+// resend retransmits call payloads to the given members (no-op on empty
+// inputs). Called WITHOUT p.mu held.
+func (p *Proxy) resend(payloads [][]byte, members []int32) {
+	for _, payload := range payloads {
+		for _, m := range members {
+			_ = p.ep.Send(m, smr.MsgRequest, payload)
+		}
+	}
 }
 
 // ID returns the client's process ID.
@@ -134,6 +310,32 @@ func (p *Proxy) ID() int64 { return p.id }
 
 // PublicKey returns the client's public key.
 func (p *Proxy) PublicKey() crypto.PublicKey { return p.key.Public() }
+
+// Members returns the membership the proxy currently targets (primarily
+// for tests asserting self-healing view discovery).
+func (p *Proxy) Members() []int32 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int32, len(p.members))
+	copy(out, p.members)
+	return out
+}
+
+// ViewID returns the view number the proxy has confirmed (-1 before any
+// reply taught it one).
+func (p *Proxy) ViewID() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.viewID
+}
+
+// ReadFloor returns the current session read floor (the highest executed
+// height observed in reply view tags).
+func (p *Proxy) ReadFloor() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readFloor
+}
 
 // Close detaches the proxy: pending and future invocations fail with
 // ErrClosed, the receive and retransmit loops exit, and the endpoint is
@@ -156,37 +358,17 @@ func (p *Proxy) signalStop() {
 
 // receiveLoop is the demultiplexer: every inbound reply is routed to the
 // in-flight call with its sequence number, and a call completes the moment
-// some result value accumulates a quorum of distinct replicas.
+// some result value accumulates a quorum of distinct replicas. View-query
+// answers feed the self-healing membership tracker.
 func (p *Proxy) receiveLoop() {
 	defer close(p.recvDone)
 	for m := range p.ep.Receive() {
-		if m.Type != smr.MsgReply {
-			continue
+		switch m.Type {
+		case smr.MsgReply:
+			p.onReply(m)
+		case smr.MsgViewInfo:
+			p.onViewInfo(m)
 		}
-		rep, err := smr.DecodeReply(m.Payload)
-		if err != nil || rep.ClientID != p.id || rep.ReplicaID != m.From {
-			continue
-		}
-		p.mu.Lock()
-		c := p.calls[rep.Seq]
-		if c == nil || rep.Digest != c.digest {
-			// No such call, or the reply answers a request this proxy
-			// never signed (a third party reusing our ClientID/Seq):
-			// only replies echoing OUR request's digest may count.
-			p.mu.Unlock()
-			continue
-		}
-		k := string(rep.Result)
-		if c.counts[k] == nil {
-			c.counts[k] = make(map[int32]bool)
-		}
-		c.counts[k][rep.ReplicaID] = true
-		if len(c.counts[k]) >= c.quorum {
-			delete(p.calls, c.seq)
-			c.result = append([]byte(nil), rep.Result...)
-			close(c.done)
-		}
-		p.mu.Unlock()
 	}
 	// Endpoint closed: fail everything still in flight and stop the
 	// retransmit loop (the endpoint may have been closed underneath us,
@@ -202,9 +384,177 @@ func (p *Proxy) receiveLoop() {
 	p.mu.Unlock()
 }
 
+// onReply routes one reply to its call and folds its view tag into the
+// membership tracker.
+func (p *Proxy) onReply(m transport.Message) {
+	rep, err := smr.DecodeReply(m.Payload)
+	if err != nil || rep.ClientID != p.id || rep.ReplicaID != m.From {
+		return
+	}
+	var query []int32
+	p.mu.Lock()
+	if !p.memberSet[m.From] {
+		// Only current members may answer: a replica a completed
+		// reconfiguration removed (possibly compromised since) cannot
+		// contribute to any quorum.
+		p.mu.Unlock()
+		return
+	}
+	c := p.calls[rep.Seq]
+	if c == nil || rep.Digest != c.digest {
+		// No such call, or the reply answers a request this proxy
+		// never signed (a third party reusing our ClientID/Seq):
+		// only replies echoing OUR request's digest may count.
+		p.mu.Unlock()
+		return
+	}
+
+	// View tracking: does the replier's membership hash ours? Tags whose
+	// hash equals MembershipHash(tag view, our members) come from a view
+	// with our exact membership — adopt a greater view ID silently. A
+	// foreign hash means the group reconfigured (or the replier is stale);
+	// f+1 distinct reporters make it worth a view query.
+	// A zero tag marks a sender that does not implement view piggybacking
+	// (the baseline replicas): it feeds no view tracking — recording it as
+	// a mismatch would have the proxy broadcasting view queries forever —
+	// and, lacking a membership attestation, it can never count toward an
+	// unordered read quorum.
+	same := false
+	if !rep.Tag.MemberHash.IsZero() {
+		if !p.hashCacheOK || p.hashCacheID != rep.Tag.ViewID {
+			p.hashCacheID = rep.Tag.ViewID
+			p.hashCacheVal = view.MembershipHash(rep.Tag.ViewID, p.members)
+			p.hashCacheOK = true
+		}
+		same = rep.Tag.MemberHash == p.hashCacheVal
+		if same {
+			if rep.Tag.ViewID > p.viewID {
+				p.viewID = rep.Tag.ViewID
+			}
+			delete(p.mismatch, m.From)
+		} else {
+			p.mismatch[m.From] = true
+			if len(p.mismatch) > p.f {
+				query = p.queryTargetsLocked()
+			}
+		}
+	}
+
+	if rep.Flags&smr.ReplyFlagBehind != 0 {
+		// A read-floor miss: no result to count, but a quorum of them
+		// proves the floor is unserveable right now — fail the call so
+		// InvokeUnordered falls back to an ordered read.
+		if c.unordered && same {
+			c.behind[m.From] = true
+			if len(c.behind) >= c.quorum {
+				delete(p.calls, c.seq)
+				c.err = ErrReadBehind
+				close(c.done)
+			}
+		}
+		p.mu.Unlock()
+		p.sendViewQuery(query)
+		return
+	}
+
+	// Unordered reads only count replies tagged with our exact membership:
+	// the read quorum must be a quorum of the CURRENT view, not of whatever
+	// configuration the replier last saw. (Ordered calls keep counting —
+	// their result was committed by consensus; the tag mismatch already
+	// armed the view refresh above.)
+	if c.unordered && !same {
+		p.mu.Unlock()
+		p.sendViewQuery(query)
+		return
+	}
+
+	k := string(rep.Result)
+	if c.counts[k] == nil {
+		c.counts[k] = make(map[int32]bool)
+		c.heights[k] = make(map[int32]int64)
+	}
+	c.counts[k][rep.ReplicaID] = true
+	if rep.Tag.Height > c.heights[k][rep.ReplicaID] {
+		c.heights[k][rep.ReplicaID] = rep.Tag.Height
+	}
+	// A served result supersedes this replica's earlier behind report (it
+	// may have expired a park, then caught up and answered the
+	// retransmission): the behind quorum must count only replicas whose
+	// LAST word was "behind", or a spurious ordered fallback fires with
+	// the unordered quorum one reply from completing.
+	delete(c.behind, rep.ReplicaID)
+	if len(c.counts[k]) >= c.quorum {
+		p.completeLocked(c, k)
+	}
+	p.mu.Unlock()
+	p.sendViewQuery(query)
+}
+
+// queryTargetsLocked decides whether a view query should fire now
+// (rate-limited to one per half retry interval) and returns its targets.
+// Caller holds p.mu.
+func (p *Proxy) queryTargetsLocked() []int32 {
+	now := time.Now()
+	if now.Sub(p.lastQuery) < p.retry/2 {
+		return nil
+	}
+	p.lastQuery = now
+	out := make([]int32, len(p.members))
+	copy(out, p.members)
+	return out
+}
+
+// sendViewQuery broadcasts a view query to the given members (nil = no-op).
+// Called WITHOUT p.mu held.
+func (p *Proxy) sendViewQuery(members []int32) {
+	for _, m := range members {
+		_ = p.ep.Send(m, smr.MsgViewQuery, nil)
+	}
+}
+
+// onViewInfo records one member's answer to a view query and adopts the
+// reported view once f+1 current members agree on a newer (ID, members)
+// pair: at least one of them is correct, and a correct member reports its
+// installed view faithfully — even a member the new view removed (it
+// installs the view that retires it before stepping back).
+func (p *Proxy) onViewInfo(m transport.Message) {
+	vi, err := smr.DecodeViewInfo(m.Payload)
+	if err != nil {
+		return
+	}
+	var payloads [][]byte
+	var targets []int32
+	p.mu.Lock()
+	if !p.memberSet[m.From] || vi.ViewID <= p.viewID {
+		p.mu.Unlock()
+		return
+	}
+	h := view.MembershipHash(vi.ViewID, vi.Members)
+	p.viewVotes[m.From] = h
+	agree := 0
+	for _, vh := range p.viewVotes {
+		if vh == h {
+			agree++
+		}
+	}
+	if agree >= p.f+1 {
+		payloads = p.installMembersLocked(vi.ViewID, vi.Members)
+		targets = append([]int32(nil), p.members...)
+	}
+	p.mu.Unlock()
+	p.resend(payloads, targets)
+}
+
 // retransmitLoop periodically rebroadcasts every in-flight request — one
 // shared ticker, not one timer per call, so thousands of outstanding
-// invocations cost one goroutine.
+// invocations cost one goroutine. Targets are re-read from the live
+// membership every tick, so calls follow the proxy across
+// reconfigurations. The tick also re-issues the view query while mismatch
+// evidence is outstanding: the reply-driven trigger is edge-triggered and
+// its rate limiter can swallow the edge — and replicas never re-reply to
+// an executed request, so without this level-triggered retry a call whose
+// replies all arrived inside one rate-limit window would never learn the
+// new view.
 func (p *Proxy) retransmitLoop() {
 	t := time.NewTicker(p.retry)
 	defer t.Stop()
@@ -219,12 +569,18 @@ func (p *Proxy) retransmitLoop() {
 			for _, c := range p.calls {
 				payloads = append(payloads, c.payload)
 			}
+			var query []int32
+			if len(p.mismatch) > p.f {
+				p.lastQuery = time.Now()
+				query = append([]int32(nil), members...)
+			}
 			p.mu.Unlock()
 			for _, payload := range payloads {
 				for _, m := range members {
 					_ = p.ep.Send(m, smr.MsgRequest, payload)
 				}
 			}
+			p.sendViewQuery(query)
 		}
 	}
 }
@@ -243,8 +599,12 @@ func (p *Proxy) register(op []byte, unordered bool) (*call, error) {
 		p.useq++
 		useq := p.useq
 		seq = useq | smr.UnorderedSeqBit
+		floor := int64(0)
+		if p.sessionReads {
+			floor = p.readFloor
+		}
 		p.mu.Unlock()
-		req, err = smr.NewSignedUnordered(p.id, useq, op, p.key)
+		req, err = smr.NewSignedUnordered(p.id, useq, floor, op, p.key)
 	} else {
 		p.seq++
 		seq = p.seq
@@ -255,12 +615,13 @@ func (p *Proxy) register(op []byte, unordered bool) (*call, error) {
 		return nil, fmt.Errorf("client: sign: %w", err)
 	}
 	c := &call{
-		seq:     seq,
-		payload: req.Encode(),
-		digest:  req.Digest(),
-		counts:  make(map[string]map[int32]bool),
-		done:    make(chan struct{}),
+		seq:       seq,
+		payload:   req.Encode(),
+		digest:    req.Digest(),
+		unordered: unordered,
+		done:      make(chan struct{}),
 	}
+	c.reset()
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -375,16 +736,30 @@ func (p *Proxy) InvokeAsync(ctx context.Context, op []byte) *Future {
 
 // InvokeUnordered submits a read-only operation that skips consensus:
 // replicas execute it directly against their current state and the call
-// completes when a Byzantine quorum return the same result. During
-// reconfigurations or load spikes the states visible at different replicas
-// may briefly diverge; retransmission keeps polling until a quorum agrees.
+// completes when a Byzantine quorum return the same result. The request
+// carries the proxy's session read floor, so the result reflects every
+// write this proxy has seen acknowledged (read-your-writes) — a replica
+// behind the floor parks the read until it catches up, and if a quorum
+// reports it cannot, the proxy transparently falls back to an ordered read
+// (which consumes a consensus instance, exactly like BFT-SMaRt's
+// ordered-fallback hierarchical reads).
 func (p *Proxy) InvokeUnordered(ctx context.Context, op []byte) ([]byte, error) {
-	return p.invokeAsync(ctx, op, true).Result()
+	return p.InvokeUnorderedAsync(ctx, op).Result()
 }
 
 // InvokeUnorderedAsync is InvokeUnordered returning a Future.
 func (p *Proxy) InvokeUnorderedAsync(ctx context.Context, op []byte) *Future {
-	return p.invokeAsync(ctx, op, true)
+	inner := p.invokeAsync(ctx, op, true)
+	f := &Future{done: make(chan struct{})}
+	go func() {
+		res, err := inner.Result()
+		if errors.Is(err, ErrReadBehind) {
+			res, err = p.invokeAsync(ctx, op, false).Result()
+		}
+		f.result, f.err = res, err
+		close(f.done)
+	}()
+	return f
 }
 
 // InvokeOrdered is Invoke for callers that only care that the operation

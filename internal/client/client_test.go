@@ -10,24 +10,34 @@ import (
 	"smartchain/internal/crypto"
 	"smartchain/internal/smr"
 	"smartchain/internal/transport"
+	"smartchain/internal/view"
 )
 
-// fakeReplica answers requests with a canned result, optionally lying.
+// fakeReplica answers requests with a canned result, optionally lying. It
+// speaks the view-tag protocol: replies carry the fake's installed view
+// (default: view 0, members {0,1,2,3}) and executed height, and view
+// queries are answered with a ViewInfo — so the proxy's self-healing view
+// discovery can be exercised against it.
 type fakeReplica struct {
-	ep     transport.Endpoint
-	result func(req smr.Request) []byte
-	mu     sync.Mutex
-	seen   int
-	stop   chan struct{}
-	done   chan struct{}
+	ep      transport.Endpoint
+	result  func(req smr.Request) []byte
+	mu      sync.Mutex
+	seen    int
+	viewID  int64
+	members []int32
+	height  int64
+	behind  bool // answer unordered reads with ReplyFlagBehind
+	stop    chan struct{}
+	done    chan struct{}
 }
 
 func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Request) []byte) *fakeReplica {
 	r := &fakeReplica{
-		ep:     net.Endpoint(id),
-		result: result,
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		ep:      net.Endpoint(id),
+		result:  result,
+		members: []int32{0, 1, 2, 3},
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go func() {
 		defer close(r.done)
@@ -39,7 +49,15 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 				if !ok {
 					return
 				}
-				if m.Type != smr.MsgRequest {
+				switch m.Type {
+				case smr.MsgViewQuery:
+					r.mu.Lock()
+					vi := smr.ViewInfo{ViewID: r.viewID, Members: r.members}
+					r.mu.Unlock()
+					_ = r.ep.Send(m.From, smr.MsgViewInfo, vi.Encode())
+					continue
+				case smr.MsgRequest:
+				default:
 					continue
 				}
 				req, err := smr.DecodeRequest(m.Payload)
@@ -49,7 +67,16 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 				r.mu.Lock()
 				r.seen++
 				result := r.result
+				tag := smr.ViewTag{ViewID: r.viewID,
+					MemberHash: view.MembershipHash(r.viewID, r.members), Height: r.height}
+				behind := r.behind && req.Unordered()
 				r.mu.Unlock()
+				if behind {
+					rep := smr.Reply{ReplicaID: r.ep.ID(), ClientID: req.ClientID, Seq: req.Seq,
+						Digest: req.Digest(), Flags: smr.ReplyFlagBehind, Tag: tag}
+					_ = r.ep.Send(m.From, smr.MsgReply, rep.Encode())
+					continue
+				}
 				if result == nil {
 					continue // silent replica
 				}
@@ -62,6 +89,7 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 					ClientID:  req.ClientID,
 					Seq:       req.Seq,
 					Digest:    req.Digest(),
+					Tag:       tag,
 					Result:    body,
 				}
 				_ = r.ep.Send(m.From, smr.MsgReply, rep.Encode())
@@ -69,6 +97,29 @@ func startFakeReplica(net *transport.MemNetwork, id int32, result func(smr.Reque
 		}
 	}()
 	return r
+}
+
+// SetView installs the view the fake reports in its reply tags and view
+// info.
+func (r *fakeReplica) SetView(id int64, members []int32) {
+	r.mu.Lock()
+	r.viewID = id
+	r.members = append([]int32(nil), members...)
+	r.mu.Unlock()
+}
+
+// SetHeight sets the executed height carried in reply tags.
+func (r *fakeReplica) SetHeight(h int64) {
+	r.mu.Lock()
+	r.height = h
+	r.mu.Unlock()
+}
+
+// SetBehind makes the fake answer unordered reads with a read-floor miss.
+func (r *fakeReplica) SetBehind(b bool) {
+	r.mu.Lock()
+	r.behind = b
+	r.mu.Unlock()
 }
 
 func (r *fakeReplica) Stop() {
@@ -225,7 +276,14 @@ func TestSetMembersChangesQuorum(t *testing.T) {
 	if _, err := p.Invoke(context.Background(), []byte("a")); err != nil {
 		t.Fatalf("invoke in 4-view: %v", err)
 	}
-	p.SetMembers([]int32{0, 1, 2, 3, 4, 5, 6})
+	// The group reconfigures to 7 members; the fakes report the new view in
+	// their tags so the proxy's own view tracker agrees with the manual
+	// hint below.
+	all7 := []int32{0, 1, 2, 3, 4, 5, 6}
+	for _, r := range replicas {
+		r.SetView(1, all7)
+	}
+	p.SetMembers(all7)
 	if _, err := p.Invoke(context.Background(), []byte("b")); err != nil {
 		t.Fatalf("invoke in 7-view: %v", err)
 	}

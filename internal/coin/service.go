@@ -35,6 +35,15 @@ func (s *Service) State() *State { return s.state }
 func (s *Service) ExecuteBatch(bc smr.BatchContext, reqs []smr.Request) [][]byte {
 	results := make([][]byte, len(reqs))
 	for i := range reqs {
+		if IsQuery(reqs[i].Op) {
+			// An ordered read: the client's unordered read fell back to
+			// total order (read floor unserveable at a quorum). Queries
+			// are deterministic reads of the state as of this point in the
+			// sequence, so executing them inside the batch is safe on
+			// every replica.
+			results[i] = s.ExecuteUnordered(reqs[i])
+			continue
+		}
 		tx, err := Decode(reqs[i].Op)
 		if err != nil {
 			results[i] = []byte{ResultErrMalformed}
@@ -70,6 +79,13 @@ func EncodeBalanceQuery(addr crypto.PublicKey) []byte {
 
 // EncodeUTXOCountQuery frames a UTXO-count query.
 func EncodeUTXOCountQuery() []byte { return []byte{QueryUTXOCount} }
+
+// IsQuery reports whether op is a read-only query payload. The query kind
+// bytes are disjoint from transaction encodings, so the answer is
+// unambiguous.
+func IsQuery(op []byte) bool {
+	return len(op) > 0 && (op[0] == QueryBalance || op[0] == QueryUTXOCount)
+}
 
 // ParseUint64Result decodes a numeric query result (balance, UTXO count).
 func ParseUint64Result(result []byte) (uint64, error) {
@@ -115,8 +131,14 @@ func (s *Service) ExecuteUnordered(req smr.Request) []byte {
 
 // VerifyOp implements deep per-request verification used by the parallel
 // verification pool: beyond the request envelope signature, the embedded
-// transaction signature must verify.
+// transaction signature must verify. Queries carry no transaction — the
+// request envelope signature (checked by the smr layer) is all the
+// authentication a read needs, also when it arrives on the ordered path as
+// a read-floor fallback.
 func (s *Service) VerifyOp(req *smr.Request) bool {
+	if IsQuery(req.Op) {
+		return true
+	}
 	tx, err := Decode(req.Op)
 	if err != nil {
 		return false

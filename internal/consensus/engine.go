@@ -231,6 +231,10 @@ func (e *Engine) ProposeValue(i int64, value []byte) {
 // slot. Safe from any goroutine.
 func (e *Engine) SyncRounds() int64 { return e.syncRounds.Load() }
 
+// Regency returns the currently installed epoch (a snapshot; safe from any
+// goroutine).
+func (e *Engine) Regency() int64 { return e.regency.Load() }
+
 // Leader returns the member leading the current epoch (regency). The value
 // is a snapshot: by the time the caller acts on it, a synchronization phase
 // may have moved leadership on — callers use it only as a hint. Safe from
@@ -283,6 +287,15 @@ func (e *Engine) loop() {
 		// nextEpoch → voter → message. Campaigns at or below the installed
 		// regency are garbage-collected on install.
 		epochStops = make(map[int64]map[int32]epochStopMsg)
+		// lastSync retains the EPOCH-SYNC certificate this replica
+		// broadcast as the leader of the installed regency, so a STALE
+		// campaigner — a healed replica campaigning for an epoch the view
+		// already installed — can be re-sent the self-certifying
+		// certificate directly instead of idling until the next epoch
+		// change.
+		lastSync *epochSyncMsg
+		// resyncAt rate-limits those re-sends per campaigner.
+		resyncAt = make(map[int32]time.Time)
 	)
 	defer func() {
 		for _, t := range timers {
@@ -642,7 +655,17 @@ func (e *Engine) loop() {
 		if next <= regency {
 			return
 		}
-		if _, sent := epochStops[next][e.cfg.Self]; sent {
+		if sm, sent := epochStops[next][e.cfg.Self]; sent {
+			// Re-broadcast the recorded vote instead of going quiet: a
+			// campaigner whose STOP was lost (or whose peers installed the
+			// epoch before hearing it) would otherwise never be noticed —
+			// the re-broadcast is what lets the current leader detect a
+			// stale campaigner and re-send the installed regency's SYNC
+			// certificate.
+			payload := sm.encode()
+			for _, peer := range e.cfg.View.Others(e.cfg.Self) {
+				e.cfg.Send(peer, MsgEpochStop, payload)
+			}
 			return
 		}
 		sm := epochStopMsg{NextEpoch: next, Voter: e.cfg.Self, Floor: floor}
@@ -742,6 +765,10 @@ func (e *Engine) loop() {
 		for _, peer := range e.cfg.View.Others(e.cfg.Self) {
 			e.cfg.Send(peer, MsgEpochSync, payload)
 		}
+		// Keep the certificate: it is self-certifying, so it can later be
+		// re-sent verbatim to a stale campaigner that missed this round.
+		retained := sync
+		lastSync = &retained
 		for _, sp := range sync.Slots {
 			applySlot(next, sp.Instance, sp.Value)
 		}
@@ -760,7 +787,27 @@ func (e *Engine) loop() {
 		if err != nil || sm.Voter != m.From || !e.cfg.View.Contains(sm.Voter) {
 			return
 		}
-		if sm.NextEpoch <= regency || sm.NextEpoch > regency+maxEpochSkew {
+		if sm.NextEpoch <= regency {
+			// A stale campaigner: it wants an epoch the view already
+			// installed, so its vote can never gather a quorum — but it IS
+			// evidence the sender missed the installed regency. If we lead
+			// the current regency, re-send our retained self-certifying
+			// SYNC certificate directly to it: the campaigner installs the
+			// regency from the certificate and rejoins live ordering
+			// without waiting out the next epoch change (ROADMAP PR 4
+			// follow-up). Signature-verified and rate-limited per sender so
+			// a Byzantine member cannot turn us into a re-send amplifier.
+			if lastSync != nil && lastSync.NextEpoch == regency &&
+				e.cfg.View.Leader(regency) == e.cfg.Self &&
+				time.Since(resyncAt[sm.Voter]) >= e.cfg.Timeout/2 {
+				if sm.verify(e.cfg.View, e.quorum) == nil {
+					resyncAt[sm.Voter] = time.Now()
+					e.cfg.Send(sm.Voter, MsgEpochSync, lastSync.encode())
+				}
+			}
+			return
+		}
+		if sm.NextEpoch > regency+maxEpochSkew {
 			return
 		}
 		if _, dup := epochStops[sm.NextEpoch][sm.Voter]; dup {
@@ -797,6 +844,24 @@ func (e *Engine) loop() {
 		installRegency(msg.NextEpoch) // no-op when already installed
 		for _, sp := range msg.Slots {
 			applySlot(msg.NextEpoch, sp.Instance, sp.Value)
+		}
+	}
+
+	// echoVotes sends this replica's own WRITE (and ACCEPT, if cast) for
+	// (inst, s.epoch, s.digest) directly to one peer. Votes are broadcast
+	// exactly once, so a replica that joined the epoch late — e.g. through a
+	// stale-campaigner resync — would assemble quorums everyone else already
+	// has only via another epoch change; echoing on first contact lets it
+	// converge in place. Triggered only by newly recorded votes, so two
+	// replicas can never echo at each other indefinitely.
+	echoVotes := func(to int32, inst int64, s *instState) {
+		if sig, ok := s.writes[s.epoch][s.digest][e.cfg.Self]; ok {
+			m := voteMsg{Instance: inst, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig}
+			e.cfg.Send(to, MsgWrite, m.encode())
+		}
+		if sig, ok := s.accepts[s.epoch][s.digest][e.cfg.Self]; ok {
+			m := voteMsg{Instance: inst, Epoch: s.epoch, Digest: s.digest, Voter: e.cfg.Self, Sig: sig}
+			e.cfg.Send(to, MsgAccept, m.encode())
 		}
 	}
 
@@ -840,7 +905,7 @@ func (e *Engine) loop() {
 		case MsgPropose:
 			e.onPropose(m, s, inst, adoptProposal)
 		case MsgWrite:
-			e.onWrite(m, s, inst, maybeProgress)
+			e.onWrite(m, s, inst, maybeProgress, echoVotes)
 		case MsgAccept:
 			e.onAccept(m, s, inst, maybeProgress)
 		case MsgStop:
@@ -1109,13 +1174,40 @@ func (e *Engine) validEpochSync(msg *epochSyncMsg) (map[int64]*slotClaim, bool) 
 	return best, true
 }
 
-// onWrite records a WRITE vote.
-func (e *Engine) onWrite(m transport.Message, s *instState, inst int64, progress func(int64, *instState)) {
+// onWrite records a WRITE vote. A vote that arrives after this replica
+// already cast its ACCEPT (or decided) is from a peer running the epoch
+// late; the first such vote from each peer is answered with an echo of our
+// own votes so the late peer can assemble the same quorums.
+func (e *Engine) onWrite(m transport.Message, s *instState, inst int64,
+	progress func(int64, *instState), echo func(int32, int64, *instState)) {
 	vm, err := decodeVote(m.Payload)
 	if err != nil || vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
 		return
 	}
-	if vm.Epoch < s.epoch || s.decided {
+	if vm.Epoch < s.epoch {
+		return
+	}
+	if s.decided {
+		// The slot is decided but not yet settled: a matching late vote
+		// gets our evidence echoed back (once — the recorded vote
+		// suppresses repeats); everything else is noise. Only post-
+		// synchronization slots (epoch above the start epoch) can have late
+		// joiners, so the normal path never pays for echoes.
+		if s.epoch == s.baseEpoch || vm.Epoch != s.epoch || vm.Digest != s.digest {
+			return
+		}
+		if _, dup := s.writes[vm.Epoch][vm.Digest][vm.Voter]; dup {
+			return
+		}
+		pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
+		if !ok || !crypto.Verify(pub, ctxWrite, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+			return
+		}
+		e.recordWrite(s, inst, vm)
+		echo(vm.Voter, inst, s)
+		return
+	}
+	if _, dup := s.writes[vm.Epoch][vm.Digest][vm.Voter]; dup {
 		return
 	}
 	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
@@ -1124,6 +1216,13 @@ func (e *Engine) onWrite(m transport.Message, s *instState, inst int64, progress
 	}
 	e.recordWrite(s, inst, vm)
 	progress(inst, s)
+	// Checked AFTER progress: the write that completes our quorum is often
+	// the late joiner's own — it has ours recorded nowhere, and without the
+	// echo both sides would hold a partial quorum forever. Restricted to
+	// post-synchronization slots, where late joiners exist.
+	if s.epoch > s.baseEpoch && s.sentAccept && vm.Epoch == s.epoch && vm.Digest == s.digest {
+		echo(vm.Voter, inst, s)
+	}
 }
 
 // onAccept records an ACCEPT vote.

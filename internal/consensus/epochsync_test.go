@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"smartchain/internal/crypto"
+	"smartchain/internal/transport"
 )
 
 // TestEpochChangeDrainsWindowInOneRound kills the epoch-0 leader with a
@@ -268,5 +269,59 @@ func TestEpochSyncSettledVotersCannotAttestUnlocked(t *testing.T) {
 		value)
 	if _, ok := e.validEpochSync(&claimed); !ok {
 		t.Fatal("certified re-proposal must validate regardless of settled voters")
+	}
+}
+
+// TestStaleCampaignerReceivesSyncResend is the engine-level gate for the
+// stale-campaigner resync: replica 3 contributes its EPOCH-STOP to the
+// regency-1 campaign but — one-way partitioned — misses the EPOCH-SYNC.
+// Once healed, its re-broadcast campaign for the ALREADY-INSTALLED epoch
+// must make the regency-1 leader re-send the retained certificate, after
+// which replica 3 installs the regency and the window (whose quorum needs
+// its votes: only 3 of 4 engines are alive) decides everywhere — without
+// any further synchronization round.
+func TestStaleCampaignerReceivesSyncResend(t *testing.T) {
+	h := newHarness(t, 4, 200*time.Millisecond, nil)
+	// One-way partition: engine 3 sends, but receives nothing.
+	h.net.SetFilter(func(m transport.Message) bool { return m.To == 3 })
+	h.kill(0)
+	const W = 4
+	for inst := int64(1); inst <= W; inst++ {
+		for i, eng := range h.engines {
+			if i == 0 {
+				continue
+			}
+			eng.StartInstance(inst, nil)
+		}
+	}
+
+	// {1,2} install regency 1 using 3's stop; 3 itself stays at 0.
+	deadline := time.Now().Add(15 * time.Second)
+	for h.engines[1].Regency() < 1 || h.engines[2].Regency() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("majority never installed regency 1")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := h.engines[3].Regency(); got != 0 {
+		t.Fatalf("partitioned engine installed regency %d; expected to be stale", got)
+	}
+
+	// Heal: 3's re-broadcast stale campaign must pull the retained SYNC
+	// certificate from the regency-1 leader and the window must decide on
+	// every live engine (nothing can decide without 3's votes).
+	h.net.SetFilter(nil)
+	for i := 1; i <= 3; i++ {
+		decisions := collectWindow(t, fmt.Sprintf("replica %d", i), h.engines[i], W)
+		for inst := int64(1); inst <= W; inst++ {
+			if _, ok := decisions[inst]; !ok {
+				t.Fatalf("replica %d missing instance %d after resync", i, inst)
+			}
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if rounds := h.engines[i].SyncRounds(); rounds != 1 {
+			t.Fatalf("replica %d ran %d synchronization rounds, want exactly 1 (no new epoch)", i, rounds)
+		}
 	}
 }

@@ -215,6 +215,13 @@ type Config struct {
 	// (and from every checkpoint envelope, so replicas stay identical).
 	// 0 disables eviction — records then live for the process lifetime.
 	SessionGCBlocks int64
+	// ReadParkTimeout bounds how long an unordered read whose ReadFloor is
+	// above the executed height is parked before answering "behind" (the
+	// client then falls back to an ordered read). 0 = 1 s.
+	ReadParkTimeout time.Duration
+	// ReadParkLimit bounds the park queue; overflow answers "behind"
+	// immediately. 0 = 256.
+	ReadParkLimit int
 	// MaxBatch caps requests per block; 0 uses the genesis value.
 	MaxBatch int
 	// ConsensusTimeout is the leader-progress timeout.
@@ -271,6 +278,21 @@ type Node struct {
 	// window is still draining). Driver-goroutine only.
 	carryover []engineDecision
 
+	// Reply view-tag cache (one signature per block, not per reply) and
+	// the read-floor park queue; see readserve.go.
+	tagMu       sync.Mutex
+	tagHashView int64
+	tagHash     crypto.Hash
+	tagLast     smr.ViewTag
+	tagLastSig  []byte
+	parkMu      sync.Mutex
+	parked      []parkedRead
+	// replies is the BFT-SMaRt-style reply cache: retransmissions of
+	// executed requests are answered from it (replicas never re-order an
+	// executed request), fed by the live commit path and state-transfer
+	// replay alike.
+	replies *replyCache
+
 	stop      chan struct{}
 	done      chan struct{}
 	recvDone  chan struct{}
@@ -284,6 +306,7 @@ type Node struct {
 	epochChanges   atomic.Int64
 	lastReplyBlock atomic.Int64
 	unorderedReads atomic.Int64
+	stateTransfers atomic.Int64
 }
 
 // Errors returned by node operations.
@@ -322,6 +345,12 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.ConsensusTimeout <= 0 {
 		cfg.ConsensusTimeout = 500 * time.Millisecond
 	}
+	if cfg.ReadParkTimeout <= 0 {
+		cfg.ReadParkTimeout = DefaultReadParkTimeout
+	}
+	if cfg.ReadParkLimit <= 0 {
+		cfg.ReadParkLimit = DefaultReadParkLimit
+	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = reconfig.AdmitAll()
@@ -353,6 +382,7 @@ func NewNode(cfg Config) (*Node, error) {
 		recvDone:      make(chan struct{}),
 	}
 	n.nextInstance.Store(1)
+	n.replies = newReplyCache()
 	n.batcher.SetSessionGC(cfg.SessionGCBlocks)
 	n.persist = newPersistCollector(n)
 	n.keys = reconfig.NewKeyStore(cfg.Self, cfg.Permanent, 0, cfg.InitialConsensusKey, cfg.KeyGen)
@@ -386,6 +416,7 @@ func (n *Node) Start() error {
 	}
 
 	go n.driverLoop()
+	go n.parkSweeper()
 	return nil
 }
 
@@ -499,6 +530,10 @@ type Stats struct {
 	// Instances is the number of consensus instances committed so far —
 	// the accounting that lets tests prove unordered reads consume none.
 	Instances int64
+	// StateTransfers counts state-transfer rounds that actually installed
+	// state on this replica — the accounting that lets tests prove a
+	// stale-campaigner resync rejoined live ordering WITHOUT one.
+	StateTransfers int64
 }
 
 // Stats returns current counters.
@@ -511,6 +546,7 @@ func (n *Node) Stats() Stats {
 		Height:         n.ledger.Height(),
 		UnorderedReads: n.unorderedReads.Load(),
 		Instances:      n.nextInstance.Load() - 1,
+		StateTransfers: n.stateTransfers.Load(),
 	}
 }
 
@@ -553,7 +589,11 @@ func (n *Node) enqueueRequest(req smr.Request) {
 // batcher, consensus, the ledger, and the durability path are never
 // involved, so the read consumes no consensus instance and costs no
 // ordering latency. Any reachable replica answers; the client's matching-
-// reply quorum is what makes the result trustworthy.
+// reply quorum is what makes the result trustworthy. A request whose
+// ReadFloor is above the executed height is parked until the replica
+// catches up (read-your-writes), bounded by the park queue and timeout —
+// overflow and expiry answer "behind" so the client can fall back to an
+// ordered read.
 func (n *Node) serveUnordered(req smr.Request) {
 	n.mu.Lock()
 	retired := n.retired
@@ -565,24 +605,13 @@ func (n *Node) serveUnordered(req smr.Request) {
 		if !ok {
 			return
 		}
-		var result []byte
-		if len(r.Op) > 0 && r.Op[0] == OpApp {
-			if ua, capable := n.app.(UnorderedApplication); capable {
-				unwrapped := r
-				unwrapped.Op = r.Op[1:]
-				result = ua.ExecuteUnordered(unwrapped)
-			} else {
-				result = resultUnorderedUnsupported
+		if r.ReadFloor > n.ledger.Height() {
+			if !n.parkRead(r) {
+				n.replyBehind(r)
 			}
-		} else {
-			// Only application reads exist on this path: reconfiguration
-			// operations are state changes and must be ordered.
-			result = resultBadOperation
+			return
 		}
-		n.unorderedReads.Add(1)
-		rep := smr.Reply{ReplicaID: n.cfg.Self, ClientID: r.ClientID, Seq: r.Seq,
-			Digest: r.Digest(), Result: result}
-		_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode())
+		n.answerUnordered(r)
 	}
 	// Every mode goes through the verifier pool, whose workers implement
 	// the mode's semantics (VerifyNone passes, VerifySequential is one
@@ -629,7 +658,21 @@ func (n *Node) dispatch(m transport.Message) {
 			n.serveUnordered(req)
 			return
 		}
+		if enc, ok := n.replies.lookup(req.ClientID, req.Seq, req.Digest); ok {
+			// A retransmission of an executed request: re-send the cached
+			// reply. The digest match (covering the request signature)
+			// proves the cached reply answers exactly this signed request,
+			// so no re-verification is needed — and the batcher would only
+			// drop the duplicate anyway, leaving the client hanging if its
+			// original replies were lost or came from fewer live executors
+			// than its quorum (replicas that caught up via state transfer
+			// replay blocks without sending replies).
+			_ = n.cfg.Transport.Send(int32(req.ClientID), MsgReply, enc)
+			return
+		}
 		n.enqueueRequest(req)
+	case m.Type == smr.MsgViewQuery:
+		n.onViewQuery(m.From)
 	case m.Type == MsgPersist:
 		n.persist.onMessage(m)
 	case m.Type == MsgStateReq:

@@ -372,6 +372,12 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 	}
 	n.blocksBuilt.Add(1)
 
+	// One signed view tag covers every reply of the block: the tag is a
+	// function of (view, deciding epoch, height) only, so the per-reply
+	// marginal cost is a copy, not a signature. The view captured here is
+	// the one the block was created in — a view update the block itself
+	// carries applies below, after the replies are built.
+	tag, tagSig := n.replyTag(d.Epoch, number)
 	replies := make([]smr.Reply, len(batch.Requests))
 	for i := range batch.Requests {
 		replies[i] = smr.Reply{
@@ -379,6 +385,8 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 			ClientID:  batch.Requests[i].ClientID,
 			Seq:       batch.Requests[i].Seq,
 			Digest:    batch.Requests[i].Digest(),
+			Tag:       tag,
+			TagSig:    tagSig,
 			Result:    results[i],
 		}
 	}
@@ -432,6 +440,9 @@ func (n *Node) commitDecision(d consensus.Decision) bool {
 	if update != nil {
 		n.applyViewUpdate(update)
 	}
+	// The executed height just advanced: serve any unordered reads parked
+	// on a ReadFloor this block reached.
+	n.releaseParked()
 	n.maybeCheckpoint(blk.Header.Number)
 	return update != nil
 }
@@ -535,10 +546,14 @@ func (n *Node) executeBatch(bc smr.BatchContext, reqs []smr.Request, fresh []boo
 	return results, update
 }
 
-// sendReplies transmits one reply per executed request to its client.
+// sendReplies transmits one reply per executed request to its client and
+// feeds the reply cache — this is the single egress for ordered replies
+// (weak path and post-PERSIST strong path alike), so a reply enters the
+// cache exactly when it becomes externally sendable.
 func (n *Node) sendReplies(replies []smr.Reply) {
 	for i := range replies {
 		payload := replies[i].Encode()
+		n.replies.store(&replies[i], payload)
 		_ = n.cfg.Transport.Send(int32(replies[i].ClientID), MsgReply, payload)
 	}
 	if len(replies) > 0 {

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
 	"smartchain/internal/blockchain"
 	"smartchain/internal/coin"
+	"smartchain/internal/transport"
 )
 
 // failoverScenario warms a W=8 pipeline, isolates the epoch-0 leader, and
@@ -140,6 +142,91 @@ func TestPipelineLeaderIsolationEpochChange(t *testing.T) {
 	}
 }
 
+// TestStaleCampaignerResyncsWithoutStateTransfer is the headline-bugfix
+// gate: replica 3 suffers a one-way partition (it can send, but hears no
+// consensus traffic) exactly while the others replace the dead epoch-0
+// leader. Its EPOCH-STOP helps {1,2} install regency 1, but it misses the
+// EPOCH-SYNC — the pre-fix behavior left it campaigning for an epoch the
+// view had already installed, idle until the NEXT epoch change or a
+// state-transfer resync. With the fix, the regency-1 leader answers the
+// stale campaign by re-sending its retained self-certifying SYNC
+// certificate: the healed replica must rejoin live ordering with NO state
+// transfer and NO additional epoch change, and the stalled window (whose
+// progress needs its votes — only 3 of 4 replicas are reachable) must
+// commit.
+func TestStaleCampaignerResyncsWithoutStateTransfer(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.PipelineDepth = 8
+		cfg.Persistence = PersistenceWeak
+		cfg.ConsensusTimeout = 600 * time.Millisecond
+	})
+	p := registeredClient(t, c, minter)
+	defer p.Close()
+	for i := uint64(1); i <= 2; i++ {
+		mint(t, p, i, 10)
+	}
+
+	// One-way partition: replica 3 keeps sending (its stop reaches the
+	// campaign) but receives no consensus traffic (it will miss the SYNC).
+	c.Net.SetFilter(func(m transport.Message) bool {
+		return m.To == 3 && m.Type >= 100 && m.Type < 120
+	})
+	c.Net.Isolate(0) // and the epoch-0 leader dies
+
+	// This mint needs an epoch change and, eventually, replica 3's votes:
+	// the reachable quorum is exactly {1,2,3}.
+	tx3, err := coin.NewMint(minter, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fut := p.InvokeAsync(context.Background(), WrapAppOp(tx3.Encode()))
+
+	// Wait for regency 1 to install at the connected majority — the SYNC
+	// broadcast happens inside that install, so by now replica 3's copy is
+	// provably lost.
+	deadline := time.Now().Add(20 * time.Second)
+	for c.Nodes[1].Node.Stats().EpochChanges < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch change never installed at the majority")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := c.Nodes[3].Node.Stats().EpochChanges; got != 0 {
+		t.Fatalf("one-way-partitioned replica installed %d epochs; expected to be the stale campaigner", got)
+	}
+
+	// Heal the link. Replica 3's next campaign re-broadcast is now STALE
+	// (regency 1 is installed); the leader's certificate re-send must pull
+	// it into regency 1 and the window must drain with its votes.
+	c.Net.SetFilter(nil)
+	res, err := fut.Result()
+	if err != nil {
+		t.Fatalf("stalled window never committed after the stale-campaigner resync: %v", err)
+	}
+	if code, _, err := coin.ParseResult(res); err != nil || code != coin.ResultOK {
+		t.Fatalf("mint through resynced window: code=%d err=%v", code, err)
+	}
+	mint(t, p, 4, 10) // live ordering, again with 3's votes required
+
+	for _, id := range []int32{1, 2, 3} {
+		svc := c.Nodes[id].App.(*coin.Service)
+		if got := svc.State().Balance(minter.Public()); got != 40 {
+			t.Fatalf("replica %d balance after resync: %d, want 40", id, got)
+		}
+	}
+	// The heart of the fix: no state transfer and exactly ONE epoch change
+	// anywhere — the stale campaigner converged on the installed regency
+	// instead of forcing a new one or a snapshot copy.
+	if st := c.Nodes[3].Node.Stats().StateTransfers; st != 0 {
+		t.Fatalf("healed replica used %d state transfers; resync should need none", st)
+	}
+	for _, id := range []int32{1, 2, 3} {
+		if got := c.Nodes[id].Node.Stats().EpochChanges; got != 1 {
+			t.Fatalf("replica %d ran %d epoch changes, want exactly 1", id, got)
+		}
+	}
+}
+
 // TestPartitionedMinorityCatchesUpViaStateTransfer partitions one follower
 // away while the majority (and the client) keep committing a pipelined
 // workload; after healing, the minority replica recovers the missed suffix
@@ -270,7 +357,7 @@ func TestReconfigurationAcrossEpochChangeBoundary(t *testing.T) {
 	if err := c.Join(4, 30*time.Second); err != nil {
 		t.Fatalf("join during epoch change: %v", err)
 	}
-	p.SetMembers(c.Members())
+	// No SetMembers: the proxy discovers the new view from reply tags.
 
 	// New view: n=5, quorum 4, exactly the four reachable replicas — and
 	// its epoch-0 leader is the isolated one, forcing a fresh epoch change

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+)
+
+// rawReadClient drives the unordered-read wire protocol directly (no
+// proxy): it lets a test aim a read with a chosen ReadFloor at ONE replica
+// and inspect the raw reply, park behavior included.
+type rawReadClient struct {
+	ep  transport.Endpoint
+	key *crypto.KeyPair
+	seq uint64
+}
+
+func newRawReadClient(t *testing.T, c *Cluster) *rawReadClient {
+	t.Helper()
+	return &rawReadClient{ep: c.ClientEndpoint(), key: crypto.SeededKeyPair("raw-read", 7)}
+}
+
+// send issues one unordered balance query with the given floor to one
+// replica and returns immediately.
+func (r *rawReadClient) send(t *testing.T, to int32, floor int64, addr crypto.PublicKey) smr.Request {
+	t.Helper()
+	r.seq++
+	req, err := smr.NewSignedUnordered(int64(r.ep.ID()), r.seq, floor,
+		WrapAppOp(coin.EncodeBalanceQuery(addr)), r.key)
+	if err != nil {
+		t.Fatalf("sign read: %v", err)
+	}
+	if err := r.ep.Send(to, smr.MsgRequest, req.Encode()); err != nil {
+		t.Fatalf("send read: %v", err)
+	}
+	return req
+}
+
+// await returns the next reply matching the request digest, or ok=false
+// after the timeout.
+func (r *rawReadClient) await(t *testing.T, req smr.Request, timeout time.Duration) (smr.Reply, bool) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case m, open := <-r.ep.Receive():
+			if !open {
+				return smr.Reply{}, false
+			}
+			if m.Type != smr.MsgReply {
+				continue
+			}
+			rep, err := smr.DecodeReply(m.Payload)
+			if err != nil || rep.Digest != req.Digest() {
+				continue
+			}
+			return rep, true
+		case <-deadline:
+			return smr.Reply{}, false
+		}
+	}
+}
+
+// TestReadFloorParksUntilCommit: a read with floor H+1 aimed at a replica
+// at height H produces NO reply until the next block commits, then the
+// parked read is served from the post-commit state — the replica-side half
+// of read-your-writes.
+func TestReadFloorParksUntilCommit(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.ReadParkTimeout = 10 * time.Second // park must outlive the test's pause
+	})
+	p := registeredClient(t, c, minter)
+	defer p.Close()
+
+	mint(t, p, 1, 100)
+	if err := c.WaitHeight(1, 5*time.Second); err != nil {
+		t.Fatalf("height: %v", err)
+	}
+	h := c.Nodes[0].Node.Ledger().Height()
+
+	raw := newRawReadClient(t, c)
+	req := raw.send(t, 0, h+1, minter.Public())
+	if rep, ok := raw.await(t, req, 400*time.Millisecond); ok {
+		t.Fatalf("read at floor %d answered while replica is at height %d: %+v", h+1, h, rep)
+	}
+
+	// The next write advances the height past the floor: the parked read
+	// must now be served, and from the NEW state (both mints visible).
+	mint(t, p, 2, 50)
+	rep, ok := raw.await(t, req, 5*time.Second)
+	if !ok {
+		t.Fatal("parked read never served after commit reached the floor")
+	}
+	if rep.Flags&smr.ReplyFlagBehind != 0 {
+		t.Fatalf("parked read expired instead of serving: %+v", rep)
+	}
+	bal, err := coin.ParseUint64Result(rep.Result)
+	if err != nil || bal != 150 {
+		t.Fatalf("parked read balance: %d (err %v), want 150", bal, err)
+	}
+	if rep.Tag.Height < h+1 {
+		t.Fatalf("served reply tagged height %d below floor %d", rep.Tag.Height, h+1)
+	}
+	// The tag is genuinely signed by the serving replica's permanent key.
+	if err := rep.Tag.Verify(0, c.Nodes[0].Permanent.Public(), rep.TagSig); err != nil {
+		t.Fatalf("reply tag signature: %v", err)
+	}
+}
+
+// TestReadFloorParkTimeoutAnswersBehind: a floor no commit will reach
+// expires after ReadParkTimeout with a ReplyFlagBehind reply — the signal
+// the client's ordered fallback keys on.
+func TestReadFloorParkTimeoutAnswersBehind(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.ReadParkTimeout = 200 * time.Millisecond
+	})
+	p := registeredClient(t, c, minter)
+	defer p.Close()
+	mint(t, p, 1, 100)
+
+	raw := newRawReadClient(t, c)
+	req := raw.send(t, 0, 1_000_000, minter.Public())
+	rep, ok := raw.await(t, req, 5*time.Second)
+	if !ok {
+		t.Fatal("no reply to an unserveable floor")
+	}
+	if rep.Flags&smr.ReplyFlagBehind == 0 {
+		t.Fatalf("unserveable floor got a regular reply: %+v", rep)
+	}
+	if len(rep.Result) != 0 {
+		t.Fatalf("behind reply carries a result: %q", rep.Result)
+	}
+}
+
+// TestReadFloorParkOverflowAnswersBehind: the park queue is bounded; a
+// full queue answers behind immediately instead of buffering without
+// limit.
+func TestReadFloorParkOverflowAnswersBehind(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.ReadParkTimeout = 10 * time.Second
+		cfg.ReadParkLimit = 2
+	})
+	p := registeredClient(t, c, minter)
+	defer p.Close()
+	mint(t, p, 1, 100)
+
+	raw := newRawReadClient(t, c)
+	r1 := raw.send(t, 0, 1_000_000, minter.Public())
+	r2 := raw.send(t, 0, 1_000_000, minter.Public())
+	r3 := raw.send(t, 0, 1_000_000, minter.Public())
+	// The first two park (no reply); the third overflows and answers
+	// behind promptly.
+	rep, ok := raw.await(t, r3, 2*time.Second)
+	if !ok || rep.Flags&smr.ReplyFlagBehind == 0 {
+		t.Fatalf("overflowing read not answered behind: ok=%v rep=%+v", ok, rep)
+	}
+	if rep.Digest == r1.Digest() || rep.Digest == r2.Digest() {
+		t.Fatal("wrong read answered")
+	}
+}
+
+// TestUnorderedReadYourWrites: through the full proxy, a read issued
+// immediately after the client's own write observes that write, while the
+// cluster's instance counters prove the read consumed no consensus
+// instance.
+func TestUnorderedReadYourWrites(t *testing.T) {
+	c, minter := testCluster(t, 4, nil)
+	p := registeredClient(t, c, minter)
+	defer p.Close()
+	ctx := context.Background()
+
+	for round := uint64(1); round <= 5; round++ {
+		mint(t, p, round, 10)
+		if p.ReadFloor() == 0 {
+			t.Fatal("proxy learned no read floor from the write's reply tags")
+		}
+		instances := make(map[int32]int64)
+		for id, cn := range c.Nodes {
+			instances[id] = cn.Node.Stats().Instances
+		}
+		// Immediately read back: the floor forces every counted reply to a
+		// state that includes the write just acknowledged.
+		if bal := balanceOf(t, ctx, p, minter.Public()); bal != 10*round {
+			t.Fatalf("read-your-writes violated: balance %d after %d writes of 10", bal, round)
+		}
+		for id, cn := range c.Nodes {
+			if got := cn.Node.Stats().Instances; got != instances[id] {
+				t.Fatalf("replica %d consumed %d instances for a session read", id, got-instances[id])
+			}
+		}
+	}
+}

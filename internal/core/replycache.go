@@ -1,0 +1,105 @@
+package core
+
+import (
+	"sync"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+)
+
+// replyCacheCap bounds the node's reply cache (global FIFO across all
+// clients, counted in (client, seq) slots). Honest retransmissions are for
+// in-flight — hence recent — requests, so recency is exactly the right
+// retention policy; a flood of foreign entries can evict honest ones but
+// never grow memory.
+const replyCacheCap = 8192
+
+// replyCacheVariants bounds the differently-signed requests cached per
+// (client, seq) slot: the honest client signs one, and at most a few
+// attacker-signed copies reusing its (ClientID, Seq) can ride along
+// without evicting it.
+const replyCacheVariants = 4
+
+// replyCache is the node's last-replies store (BFT-SMaRt's reply cache):
+// replicas never re-order an executed request, so without it a client
+// whose replies were lost — or who could only be answered by fewer live
+// executors than its quorum, because the other replicas received the block
+// through state-transfer replay — would retransmit forever. A cache hit
+// re-sends the recorded reply without touching the batcher or consensus.
+//
+// Slots are keyed by (client, seq); each variant inside a slot is bound to
+// its request digest (covering the request signature), and lookups compare
+// it — so a third party signing requests under someone else's ClientID can
+// never have its reply served for the victim's request, yet the common
+// MISS path (a fresh request) costs one map probe and no digest
+// computation. The cache is replica-local (NOT replicated state — each
+// replica reconstructs its own, the live commit path and state-transfer
+// replay both feeding it), so no determinism requirement applies to its
+// eviction.
+type replyCache struct {
+	mu      sync.Mutex
+	entries map[replyCacheKey][]replyCacheEntry
+	fifo    []replyCacheKey
+}
+
+type replyCacheKey struct {
+	client int64
+	seq    uint64
+}
+
+type replyCacheEntry struct {
+	digest  crypto.Hash
+	encoded []byte
+}
+
+func newReplyCache() *replyCache {
+	return &replyCache{entries: make(map[replyCacheKey][]replyCacheEntry, replyCacheCap)}
+}
+
+// store records one sendable reply (already encoded for the wire).
+func (c *replyCache) store(rep *smr.Reply, encoded []byte) {
+	k := replyCacheKey{client: rep.ClientID, seq: rep.Seq}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, exists := c.entries[k]
+	for i := range slot {
+		if slot[i].digest == rep.Digest {
+			slot[i].encoded = encoded // refresh (e.g. replay after the live send)
+			return
+		}
+	}
+	if len(slot) >= replyCacheVariants {
+		slot = slot[1:] // oldest variant out; the slot keeps its FIFO position
+	}
+	c.entries[k] = append(slot, replyCacheEntry{digest: rep.Digest, encoded: encoded})
+	if exists {
+		return
+	}
+	for len(c.fifo) >= replyCacheCap {
+		old := c.fifo[0]
+		c.fifo = c.fifo[1:]
+		delete(c.entries, old)
+	}
+	c.fifo = append(c.fifo, k)
+}
+
+// lookup returns the cached encoded reply for a retransmitted request, if
+// any. digest (the hash of the signed request) is computed LAZILY by the
+// caller: it is only needed when the (client, seq) slot exists at all, so
+// the fresh-request hot path never pays for it.
+func (c *replyCache) lookup(client int64, seq uint64, digest func() crypto.Hash) ([]byte, bool) {
+	k := replyCacheKey{client: client, seq: seq}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	slot, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	d := digest()
+	for i := range slot {
+		if slot[i].digest == d {
+			return slot[i].encoded, true
+		}
+	}
+	return nil, false
+}

@@ -129,6 +129,7 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 	fresh := n.batcher.Fresh(batch.Requests)
 	n.batcher.MarkDeliveredAt(b.Header.Number, batch.Requests)
 	appReqs := make([]smr.Request, 0, len(batch.Requests))
+	appIdx := make([]int, 0, len(batch.Requests))
 	for i := range batch.Requests {
 		if !fresh[i] {
 			continue
@@ -137,13 +138,28 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 			r := batch.Requests[i]
 			r.Op = r.Op[1:]
 			appReqs = append(appReqs, r)
+			appIdx = append(appIdx, i)
 		}
 	}
 	if len(appReqs) > 0 {
 		// Same ordering context as the live execution: replay must be
 		// bit-identical, including any timestamp-derived state.
 		bc := smr.NewBatchContext(b.Header.Number, b.Body.ConsensusID, b.Body.Epoch, &batch)
-		n.app.ExecuteBatch(bc, appReqs)
+		results := n.app.ExecuteBatch(bc, appReqs)
+		// Feed the reply cache (not the wire): a replica that catches up by
+		// replay never sent these replies live, yet its clients' quorums may
+		// NEED it — the live executors of a post-reconfiguration block can
+		// number fewer than a reply quorum. Retransmissions hit the cache
+		// and get answered as if this replica had executed the block live
+		// (BFT-SMaRt keeps its reply store inside transferred state for
+		// exactly this reason; we rebuild it from the blocks instead).
+		tag, sig := n.replyTag(b.Body.Epoch, b.Header.Number)
+		for j, idx := range appIdx {
+			orig := &batch.Requests[idx]
+			rep := smr.Reply{ReplicaID: n.cfg.Self, ClientID: orig.ClientID, Seq: orig.Seq,
+				Digest: orig.Digest(), Tag: tag, TagSig: sig, Result: results[j]}
+			n.replies.store(&rep, rep.Encode())
+		}
 	}
 	if b.Body.Kind == blockchain.KindReconfig && b.Body.Update != nil {
 		u := b.Body.Update
@@ -348,6 +364,7 @@ func (n *Node) installState(rep *stateRep) error {
 			_ = n.cfg.Log.Append(blockchain.EncodeBlockRecord(b))
 		}
 	}
+	n.stateTransfers.Add(1)
 	n.afterInstall()
 	return nil
 }

@@ -135,7 +135,7 @@ func TestBatcherForeignKeyCannotPoisonSeqSpace(t *testing.T) {
 // and such a value must fail proposal validation outright.
 func TestBatcherImmuneToOrderedUnorderedRequests(t *testing.T) {
 	key := crypto.SeededKeyPair("ooo", 7)
-	read, err := NewSignedUnordered(11, 1, []byte("q"), key)
+	read, err := NewSignedUnordered(11, 1, 0, []byte("q"), key)
 	if err != nil {
 		t.Fatal(err)
 	}

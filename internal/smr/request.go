@@ -17,6 +17,9 @@ import (
 // ContextRequest is the signature domain for client requests.
 const ContextRequest = "smartchain/request/v1"
 
+// ContextReplyTag is the signature domain for reply view tags.
+const ContextReplyTag = "smartchain/replytag/v1"
+
 // Wire message types of the client⇄replica request/reply contract. This is
 // the single authoritative definition: the client proxy, the SMARTCHAIN
 // node, and the baseline replicas all speak these values (they used to be
@@ -26,6 +29,14 @@ const (
 	MsgRequest uint16 = 200
 	// MsgReply carries an encoded Reply, replica → client.
 	MsgReply uint16 = 201
+	// MsgViewQuery asks a replica for the currently installed view
+	// (client → replica, empty payload). Clients send it when a quorum of
+	// reply view tags disagrees with their local membership — the
+	// self-healing view discovery of BFT-SMaRt's client proxy.
+	MsgViewQuery uint16 = 202
+	// MsgViewInfo answers a view query with an encoded ViewInfo
+	// (replica → client).
+	MsgViewInfo uint16 = 203
 )
 
 // Request flag bits (part of the signed portion, so a Byzantine relay
@@ -56,9 +67,18 @@ type Request struct {
 	ClientID int64
 	Seq      uint64
 	Flags    uint8
-	Op       []byte
-	PubKey   crypto.PublicKey
-	Sig      []byte
+	// ReadFloor is the session consistency floor of an unordered (read-only)
+	// request: the client's highest reply-observed executed block height. A
+	// replica whose executed height is below the floor parks the read until
+	// it catches up instead of answering from a state that predates the
+	// client's own writes — upgrading unordered reads from quorum-freshness
+	// to read-your-writes (cf. BFT-SMaRt's hierarchical reads). Zero means
+	// "any state" (the classic quorum-fresh read); ordered requests ignore
+	// it. Part of the signed portion, so a relay cannot strip the floor.
+	ReadFloor int64
+	Op        []byte
+	PubKey    crypto.PublicKey
+	Sig       []byte
 
 	// ident memoizes Ident() (0 = not yet computed; a genuinely zero
 	// fingerprint merely recomputes). Never encoded.
@@ -70,10 +90,11 @@ func (r *Request) Unordered() bool { return r.Flags&FlagUnordered != 0 }
 
 // signedPortion returns the bytes covered by the request signature.
 func (r *Request) signedPortion() []byte {
-	e := codec.NewEncoder(17 + len(r.Op) + len(r.PubKey))
+	e := codec.NewEncoder(25 + len(r.Op) + len(r.PubKey))
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
 	e.Byte(r.Flags)
+	e.Int64(r.ReadFloor)
 	e.WriteBytes(r.Op)
 	e.WriteBytes(r.PubKey)
 	return e.Bytes()
@@ -82,18 +103,19 @@ func (r *Request) signedPortion() []byte {
 // NewSignedRequest builds and signs an ordered request with the client key
 // pair.
 func NewSignedRequest(clientID int64, seq uint64, op []byte, key *crypto.KeyPair) (Request, error) {
-	return newSigned(clientID, seq, 0, op, key)
+	return newSigned(clientID, seq, 0, 0, op, key)
 }
 
-// NewSignedUnordered builds and signs an unordered (read-only) request. seq
-// must come from the unordered sequence space (UnorderedSeqBit set) so it
-// cannot shadow an ordered sequence number.
-func NewSignedUnordered(clientID int64, seq uint64, op []byte, key *crypto.KeyPair) (Request, error) {
-	return newSigned(clientID, seq|UnorderedSeqBit, FlagUnordered, op, key)
+// NewSignedUnordered builds and signs an unordered (read-only) request with
+// the given session read floor (0 = quorum-fresh). seq must come from the
+// unordered sequence space (UnorderedSeqBit set) so it cannot shadow an
+// ordered sequence number.
+func NewSignedUnordered(clientID int64, seq uint64, floor int64, op []byte, key *crypto.KeyPair) (Request, error) {
+	return newSigned(clientID, seq|UnorderedSeqBit, FlagUnordered, floor, op, key)
 }
 
-func newSigned(clientID int64, seq uint64, flags uint8, op []byte, key *crypto.KeyPair) (Request, error) {
-	r := Request{ClientID: clientID, Seq: seq, Flags: flags, Op: op, PubKey: key.Public()}
+func newSigned(clientID int64, seq uint64, flags uint8, floor int64, op []byte, key *crypto.KeyPair) (Request, error) {
+	r := Request{ClientID: clientID, Seq: seq, Flags: flags, ReadFloor: floor, Op: op, PubKey: key.Public()}
 	sig, err := key.Sign(ContextRequest, r.signedPortion())
 	if err != nil {
 		return Request{}, fmt.Errorf("sign request: %w", err)
@@ -168,6 +190,7 @@ func (r *Request) EncodeInto(e *codec.Encoder) {
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
 	e.Byte(r.Flags)
+	e.Int64(r.ReadFloor)
 	e.WriteBytes(r.Op)
 	e.WriteBytes(r.PubKey)
 	e.WriteBytes(r.Sig)
@@ -186,6 +209,7 @@ func DecodeRequestFrom(d *codec.Decoder) Request {
 	r.ClientID = d.Int64()
 	r.Seq = d.Uint64()
 	r.Flags = d.Byte()
+	r.ReadFloor = d.Int64()
 	r.Op = d.ReadBytesCopy()
 	r.PubKey = crypto.PublicKey(d.ReadBytesCopy())
 	r.Sig = d.ReadBytesCopy()
@@ -279,27 +303,96 @@ func NewBatchContext(blockNumber, instance, epoch int64, b *Batch) BatchContext 
 	}
 }
 
+// Reply flag bits.
+const (
+	// ReplyFlagBehind marks a read-floor miss: the replica's executed height
+	// stayed below the request's ReadFloor for the whole park window (or the
+	// park queue was full), so no result is carried. A client collecting a
+	// quorum of behind replies falls back to an ordered read.
+	ReplyFlagBehind uint8 = 1 << 0
+)
+
+// ViewTag is the view metadata piggybacked on every reply (BFT-SMaRt §II-B:
+// clients track the replicated group's configuration through reply
+// metadata, not manual administration). The client proxy compares each
+// tag's membership hash against its own and, on a quorum of mismatches,
+// fetches the new membership via MsgViewQuery and re-targets its in-flight
+// calls.
+type ViewTag struct {
+	// ViewID is the replica's installed view number.
+	ViewID int64
+	// Epoch is the consensus regency the replica operates in (for ordered
+	// replies: the epoch that decided the batch, identical on all replicas).
+	Epoch int64
+	// MemberHash is MembershipHash(ViewID, members) of the installed view.
+	MemberHash crypto.Hash
+	// Height is the replica's executed block height as of the reply (for
+	// ordered replies: the block that carried the request). Clients fold it
+	// into their session read floor for read-your-writes unordered reads.
+	Height int64
+}
+
+// signedPortion binds the tag to its issuing replica. The signature is a
+// statement about the replica's view state, deliberately NOT bound to one
+// reply: it changes only when the view, epoch, or height moves, so replicas
+// sign once per block instead of once per reply. Replaying a replica's own
+// tag onto another of its replies asserts nothing new; what tampering must
+// not survive is a relay rewriting the membership hash or height.
+func (t *ViewTag) signedPortion(replica int32) []byte {
+	e := codec.NewEncoder(64)
+	e.Int32(replica)
+	e.Int64(t.ViewID)
+	e.Int64(t.Epoch)
+	e.Bytes32(t.MemberHash)
+	e.Int64(t.Height)
+	return e.Bytes()
+}
+
+// Sign produces the replica's signature over the tag.
+func (t *ViewTag) Sign(replica int32, key *crypto.KeyPair) ([]byte, error) {
+	return key.Sign(ContextReplyTag, t.signedPortion(replica))
+}
+
+// Verify checks a tag signature against the replica's public key.
+func (t *ViewTag) Verify(replica int32, pub crypto.PublicKey, sig []byte) error {
+	if !crypto.Verify(pub, ContextReplyTag, t.signedPortion(replica), sig) {
+		return ErrBadRequestSig
+	}
+	return nil
+}
+
 // Reply is a replica's response to one request. Digest echoes the hash of
 // the request being answered (covering its signature): a client matches
 // replies against the digest of the request IT signed, so a third party
 // cannot have replicas answer a victim's in-flight (ClientID, Seq) with
 // the result of an attacker-signed request — ClientID alone is a routing
-// address, not an identity.
+// address, not an identity. Tag carries the replica's signed view metadata;
+// a zero tag with empty TagSig marks a sender that does not implement view
+// piggybacking (the baseline replicas).
 type Reply struct {
 	ReplicaID int32
 	ClientID  int64
 	Seq       uint64
 	Digest    crypto.Hash
+	Flags     uint8
+	Tag       ViewTag
+	TagSig    []byte
 	Result    []byte
 }
 
 // Encode serializes the reply.
 func (r *Reply) Encode() []byte {
-	e := codec.NewEncoder(56 + len(r.Result))
+	e := codec.NewEncoder(128 + len(r.Result) + len(r.TagSig))
 	e.Int32(r.ReplicaID)
 	e.Int64(r.ClientID)
 	e.Uint64(r.Seq)
 	e.Bytes32(r.Digest)
+	e.Byte(r.Flags)
+	e.Int64(r.Tag.ViewID)
+	e.Int64(r.Tag.Epoch)
+	e.Bytes32(r.Tag.MemberHash)
+	e.Int64(r.Tag.Height)
+	e.WriteBytes(r.TagSig)
 	e.WriteBytes(r.Result)
 	return e.Bytes()
 }
@@ -312,9 +405,57 @@ func DecodeReply(data []byte) (Reply, error) {
 	r.ClientID = d.Int64()
 	r.Seq = d.Uint64()
 	r.Digest = d.Bytes32()
+	r.Flags = d.Byte()
+	r.Tag.ViewID = d.Int64()
+	r.Tag.Epoch = d.Int64()
+	r.Tag.MemberHash = d.Bytes32()
+	r.Tag.Height = d.Int64()
+	r.TagSig = d.ReadBytesCopy()
 	r.Result = d.ReadBytesCopy()
 	if err := d.Finish(); err != nil {
 		return Reply{}, fmt.Errorf("decode reply: %w", err)
 	}
 	return r, nil
+}
+
+// ViewInfo answers a MsgViewQuery: the responder's installed view. Clients
+// adopt a newer view once f+1 members of their current view report the
+// same (ViewID, Members) — at least one of them is correct, and correct
+// members report their installed view faithfully — so the message itself
+// needs no signature.
+type ViewInfo struct {
+	ViewID  int64
+	Members []int32
+}
+
+// Encode serializes the view info.
+func (v *ViewInfo) Encode() []byte {
+	e := codec.NewEncoder(16 + 4*len(v.Members))
+	e.Int64(v.ViewID)
+	e.Uint32(uint32(len(v.Members)))
+	for _, m := range v.Members {
+		e.Int32(m)
+	}
+	return e.Bytes()
+}
+
+// DecodeViewInfo parses an encoded view info.
+func DecodeViewInfo(data []byte) (ViewInfo, error) {
+	d := codec.NewDecoder(data)
+	var v ViewInfo
+	v.ViewID = d.Int64()
+	n := d.Uint32()
+	// Bound the pre-allocation by what the payload can actually hold, so a
+	// tiny message with a huge count field cannot force large allocations.
+	if d.Err() != nil || n > 1<<16 || int(n) > len(data)/4 {
+		return ViewInfo{}, fmt.Errorf("decode view info: %w", ErrMalformed)
+	}
+	v.Members = make([]int32, 0, n)
+	for i := uint32(0); i < n; i++ {
+		v.Members = append(v.Members, d.Int32())
+	}
+	if err := d.Finish(); err != nil {
+		return ViewInfo{}, fmt.Errorf("decode view info: %w", err)
+	}
+	return v, nil
 }

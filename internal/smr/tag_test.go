@@ -1,0 +1,121 @@
+package smr
+
+import (
+	"testing"
+
+	"smartchain/internal/crypto"
+)
+
+// TestReplyViewTagRoundTrip: the reply codec carries flags and the full
+// view tag bit-exactly, and the tag signature survives the round trip.
+func TestReplyViewTagRoundTrip(t *testing.T) {
+	key := crypto.SeededKeyPair("tag", 1)
+	tag := ViewTag{
+		ViewID:     3,
+		Epoch:      7,
+		MemberHash: crypto.HashBytes([]byte("members")),
+		Height:     42,
+	}
+	sig, err := tag.Sign(2, key)
+	if err != nil {
+		t.Fatalf("sign tag: %v", err)
+	}
+	in := Reply{
+		ReplicaID: 2,
+		ClientID:  99,
+		Seq:       12,
+		Digest:    crypto.HashBytes([]byte("req")),
+		Flags:     ReplyFlagBehind,
+		Tag:       tag,
+		TagSig:    sig,
+		Result:    []byte("payload"),
+	}
+	out, err := DecodeReply(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Flags != ReplyFlagBehind || out.Tag != tag || string(out.Result) != "payload" {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if err := out.Tag.Verify(2, key.Public(), out.TagSig); err != nil {
+		t.Fatalf("tag signature after round trip: %v", err)
+	}
+}
+
+// TestReplyViewTagTamperRejected: rewriting any signed tag field — the
+// membership hash above all (it is what the client's view tracker keys on)
+// — must break the signature, as must re-binding the tag to another
+// replica.
+func TestReplyViewTagTamperRejected(t *testing.T) {
+	key := crypto.SeededKeyPair("tag", 2)
+	tag := ViewTag{ViewID: 1, Epoch: 2, MemberHash: crypto.HashBytes([]byte("m")), Height: 10}
+	sig, err := tag.Sign(5, key)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if err := tag.Verify(5, key.Public(), sig); err != nil {
+		t.Fatalf("genuine tag rejected: %v", err)
+	}
+
+	tampered := tag
+	tampered.MemberHash = crypto.HashBytes([]byte("forged membership"))
+	if err := tampered.Verify(5, key.Public(), sig); err == nil {
+		t.Fatal("tampered membership hash accepted")
+	}
+	tampered = tag
+	tampered.Height = 11
+	if err := tampered.Verify(5, key.Public(), sig); err == nil {
+		t.Fatal("tampered height accepted")
+	}
+	tampered = tag
+	tampered.ViewID = 2
+	if err := tampered.Verify(5, key.Public(), sig); err == nil {
+		t.Fatal("tampered view id accepted")
+	}
+	if err := tag.Verify(6, key.Public(), sig); err == nil {
+		t.Fatal("tag accepted for a different replica")
+	}
+}
+
+// TestRequestReadFloorSignedAndEncoded: the floor travels in the wire
+// encoding and is covered by the request signature, so a relay cannot
+// weaken a session read to quorum-freshness by stripping it.
+func TestRequestReadFloorSignedAndEncoded(t *testing.T) {
+	key := crypto.SeededKeyPair("floor", 1)
+	req, err := NewSignedUnordered(7, 3, 123, []byte("query"), key)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	if req.ReadFloor != 123 || !req.Unordered() {
+		t.Fatalf("request fields: floor=%d unordered=%v", req.ReadFloor, req.Unordered())
+	}
+	out, err := DecodeRequest(req.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.ReadFloor != 123 {
+		t.Fatalf("floor after round trip: %d", out.ReadFloor)
+	}
+	if err := out.VerifySig(); err != nil {
+		t.Fatalf("signature after round trip: %v", err)
+	}
+	out.ReadFloor = 0 // strip the floor
+	if err := out.VerifySig(); err == nil {
+		t.Fatal("stripped read floor passed signature verification")
+	}
+}
+
+// TestViewInfoRoundTrip: the view-query answer codec.
+func TestViewInfoRoundTrip(t *testing.T) {
+	in := ViewInfo{ViewID: 9, Members: []int32{1, 2, 3, 4}}
+	out, err := DecodeViewInfo(in.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.ViewID != 9 || len(out.Members) != 4 || out.Members[3] != 4 {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+	if _, err := DecodeViewInfo([]byte{1, 2}); err == nil {
+		t.Fatal("truncated view info accepted")
+	}
+}

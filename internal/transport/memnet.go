@@ -20,6 +20,7 @@ type MemNetwork struct {
 	rngMu     sync.Mutex
 	partition map[int32]int // process → partition group; 0 = default group
 	isolated  map[int32]bool
+	filter    func(Message) bool // true = drop (targeted fault injection)
 }
 
 // MemOption configures a MemNetwork.
@@ -108,6 +109,17 @@ func (n *MemNetwork) Isolate(id int32) {
 	n.mu.Unlock()
 }
 
+// SetFilter installs a targeted drop predicate: every message for which it
+// returns true is silently lost. Fault-injection tests use it to lose
+// specific protocol messages (e.g. the EPOCH-SYNC certificate to one
+// replica) the way a flaky link would, which coarse partitions cannot
+// express. nil removes the filter; Heal leaves it in place.
+func (n *MemNetwork) SetFilter(f func(Message) bool) {
+	n.mu.Lock()
+	n.filter = f
+	n.mu.Unlock()
+}
+
 // Heal removes all partitions and isolations.
 func (n *MemNetwork) Heal() {
 	n.mu.Lock()
@@ -124,6 +136,7 @@ func (n *MemNetwork) deliver(m Message) error {
 	blocked := n.isolated[m.From] || n.isolated[m.To] ||
 		n.partition[m.From] != n.partition[m.To]
 	drop := n.dropRate
+	filter := n.filter
 	n.mu.RUnlock()
 
 	if !ok {
@@ -131,6 +144,9 @@ func (n *MemNetwork) deliver(m Message) error {
 	}
 	if blocked {
 		return nil // silently dropped, like a real partition
+	}
+	if filter != nil && filter(m) {
+		return nil // targeted loss, indistinguishable from the wire eating it
 	}
 	if drop > 0 {
 		n.rngMu.Lock()

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 
+	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
 )
 
@@ -100,6 +101,26 @@ func (v View) CertQuorum() int { return ByzantineQuorum(v.N(), v.F()) }
 
 // JoinQuorum returns the n−f vote threshold for reconfigurations.
 func (v View) JoinQuorum() int { return ReconfigQuorum(v.N(), v.F()) }
+
+// MembershipHash fingerprints one installed configuration: the view ID plus
+// the sorted, deduplicated membership. It is what reply view tags carry and
+// what the client proxy compares to detect reconfigurations — including the
+// view ID makes every reconfiguration change the hash even when a join and
+// a removal later restore an identical member set.
+func MembershipHash(id int64, members []int32) crypto.Hash {
+	ms := dedupSorted(members)
+	e := codec.NewEncoder(8 + 4*len(ms))
+	e.Int64(id)
+	for _, m := range ms {
+		e.Int32(m)
+	}
+	return crypto.HashBytes([]byte("smartchain/membership/v1"), e.Bytes())
+}
+
+// MembershipHash fingerprints this view's (ID, members) pair.
+func (v View) MembershipHash() crypto.Hash {
+	return MembershipHash(v.ID, v.Members)
+}
 
 // Contains reports whether id is a member of the view.
 func (v View) Contains(id int32) bool {

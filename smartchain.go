@@ -171,6 +171,11 @@ func WithInvokeTimeout(d time.Duration) ClientOption { return client.WithTimeout
 // WithRetryInterval sets a Client's retransmission interval.
 func WithRetryInterval(d time.Duration) ClientOption { return client.WithRetry(d) }
 
+// WithQuorumReads disables the session read floor on a Client's unordered
+// reads, reverting them to quorum-freshness (the pre-read-your-writes
+// behavior; lowest latency, no session consistency).
+func WithQuorumReads() ClientOption { return client.WithQuorumReads() }
+
 // Coin is the bundled SMaRtCoin application (paper §IV-A).
 type Coin = coin.Service
 
