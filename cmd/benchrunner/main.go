@@ -12,6 +12,7 @@
 //	benchrunner -exp window            # ordering window W=1 vs W=8
 //	benchrunner -exp openloop          # closed-loop vs async vs unordered reads
 //	benchrunner -exp reads             # quorum-fresh vs read-your-writes vs ordered reads
+//	benchrunner -exp execpar           # conflict-aware parallel execution vs sequential replay
 //	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|failover|verify|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|verify|all")
 		clients  = flag.Int("clients", 240, "closed-loop clients")
 		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -247,6 +248,32 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int, report m
 		if len(points) == 3 && points[2].Throughput > 0 {
 			fmt.Printf("  read-your-writes keeps %.0f%% of quorum-fresh throughput at 0 instances; ordered reads consumed %d\n",
 				100*points[1].Throughput/points[0].Throughput, points[2].Instances)
+		}
+	}
+	if all || exp == "execpar" {
+		ran = true
+		fmt.Println("== Parallel execution: conflict-aware executor vs sequential replay (W=8 workers) ==")
+		points, err := harness.ExecPar(8, opts)
+		report["execpar"] = points
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("  %s\n", p)
+		}
+		for _, p := range points {
+			// Correctness gate: bit-identical results and post-state at every
+			// contention level, on every host.
+			if p.Diverged {
+				return fmt.Errorf("execpar: %s diverged between sequential and parallel execution", p.Contention)
+			}
+			// Perf gate: at low contention the parallel path must not lose to
+			// the sequential one — but only multi-core hosts can show a
+			// speedup, so a single-core runner only gets the divergence gate.
+			if p.Contention == "uniform" && p.NumCPU >= 4 && p.Speedup < 1.0 {
+				return fmt.Errorf("execpar: low-contention speedup %.2fx < 1.0x on a %d-core host",
+					p.Speedup, p.NumCPU)
+			}
 		}
 	}
 	if all || exp == "failover" {

@@ -134,9 +134,24 @@ func (tx *Tx) Hash() crypto.Hash {
 
 // OutputID derives the coin ID of output index i of this transaction.
 func (tx *Tx) OutputID(i int) CoinID {
+	return outputID(tx.Hash(), i)
+}
+
+// OutputIDs derives every output's coin ID, hashing the transaction once
+// (OutputID re-hashes per call; the execution hot path and the conflict
+// analyzer both need all of them).
+func (tx *Tx) OutputIDs() []CoinID {
 	h := tx.Hash()
+	ids := make([]CoinID, len(tx.Outputs))
+	for i := range tx.Outputs {
+		ids[i] = outputID(h, i)
+	}
+	return ids
+}
+
+func outputID(txHash crypto.Hash, i int) CoinID {
 	e := codec.NewEncoder(36)
-	e.Bytes32(h)
+	e.Bytes32(txHash)
 	e.Uint32(uint32(i))
 	return crypto.HashBytes(e.Bytes())
 }
@@ -189,25 +204,85 @@ func Decode(data []byte) (Tx, error) {
 	return tx, nil
 }
 
+// stateShards is the UTXO map shard count. Shard selection uses the first
+// byte of the (uniformly distributed) coin ID hash, so it must stay a power
+// of two ≤ 256.
+const stateShards = 64
+
+// stateShard is one slice of the UTXO set with its own lock, so
+// transactions on disjoint coins (the only kind the parallel executor runs
+// concurrently) never contend on a global mutex.
+type stateShard struct {
+	mu    sync.RWMutex
+	utxos map[CoinID]Coin
+}
+
 // State is the SMaRtCoin service state: the UTXO set plus the minter list
 // (paper: "a table with the coins assigned to each address in memory and a
-// list of addresses authorized to create new coins").
+// list of addresses authorized to create new coins"). The UTXO set is
+// sharded by coin ID so the conflict-aware parallel executor can apply
+// key-disjoint transactions concurrently; execMu gates whole-batch
+// execution against readers, so queries and snapshots observe only
+// block-boundary states — never a half-applied transaction.
 type State struct {
-	mu      sync.RWMutex
-	utxos   map[CoinID]Coin
-	minters map[string]bool // key: string(PublicKey)
+	// execMu is held exclusively for the duration of one batch application
+	// and shared by every reader entry point (queries, snapshots). Within a
+	// batch, in-batch ordered queries use the *Locked variants instead: the
+	// executor's strata guarantee they never race a conflicting writer.
+	execMu sync.RWMutex
+
+	shards [stateShards]stateShard
+
+	mintersMu sync.RWMutex
+	minters   map[string]bool // key: string(PublicKey)
 }
 
 // NewState creates a state authorizing the given minter addresses.
 func NewState(minters []crypto.PublicKey) *State {
-	s := &State{
-		utxos:   make(map[CoinID]Coin),
-		minters: make(map[string]bool, len(minters)),
+	s := &State{minters: make(map[string]bool, len(minters))}
+	for i := range s.shards {
+		s.shards[i].utxos = make(map[CoinID]Coin)
 	}
 	for _, m := range minters {
 		s.minters[string(m)] = true
 	}
 	return s
+}
+
+func (s *State) shardOf(id CoinID) *stateShard {
+	return &s.shards[id[0]&(stateShards-1)]
+}
+
+func (s *State) getCoin(id CoinID) (Coin, bool) {
+	sh := s.shardOf(id)
+	sh.mu.RLock()
+	c, ok := sh.utxos[id]
+	sh.mu.RUnlock()
+	return c, ok
+}
+
+func (s *State) putCoin(c Coin) {
+	sh := s.shardOf(c.ID)
+	sh.mu.Lock()
+	sh.utxos[c.ID] = c
+	sh.mu.Unlock()
+}
+
+func (s *State) deleteCoin(id CoinID) {
+	sh := s.shardOf(id)
+	sh.mu.Lock()
+	delete(sh.utxos, id)
+	sh.mu.Unlock()
+}
+
+// isMinter reports whether addr is authorized to mint. The minter set is
+// immutable during batch execution (only Restore replaces it), so this is a
+// read that never conflicts with transactions.
+func (s *State) isMinter(addr crypto.PublicKey) bool {
+	s.mintersMu.RLock()
+	ok := s.minters[string(addr)]
+	s.mintersMu.RUnlock()
+	return ok
 }
 
 // Apply executes one transaction, mutating the state, and returns the
@@ -216,9 +291,12 @@ func NewState(minters []crypto.PublicKey) *State {
 // the configured strategy (sequential or parallel, Table I). A transaction
 // that reaches Apply is assumed signature-valid; Apply enforces the
 // semantic rules (authorization, ownership, conservation).
+//
+// Concurrent Apply calls are safe only for transactions whose key sets
+// (input coins, created coins, touched owner accounts) are disjoint — the
+// guarantee the conflict-aware executor provides. Sequential callers get
+// the exact historical semantics.
 func (s *State) Apply(tx *Tx) []byte {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch tx.Type {
 	case TxMint:
 		return s.applyMint(tx)
@@ -230,7 +308,7 @@ func (s *State) Apply(tx *Tx) []byte {
 }
 
 func (s *State) applyMint(tx *Tx) []byte {
-	if !s.minters[string(tx.Issuer)] {
+	if !s.isMinter(tx.Issuer) {
 		return []byte{ResultErrUnauthorized}
 	}
 	if len(tx.Outputs) == 0 {
@@ -250,7 +328,7 @@ func (s *State) applySpend(tx *Tx) []byte {
 			return []byte{ResultErrDoubleSpend}
 		}
 		seen[id] = true
-		c, ok := s.utxos[id]
+		c, ok := s.getCoin(id)
 		if !ok {
 			return []byte{ResultErrUnknownCoin}
 		}
@@ -267,7 +345,7 @@ func (s *State) applySpend(tx *Tx) []byte {
 		return []byte{ResultErrValueMismatch}
 	}
 	for _, id := range tx.Inputs {
-		delete(s.utxos, id)
+		s.deleteCoin(id)
 	}
 	return s.createOutputs(tx)
 }
@@ -276,36 +354,53 @@ func (s *State) applySpend(tx *Tx) []byte {
 func (s *State) createOutputs(tx *Tx) []byte {
 	out := make([]byte, 1, 1+crypto.HashSize*len(tx.Outputs))
 	out[0] = ResultOK
+	ids := tx.OutputIDs()
 	for i, o := range tx.Outputs {
-		id := tx.OutputID(i)
-		s.utxos[id] = Coin{ID: id, Owner: o.Owner, Value: o.Value}
-		out = append(out, id[:]...)
+		s.putCoin(Coin{ID: ids[i], Owner: o.Owner, Value: o.Value})
+		out = append(out, ids[i][:]...)
 	}
 	return out
 }
 
 // Balance sums the values of coins owned by addr.
 func (s *State) Balance(addr crypto.PublicKey) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.balanceLocked(addr)
+}
+
+// balanceLocked is Balance for in-batch ordered queries: the caller (the
+// batch executor) already holds execMu exclusively, and the strata schedule
+// guarantees no concurrently-running transaction touches addr's account.
+func (s *State) balanceLocked(addr crypto.PublicKey) uint64 {
 	var sum uint64
-	for _, c := range s.utxos {
-		if c.Owner.Equal(addr) {
-			sum += c.Value
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.utxos {
+			if c.Owner.Equal(addr) {
+				sum += c.Value
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return sum
 }
 
 // CoinsOf returns the coins owned by addr, sorted by ID for determinism.
 func (s *State) CoinsOf(addr crypto.PublicKey) []Coin {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 	var out []Coin
-	for _, c := range s.utxos {
-		if c.Owner.Equal(addr) {
-			out = append(out, c)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.utxos {
+			if c.Owner.Equal(addr) {
+				out = append(out, c)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return compareHash(out[i].ID, out[j].ID) < 0
@@ -315,28 +410,45 @@ func (s *State) CoinsOf(addr crypto.PublicKey) []Coin {
 
 // TotalSupply sums every unspent coin.
 func (s *State) TotalSupply() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
 	var sum uint64
-	for _, c := range s.utxos {
-		sum += c.Value
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for _, c := range sh.utxos {
+			sum += c.Value
+		}
+		sh.mu.RUnlock()
 	}
 	return sum
 }
 
 // UTXOCount returns the number of unspent coins.
 func (s *State) UTXOCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.utxos)
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.utxoCountLocked()
+}
+
+// utxoCountLocked is UTXOCount for in-batch ordered queries; the count
+// query is scheduled as a barrier, so no transaction runs concurrently.
+func (s *State) utxoCountLocked() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.utxos)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Lookup returns the coin with the given ID, if it is unspent.
 func (s *State) Lookup(id CoinID) (Coin, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.utxos[id]
-	return c, ok
+	s.execMu.RLock()
+	defer s.execMu.RUnlock()
+	return s.getCoin(id)
 }
 
 func compareHash(a, b crypto.Hash) int {

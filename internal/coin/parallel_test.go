@@ -1,0 +1,474 @@
+package coin
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+)
+
+// genCoin tracks a coin the randomized generator believes may exist:
+// generation is optimistic (a failed spend never creates its outputs), so
+// later picks of such coins exercise the unknown-coin path. What matters is
+// that the request stream itself is a pure function of the seed.
+type genCoin struct {
+	id    CoinID
+	owner int
+	value uint64
+}
+
+type batchGen struct {
+	rng     *rand.Rand
+	issuers []*crypto.KeyPair
+	nonces  []uint64
+	seqs    []uint64
+	coins   []genCoin
+}
+
+func newBatchGen(seed int64, nIssuers int) *batchGen {
+	g := &batchGen{
+		rng:    rand.New(rand.NewSource(seed)),
+		nonces: make([]uint64, nIssuers),
+		seqs:   make([]uint64, nIssuers),
+	}
+	for i := 0; i < nIssuers; i++ {
+		g.issuers = append(g.issuers, crypto.SeededKeyPair("par-fuzz", int64(i)))
+	}
+	return g
+}
+
+func (g *batchGen) publics() []crypto.PublicKey {
+	out := make([]crypto.PublicKey, len(g.issuers))
+	for i, k := range g.issuers {
+		out[i] = k.Public()
+	}
+	return out
+}
+
+func (g *batchGen) request(t *testing.T, issuer int, op []byte) smr.Request {
+	t.Helper()
+	g.seqs[issuer]++
+	req, err := smr.NewSignedRequest(int64(1000+issuer), g.seqs[issuer], op, g.issuers[issuer])
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	return req
+}
+
+func (g *batchGen) genMint(t *testing.T, issuer int) smr.Request {
+	t.Helper()
+	g.nonces[issuer]++
+	values := make([]uint64, 1+g.rng.Intn(3))
+	for i := range values {
+		values[i] = uint64(1 + g.rng.Intn(100))
+	}
+	tx, err := NewMint(g.issuers[issuer], g.nonces[issuer], values...)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	for i, id := range tx.OutputIDs() {
+		g.coins = append(g.coins, genCoin{id: id, owner: issuer, value: values[i]})
+	}
+	return g.request(t, issuer, tx.Encode())
+}
+
+func (g *batchGen) genSpend(t *testing.T) smr.Request {
+	t.Helper()
+	c := g.coins[g.rng.Intn(len(g.coins))]
+	issuer := c.owner
+	if g.rng.Intn(5) == 0 {
+		issuer = g.rng.Intn(len(g.issuers)) // sometimes not the owner
+	}
+	value := c.value
+	if g.rng.Intn(5) == 0 {
+		value++ // sometimes a value mismatch
+	}
+	recipient := g.rng.Intn(len(g.issuers))
+	g.nonces[issuer]++
+	tx, err := NewSpend(g.issuers[issuer], g.nonces[issuer], []CoinID{c.id},
+		[]Output{{Owner: g.issuers[recipient].Public(), Value: value}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	if issuer == c.owner && value == c.value {
+		// Optimistically successful: its output becomes spendable.
+		for _, id := range tx.OutputIDs() {
+			g.coins = append(g.coins, genCoin{id: id, owner: recipient, value: value})
+		}
+	}
+	return g.request(t, issuer, tx.Encode())
+}
+
+// genRequest draws one randomized request: mostly transactions with
+// overlapping coin sets, mixed with ordered queries, garbage payloads, and
+// issuer/signer mismatches.
+func (g *batchGen) genRequest(t *testing.T) smr.Request {
+	t.Helper()
+	switch p := g.rng.Intn(100); {
+	case p < 30 || len(g.coins) == 0:
+		return g.genMint(t, g.rng.Intn(len(g.issuers)))
+	case p < 70:
+		return g.genSpend(t)
+	case p < 80:
+		addr := g.issuers[g.rng.Intn(len(g.issuers))].Public()
+		return g.request(t, g.rng.Intn(len(g.issuers)), EncodeBalanceQuery(addr))
+	case p < 85:
+		return g.request(t, g.rng.Intn(len(g.issuers)), EncodeUTXOCountQuery())
+	case p < 93:
+		junk := make([]byte, 1+g.rng.Intn(40))
+		g.rng.Read(junk)
+		return g.request(t, g.rng.Intn(len(g.issuers)), junk)
+	default:
+		// Envelope signer ≠ transaction issuer.
+		g.nonces[0]++
+		tx, err := NewMint(g.issuers[0], g.nonces[0], 10)
+		if err != nil {
+			t.Fatalf("mint: %v", err)
+		}
+		return g.request(t, 1+g.rng.Intn(len(g.issuers)-1), tx.Encode())
+	}
+}
+
+// TestParallelExecutionDeterminism is the fuzz/property test of the
+// conflict-aware executor: randomized batches (mixed MINT/SPEND/queries,
+// overlapping coin sets, malformed ops) must produce bit-identical result
+// vectors and post-state snapshots at every worker count.
+func TestParallelExecutionDeterminism(t *testing.T) {
+	workerCounts := []int{1, 4, 8}
+	for seed := int64(1); seed <= 3; seed++ {
+		g := newBatchGen(seed, 4)
+		minters := g.publics()
+		batches := make([][]smr.Request, 6)
+		for b := range batches {
+			reqs := make([]smr.Request, 32)
+			for i := range reqs {
+				reqs[i] = g.genRequest(t)
+			}
+			batches[b] = reqs
+		}
+
+		var baseResults [][][]byte
+		var baseSnap []byte
+		for _, w := range workerCounts {
+			svc := NewService(minters)
+			svc.SetExecWorkers(w)
+			var results [][][]byte
+			for _, reqs := range batches {
+				results = append(results, svc.ExecuteBatch(smr.BatchContext{}, reqs))
+			}
+			snap := svc.Snapshot()
+			if w == workerCounts[0] {
+				baseResults, baseSnap = results, snap
+				continue
+			}
+			for b := range results {
+				for i := range results[b] {
+					if !bytes.Equal(results[b][i], baseResults[b][i]) {
+						t.Fatalf("seed %d workers %d: batch %d result %d diverged:\n  got  %x\n  want %x",
+							seed, w, b, i, results[b][i], baseResults[b][i])
+					}
+				}
+			}
+			if !bytes.Equal(snap, baseSnap) {
+				t.Fatalf("seed %d workers %d: post-state snapshot diverged", seed, w)
+			}
+			if st := svc.ExecStats(); st.Batches != int64(len(batches)) {
+				t.Fatalf("seed %d workers %d: parallel path executed %d of %d batches",
+					seed, w, st.Batches, len(batches))
+			}
+		}
+	}
+}
+
+// TestOrderedQueryObservesPrefix proves an ordered query at batch position i
+// observes exactly the writes of positions < i — including writes of the
+// same batch — at a parallel worker count.
+func TestOrderedQueryObservesPrefix(t *testing.T) {
+	m := minterKey(0)
+	alice := userKey(1)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+	svc.SetExecWorkers(8)
+
+	mintTx, err := NewMint(m, 1, 100)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	coinID := mintTx.OutputIDs()[0]
+	spendTx, err := NewSpend(m, 2, []CoinID{coinID}, []Output{{Owner: alice.Public(), Value: 100}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+
+	mkReq := func(seq uint64, op []byte, key *crypto.KeyPair) smr.Request {
+		req, err := smr.NewSignedRequest(7, seq, op, key)
+		if err != nil {
+			t.Fatalf("req: %v", err)
+		}
+		return req
+	}
+	batch := []smr.Request{
+		mkReq(1, EncodeBalanceQuery(alice.Public()), m), // 0: before any write → 0
+		mkReq(2, mintTx.Encode(), m),                    // 1: mint 100 to m
+		mkReq(3, EncodeBalanceQuery(alice.Public()), m), // 2: mint didn't pay alice → 0
+		mkReq(4, spendTx.Encode(), m),                   // 3: m → alice 100
+		mkReq(5, EncodeBalanceQuery(alice.Public()), m), // 4: observes the spend → 100
+		mkReq(6, EncodeUTXOCountQuery(), m),             // 5: barrier: 1 coin live
+	}
+	results := svc.ExecuteBatch(smr.BatchContext{}, batch)
+
+	wantBalance := func(i int, want uint64) {
+		t.Helper()
+		got, err := ParseUint64Result(results[i])
+		if err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("query at position %d saw %d, want %d", i, got, want)
+		}
+	}
+	if results[1][0] != ResultOK || results[3][0] != ResultOK {
+		t.Fatalf("tx results: %d %d", results[1][0], results[3][0])
+	}
+	wantBalance(0, 0)
+	wantBalance(2, 0)
+	wantBalance(4, 100)
+	wantBalance(5, 1) // UTXO count after mint+spend
+}
+
+// TestRestoreRejectsCorruptCounts exercises the snapshot hardening: declared
+// element counts far beyond the actual buffer must be rejected up front (no
+// count-sized allocation), and a failed restore must leave state untouched.
+func TestRestoreRejectsCorruptCounts(t *testing.T) {
+	m := minterKey(0)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+	mustMint(t, svc.State(), m, 1, 100, 200)
+	before := svc.Snapshot()
+
+	hugeCoins := func() []byte {
+		e := codec.NewEncoder(64)
+		e.Uint32(0)          // no minters
+		e.Uint32(1 << 30)    // a billion declared coins...
+		e.Uint64(0xdeadbeef) // ...backed by 8 bytes
+		return e.Bytes()
+	}()
+	hugeMinters := func() []byte {
+		e := codec.NewEncoder(8)
+		e.Uint32(1 << 30)
+		return e.Bytes()
+	}()
+	truncated := before[:len(before)-10]
+
+	for name, snap := range map[string][]byte{
+		"huge coin count":   hugeCoins,
+		"huge minter count": hugeMinters,
+		"truncated coins":   truncated,
+		"empty":             nil,
+	} {
+		if err := svc.Restore(snap); err == nil {
+			t.Fatalf("%s: restore must fail", name)
+		}
+	}
+	if !bytes.Equal(svc.Snapshot(), before) {
+		t.Fatal("failed restore must leave state untouched")
+	}
+}
+
+// TestParallelExecutionRaceStress runs parallel batch execution concurrently
+// with snapshots, queries, and restores — the lock discipline (execution
+// gate, shard locks, minter lock) must hold under the race detector.
+func TestParallelExecutionRaceStress(t *testing.T) {
+	g := newBatchGen(42, 3)
+	svc := NewService(g.publics())
+	svc.SetExecWorkers(8)
+
+	// Seed some state and capture a snapshot to restore mid-stream.
+	seedBatch := make([]smr.Request, 8)
+	for i := range seedBatch {
+		seedBatch[i] = g.genMint(t, i%3)
+	}
+	svc.ExecuteBatch(smr.BatchContext{}, seedBatch)
+	seedSnap := svc.Snapshot()
+
+	batches := make([][]smr.Request, 30)
+	for b := range batches {
+		reqs := make([]smr.Request, 16)
+		for i := range reqs {
+			reqs[i] = g.genRequest(t)
+		}
+		batches[b] = reqs
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // unordered queries against live state
+		defer wg.Done()
+		addr := g.issuers[0].Public()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			svc.State().Balance(addr)
+			svc.State().UTXOCount()
+			svc.ExecuteUnordered(smr.Request{Op: EncodeBalanceQuery(addr)})
+		}
+	}()
+	go func() { // snapshots (state transfer reads)
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if snap := svc.Snapshot(); len(snap) < 8 {
+				t.Error("short snapshot")
+				return
+			}
+		}
+	}()
+	go func() { // restores (incoming state transfer)
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if err := svc.Restore(seedSnap); err != nil {
+				t.Errorf("restore: %v", err)
+				return
+			}
+		}
+	}()
+
+	for _, reqs := range batches {
+		results := svc.ExecuteBatch(smr.BatchContext{}, reqs)
+		if len(results) != len(reqs) {
+			t.Fatalf("results: %d", len(results))
+		}
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestRequestKeysDeclarations pins the conflict contract: declared writes
+// must cover every key a transaction can mutate, queries declare reads or a
+// barrier, and constant-result requests declare nothing.
+func TestRequestKeysDeclarations(t *testing.T) {
+	m := minterKey(0)
+	alice := userKey(1)
+	svc := NewService([]crypto.PublicKey{m.Public()})
+
+	mintTx, err := NewMint(m, 1, 50)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	spendTx, err := NewSpend(m, 2, mintTx.OutputIDs(), []Output{{Owner: alice.Public(), Value: 50}})
+	if err != nil {
+		t.Fatalf("spend: %v", err)
+	}
+	mkReq := func(op []byte, key *crypto.KeyPair) smr.Request {
+		req, err := smr.NewSignedRequest(9, 1, op, key)
+		if err != nil {
+			t.Fatalf("req: %v", err)
+		}
+		return req
+	}
+
+	has := func(keys []string, k string) bool {
+		for _, x := range keys {
+			if x == k {
+				return true
+			}
+		}
+		return false
+	}
+
+	mintReq := mkReq(mintTx.Encode(), m)
+	ks := svc.RequestKeys(&mintReq)
+	if !has(ks.Writes, "c"+string(mintTx.OutputIDs()[0][:])) || !has(ks.Writes, "a"+string(m.Public())) {
+		t.Fatalf("mint keys missing output coin or owner account: %q", ks.Writes)
+	}
+
+	spendReq := mkReq(spendTx.Encode(), m)
+	ks = svc.RequestKeys(&spendReq)
+	for _, want := range []string{
+		"c" + string(mintTx.OutputIDs()[0][:]),  // consumed input
+		"c" + string(spendTx.OutputIDs()[0][:]), // created output
+		"a" + string(alice.Public()),            // recipient account
+		"a" + string(m.Public()),                // issuer account
+	} {
+		if !has(ks.Writes, want) {
+			t.Fatalf("spend keys missing %q: %q", want, ks.Writes)
+		}
+	}
+
+	balReq := mkReq(EncodeBalanceQuery(alice.Public()), m)
+	ks = svc.RequestKeys(&balReq)
+	if len(ks.Writes) != 0 || !has(ks.Reads, "a"+string(alice.Public())) || ks.Barrier {
+		t.Fatalf("balance query keys: %+v", ks)
+	}
+
+	countReq := mkReq(EncodeUTXOCountQuery(), m)
+	if ks = svc.RequestKeys(&countReq); !ks.Barrier {
+		t.Fatalf("utxo count must be a barrier: %+v", ks)
+	}
+
+	junkReq := mkReq([]byte{0xEE, 0x01, 0x02}, m)
+	if ks = svc.RequestKeys(&junkReq); len(ks.Reads) != 0 || len(ks.Writes) != 0 || ks.Barrier {
+		t.Fatalf("malformed op must declare nothing: %+v", ks)
+	}
+
+	hijacked := mkReq(mintTx.Encode(), userKey(9))
+	if ks = svc.RequestKeys(&hijacked); len(ks.Writes) != 0 {
+		t.Fatalf("signer-mismatch must declare nothing: %+v", ks)
+	}
+}
+
+// TestExecWorkersConfig pins the SetExecWorkers contract: ≤1 is the exact
+// sequential path (no executor), >1 configures the bound, and reconfiguring
+// down tears the executor away again (cluster restarts reuse app instances).
+func TestExecWorkersConfig(t *testing.T) {
+	svc := NewService(nil)
+	if svc.ExecWorkers() != 1 {
+		t.Fatalf("default workers: %d", svc.ExecWorkers())
+	}
+	svc.SetExecWorkers(6)
+	if svc.ExecWorkers() != 6 {
+		t.Fatalf("workers: %d", svc.ExecWorkers())
+	}
+	svc.SetExecWorkers(0)
+	if svc.ExecWorkers() != 1 {
+		t.Fatalf("workers after reset: %d", svc.ExecWorkers())
+	}
+	if st := svc.ExecStats(); st.Batches != 0 || st.Requests != 0 {
+		t.Fatalf("sequential stats: %+v", st)
+	}
+}
+
+// TestOutputIDsMatchCreatedCoins pins OutputIDs (the analyzer's view of a
+// transaction's created coins) to the IDs execution actually creates.
+func TestOutputIDsMatchCreatedCoins(t *testing.T) {
+	s, m := newTestState()
+	tx, err := NewMint(m, 1, 10, 20, 30)
+	if err != nil {
+		t.Fatalf("mint: %v", err)
+	}
+	predicted := tx.OutputIDs()
+	res := s.Apply(&tx)
+	code, created, err := ParseResult(res)
+	if err != nil || code != ResultOK {
+		t.Fatalf("apply: code=%d err=%v", code, err)
+	}
+	if fmt.Sprint(predicted) != fmt.Sprint(created) {
+		t.Fatalf("OutputIDs diverge from created coins:\n  predicted %v\n  created   %v", predicted, created)
+	}
+}

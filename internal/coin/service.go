@@ -6,15 +6,23 @@ import (
 
 	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
+	"smartchain/internal/exec"
 	"smartchain/internal/smr"
 )
 
 // Service adapts SMaRtCoin to the replicated-service interface consumed by
 // the SMARTCHAIN node (the BFT-SMaRt invoke/execute pattern, paper §IV-A):
 // batches of ordered requests in, deterministic per-request results out,
-// with snapshot/restore for checkpoints and state transfer.
+// with snapshot/restore for checkpoints and state transfer. With
+// SetExecWorkers(n>1) the service executes non-conflicting transactions of
+// a batch in parallel through the conflict-aware executor while preserving
+// bit-identical results and post-state.
 type Service struct {
 	state *State
+	// par is the conflict-aware parallel executor; nil means the exact
+	// legacy sequential path. Configured once, before the service starts
+	// executing (SetExecWorkers is not safe concurrently with ExecuteBatch).
+	par *exec.Executor
 }
 
 // NewService creates a coin service with the given authorized minters
@@ -26,39 +34,128 @@ func NewService(minters []crypto.PublicKey) *Service {
 // State exposes the underlying UTXO state for queries.
 func (s *Service) State() *State { return s.state }
 
-// ExecuteBatch executes each request operation in order and returns one
-// result per request. Requests whose operations fail to parse yield a
-// malformed result rather than aborting the batch: correct replicas must
-// stay in lockstep even on garbage input. The coin rules do not consume
-// the ordering context — SMaRtCoin state is a pure function of the
+// SetExecWorkers configures the parallel execution worker bound. 1 (or
+// less) selects the exact legacy sequential path. Must be called before the
+// service starts executing batches.
+func (s *Service) SetExecWorkers(workers int) {
+	if workers > 1 {
+		s.par = exec.New(workers)
+	} else {
+		s.par = nil
+	}
+}
+
+// ExecWorkers reports the configured worker bound (1 = sequential).
+func (s *Service) ExecWorkers() int {
+	if s.par == nil {
+		return 1
+	}
+	return s.par.Workers()
+}
+
+// ExecStats snapshots the parallel executor's counters (zero when the
+// sequential path is configured).
+func (s *Service) ExecStats() exec.Stats {
+	if s.par == nil {
+		return exec.Stats{}
+	}
+	return s.par.Stats()
+}
+
+// ExecuteBatch executes each request operation in batch-order semantics and
+// returns one result per request. Requests whose operations fail to parse
+// yield a malformed result rather than aborting the batch: correct replicas
+// must stay in lockstep even on garbage input. The coin rules do not
+// consume the ordering context — SMaRtCoin state is a pure function of the
 // transaction sequence — so bc is accepted and ignored.
+//
+// The batch holds the state's execution gate exclusively, so unordered
+// queries and snapshots observe only block-boundary states. With a parallel
+// executor configured, non-conflicting transactions run concurrently; the
+// strata schedule keeps every conflicting pair (and every ordered query vs.
+// the writes before it) in sequence, so results and post-state are
+// bit-identical to the sequential path.
 func (s *Service) ExecuteBatch(bc smr.BatchContext, reqs []smr.Request) [][]byte {
+	s.state.execMu.Lock()
+	defer s.state.execMu.Unlock()
+	if s.par != nil {
+		return s.par.Execute(bc, s, reqs)
+	}
 	results := make([][]byte, len(reqs))
 	for i := range reqs {
-		if IsQuery(reqs[i].Op) {
-			// An ordered read: the client's unordered read fell back to
-			// total order (read floor unserveable at a quorum). Queries
-			// are deterministic reads of the state as of this point in the
-			// sequence, so executing them inside the batch is safe on
-			// every replica.
-			results[i] = s.ExecuteUnordered(reqs[i])
-			continue
-		}
-		tx, err := Decode(reqs[i].Op)
-		if err != nil {
-			results[i] = []byte{ResultErrMalformed}
-			continue
-		}
-		// The request signer must be the transaction issuer; otherwise a
-		// third party could replay someone's transaction under their own
-		// request envelope.
-		if !reqs[i].PubKey.Equal(tx.Issuer) {
-			results[i] = []byte{ResultErrBadSignature}
-			continue
-		}
-		results[i] = s.state.Apply(&tx)
+		results[i] = s.ExecuteOne(bc, &reqs[i])
 	}
 	return results
+}
+
+// ExecuteOne applies a single ordered request (exec.Application). Callers
+// must hold the state's execution gate (ExecuteBatch does); concurrent
+// calls are safe only for requests with disjoint declared key sets.
+func (s *Service) ExecuteOne(bc smr.BatchContext, req *smr.Request) []byte {
+	if IsQuery(req.Op) {
+		// An ordered read: the client's unordered read fell back to total
+		// order (read floor unserveable at a quorum). Queries are
+		// deterministic reads of the state as of this point in the
+		// sequence — the strata schedule places them after every earlier
+		// conflicting write and before every later one.
+		return s.executeQueryLocked(*req)
+	}
+	tx, err := Decode(req.Op)
+	if err != nil {
+		return []byte{ResultErrMalformed}
+	}
+	// The request signer must be the transaction issuer; otherwise a
+	// third party could replay someone's transaction under their own
+	// request envelope.
+	if !req.PubKey.Equal(tx.Issuer) {
+		return []byte{ResultErrBadSignature}
+	}
+	return s.state.Apply(&tx)
+}
+
+// acctKey is the declared-conflict key of an owner account: balance queries
+// read it, transactions write it for every owner whose coin set changes.
+func acctKey(addr crypto.PublicKey) string { return "a" + string(addr) }
+
+// coinKey is the declared-conflict key of one UTXO.
+func coinKey(id CoinID) string { return "c" + string(id[:]) }
+
+// RequestKeys derives the read/write key set of one ordered request
+// (exec.Application): input coin IDs and created coin IDs as coin keys,
+// plus the issuer's and every output owner's account key (balance queries
+// read account keys). Requests whose result is a constant — undecodable
+// payloads, issuer/signer mismatches — declare the empty set. A UTXO-count
+// query reads the whole set, which cannot be enumerated, so it is a
+// barrier. Declared writes are a superset of actual mutations: a
+// transaction that fails validation mid-way writes nothing, which the
+// superset covers conservatively.
+func (s *Service) RequestKeys(req *smr.Request) exec.KeySet {
+	if IsQuery(req.Op) {
+		if req.Op[0] == QueryBalance {
+			return exec.KeySet{Reads: []string{acctKey(crypto.PublicKey(req.Op[1:]))}}
+		}
+		return exec.KeySet{Barrier: true}
+	}
+	tx, err := Decode(req.Op)
+	if err != nil {
+		return exec.KeySet{} // constant ResultErrMalformed
+	}
+	if !req.PubKey.Equal(tx.Issuer) {
+		return exec.KeySet{} // constant ResultErrBadSignature
+	}
+	writes := make([]string, 0, len(tx.Inputs)+2*len(tx.Outputs)+1)
+	for _, in := range tx.Inputs {
+		writes = append(writes, coinKey(in))
+	}
+	for i, id := range tx.OutputIDs() {
+		writes = append(writes, coinKey(id))
+		writes = append(writes, acctKey(tx.Outputs[i].Owner))
+	}
+	if tx.Type == TxSpend {
+		// Consumed inputs change the issuer's balance.
+		writes = append(writes, acctKey(tx.Issuer))
+	}
+	return exec.KeySet{Writes: writes}
 }
 
 // Read-only query operations, served over the consensus-free unordered
@@ -107,11 +204,34 @@ func uint64Result(v uint64) []byte {
 	return e.Bytes()
 }
 
+// executeQueryLocked answers a query from inside a batch execution: the
+// caller holds the state's execution gate exclusively, so the public query
+// entry points (which acquire it shared) would deadlock. The strata
+// schedule guarantees no concurrently-executing transaction conflicts with
+// the query's key set.
+func (s *Service) executeQueryLocked(req smr.Request) []byte {
+	if len(req.Op) == 0 {
+		return []byte{ResultErrMalformed}
+	}
+	switch req.Op[0] {
+	case QueryBalance:
+		return uint64Result(s.state.balanceLocked(crypto.PublicKey(req.Op[1:])))
+	case QueryUTXOCount:
+		if len(req.Op) != 1 {
+			return []byte{ResultErrMalformed}
+		}
+		return uint64Result(uint64(s.state.utxoCountLocked()))
+	default:
+		return []byte{ResultErrMalformed}
+	}
+}
+
 // ExecuteUnordered implements the consensus-free read capability: queries
 // are answered from the current local UTXO state. Results are
 // deterministic functions of that state, so the client-side matching-reply
 // quorum establishes that a Byzantine quorum of replicas agree on the
-// answer.
+// answer. The state's execution gate makes every answer reflect a block
+// boundary, matching the executed height the reply's view tag reports.
 func (s *Service) ExecuteUnordered(req smr.Request) []byte {
 	if len(req.Op) == 0 {
 		return []byte{ResultErrMalformed}
@@ -150,19 +270,26 @@ func (s *Service) VerifyOp(req *smr.Request) bool {
 // sorted by coin ID, minters sorted by key bytes).
 func (s *Service) Snapshot() []byte {
 	st := s.state
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	st.execMu.RLock()
+	defer st.execMu.RUnlock()
 
-	ids := make([]CoinID, 0, len(st.utxos))
-	for id := range st.utxos {
-		ids = append(ids, id)
+	var ids []CoinID
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for id := range sh.utxos {
+			ids = append(ids, id)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Slice(ids, func(i, j int) bool { return compareHash(ids[i], ids[j]) < 0 })
 
+	st.mintersMu.RLock()
 	minters := make([]string, 0, len(st.minters))
 	for m := range st.minters {
 		minters = append(minters, m)
 	}
+	st.mintersMu.RUnlock()
 	sort.Strings(minters)
 
 	e := codec.NewEncoder(64 + 80*len(ids))
@@ -172,7 +299,7 @@ func (s *Service) Snapshot() []byte {
 	}
 	e.Uint32(uint32(len(ids)))
 	for _, id := range ids {
-		c := st.utxos[id]
+		c, _ := st.getCoin(id)
 		e.Bytes32(id)
 		e.WriteBytes(c.Owner)
 		e.Uint64(c.Value)
@@ -180,11 +307,22 @@ func (s *Service) Snapshot() []byte {
 	return e.Bytes()
 }
 
+// minSnapshotCoinSize is the smallest possible encoding of one coin in a
+// snapshot: a 32-byte ID, a 4-byte owner length prefix, and an 8-byte
+// value. Used to bound declared counts against the actual buffer before
+// allocating.
+const minSnapshotCoinSize = 32 + 4 + 8
+
 // Restore replaces the service state with a snapshot produced by Snapshot.
+// Declared element counts are validated against the remaining buffer length
+// BEFORE any allocation sized by them: a corrupt or Byzantine state-transfer
+// snapshot must not be able to force a multi-gigabyte pre-allocation that
+// decoding would only reject afterwards.
 func (s *Service) Restore(snapshot []byte) error {
 	d := codec.NewDecoder(snapshot)
 	nMinters := d.Uint32()
-	if d.Err() != nil || nMinters > 1<<20 {
+	// Each minter costs at least its 4-byte length prefix.
+	if d.Err() != nil || nMinters > 1<<20 || int(nMinters) > d.Remaining()/4 {
 		return fmt.Errorf("coin restore: bad minter count")
 	}
 	minters := make(map[string]bool, nMinters)
@@ -194,6 +332,9 @@ func (s *Service) Restore(snapshot []byte) error {
 	nCoins := d.Uint32()
 	if d.Err() != nil {
 		return fmt.Errorf("coin restore: %w", d.Err())
+	}
+	if int(nCoins) > d.Remaining()/minSnapshotCoinSize {
+		return fmt.Errorf("coin restore: coin count %d exceeds snapshot size", nCoins)
 	}
 	utxos := make(map[CoinID]Coin, nCoins)
 	for i := uint32(0); i < nCoins; i++ {
@@ -206,11 +347,22 @@ func (s *Service) Restore(snapshot []byte) error {
 	if err := d.Finish(); err != nil {
 		return fmt.Errorf("coin restore: %w", err)
 	}
+
 	st := s.state
-	st.mu.Lock()
+	st.execMu.Lock()
+	defer st.execMu.Unlock()
+	st.mintersMu.Lock()
 	st.minters = minters
-	st.utxos = utxos
-	st.mu.Unlock()
+	st.mintersMu.Unlock()
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sh.utxos = make(map[CoinID]Coin)
+		sh.mu.Unlock()
+	}
+	for _, c := range utxos {
+		st.putCoin(c)
+	}
 	return nil
 }
 
@@ -220,8 +372,8 @@ func (s *Service) Restore(snapshot []byte) error {
 // time without changing behaviour.
 func (s *Service) Prepopulate(owner crypto.PublicKey, count int, value uint64) []CoinID {
 	st := s.state
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	st.execMu.Lock()
+	defer st.execMu.Unlock()
 	ids := make([]CoinID, 0, count)
 	for i := 0; i < count; i++ {
 		e := codec.NewEncoder(12)
@@ -229,7 +381,7 @@ func (s *Service) Prepopulate(owner crypto.PublicKey, count int, value uint64) [
 		e.Uint32(uint32(i))
 		e.WriteBytes(owner)
 		id := crypto.HashBytes(e.Bytes())
-		st.utxos[id] = Coin{ID: id, Owner: owner, Value: value}
+		st.putCoin(Coin{ID: id, Owner: owner, Value: value})
 		ids = append(ids, id)
 	}
 	return ids

@@ -125,6 +125,19 @@ type UnorderedApplication interface {
 	ExecuteUnordered(req smr.Request) []byte
 }
 
+// ParallelApplication is the optional capability for conflict-aware
+// parallel execution of committed batches: an application that can bound
+// its execution worker pool. coin.Service implements it by running batches
+// through the internal/exec conflict analyzer and strata scheduler, which
+// guarantees replica-identical results at any worker count. Applications
+// without the capability (and any configuration with ExecWorkers ≤ 1) keep
+// the exact sequential execution path.
+type ParallelApplication interface {
+	// SetExecWorkers bounds the parallel execution pool; 1 (or less)
+	// selects the sequential path. Called once, before the node starts.
+	SetExecWorkers(workers int)
+}
+
 // LegacyApplication is the pre-BatchContext service contract. Existing
 // applications written against it keep working through AdaptApplication.
 type LegacyApplication interface {
@@ -222,6 +235,11 @@ type Config struct {
 	// ReadParkLimit bounds the park queue; overflow answers "behind"
 	// immediately. 0 = 256.
 	ReadParkLimit int
+	// ExecWorkers bounds the conflict-aware parallel execution pool applied
+	// to committed batches when the application implements
+	// ParallelApplication. 0 or 1 keeps the exact legacy sequential
+	// execution path (the A/B baseline and the bisection anchor).
+	ExecWorkers int
 	// MaxBatch caps requests per block; 0 uses the genesis value.
 	MaxBatch int
 	// ConsensusTimeout is the leader-progress timeout.
@@ -285,6 +303,7 @@ type Node struct {
 	tagHash     crypto.Hash
 	tagLast     smr.ViewTag
 	tagLastSig  []byte
+	tagSignWarn sync.Once
 	parkMu      sync.Mutex
 	parked      []parkedRead
 	// replies is the BFT-SMaRt-style reply cache: retransmissions of
@@ -307,6 +326,7 @@ type Node struct {
 	lastReplyBlock atomic.Int64
 	unorderedReads atomic.Int64
 	stateTransfers atomic.Int64
+	tagSignFails   atomic.Int64
 }
 
 // Errors returned by node operations.
@@ -382,6 +402,11 @@ func NewNode(cfg Config) (*Node, error) {
 		recvDone:      make(chan struct{}),
 	}
 	n.nextInstance.Store(1)
+	if pa, ok := cfg.App.(ParallelApplication); ok {
+		// Also called for ExecWorkers ≤ 1 so a reused application instance
+		// (cluster restarts in tests) is reset to the sequential path.
+		pa.SetExecWorkers(cfg.ExecWorkers)
+	}
 	n.replies = newReplyCache()
 	n.batcher.SetSessionGC(cfg.SessionGCBlocks)
 	n.persist = newPersistCollector(n)
@@ -534,19 +559,26 @@ type Stats struct {
 	// state on this replica — the accounting that lets tests prove a
 	// stale-campaigner resync rejoined live ordering WITHOUT one.
 	StateTransfers int64
+	// TagSignFailures counts reply view-tag signing failures. Self-healing
+	// clients discard replies with missing/invalid tag signatures, so a
+	// replica whose permanent key breaks degrades into a silent
+	// non-contributor to every reply quorum — this counter is what makes
+	// that failure observable instead of invisible.
+	TagSignFailures int64
 }
 
 // Stats returns current counters.
 func (n *Node) Stats() Stats {
 	return Stats{
-		ExecutedTxs:    n.executedTxs.Load(),
-		Blocks:         n.blocksBuilt.Load(),
-		ViewChanges:    n.viewChanges.Load(),
-		EpochChanges:   n.epochChanges.Load(),
-		Height:         n.ledger.Height(),
-		UnorderedReads: n.unorderedReads.Load(),
-		Instances:      n.nextInstance.Load() - 1,
-		StateTransfers: n.stateTransfers.Load(),
+		ExecutedTxs:     n.executedTxs.Load(),
+		Blocks:          n.blocksBuilt.Load(),
+		ViewChanges:     n.viewChanges.Load(),
+		EpochChanges:    n.epochChanges.Load(),
+		Height:          n.ledger.Height(),
+		UnorderedReads:  n.unorderedReads.Load(),
+		Instances:       n.nextInstance.Load() - 1,
+		StateTransfers:  n.stateTransfers.Load(),
+		TagSignFailures: n.tagSignFails.Load(),
 	}
 }
 

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"os"
 	"time"
 
 	"smartchain/internal/crypto"
@@ -47,6 +49,17 @@ func (n *Node) replyTag(epoch, height int64) (smr.ViewTag, []byte) {
 	}
 	sig, err := tag.Sign(n.cfg.Self, n.cfg.Permanent)
 	if err != nil {
+		// A reply with a nil tag signature is discarded by every
+		// self-healing client, so a replica with a broken permanent key
+		// would silently stop contributing to reply quorums. Count every
+		// failure (Stats.TagSignFailures) and say so once on stderr so the
+		// degradation is observable.
+		n.tagSignFails.Add(1)
+		n.tagSignWarn.Do(func() {
+			fmt.Fprintf(os.Stderr,
+				"smartchain: replica %d cannot sign reply view tags (%v); its replies will be discarded by clients\n",
+				n.cfg.Self, err)
+		})
 		return tag, nil
 	}
 	n.tagLast = tag

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"smartchain/internal/smr"
+)
+
+// scriptedApp executes scripted key sets: request i's op payload indexes
+// into the script. Execution appends to a per-key journal so tests can
+// assert ordering constraints were respected.
+type scriptedApp struct {
+	keys []KeySet
+
+	mu      sync.Mutex
+	journal []int // execution order (append at execute time)
+
+	running atomic.Int64 // concurrently-running requests
+	peak    atomic.Int64 // max concurrency observed
+}
+
+func (a *scriptedApp) RequestKeys(req *smr.Request) KeySet {
+	return a.keys[int(req.Seq)]
+}
+
+func (a *scriptedApp) ExecuteOne(_ smr.BatchContext, req *smr.Request) []byte {
+	cur := a.running.Add(1)
+	for {
+		p := a.peak.Load()
+		if cur <= p || a.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	a.mu.Lock()
+	a.journal = append(a.journal, int(req.Seq))
+	a.mu.Unlock()
+	a.running.Add(-1)
+	return []byte{byte(req.Seq)}
+}
+
+func reqsFor(n int) []smr.Request {
+	reqs := make([]smr.Request, n)
+	for i := range reqs {
+		reqs[i] = smr.Request{Seq: uint64(i)}
+	}
+	return reqs
+}
+
+func TestStrataDisjointShareOneStratum(t *testing.T) {
+	app := &scriptedApp{keys: []KeySet{
+		{Writes: []string{"a"}},
+		{Writes: []string{"b"}},
+		{Writes: []string{"c"}},
+	}}
+	strata := Strata(app, reqsFor(3))
+	if len(strata) != 1 || len(strata[0]) != 3 {
+		t.Fatalf("disjoint writers should share stratum 0, got %v", strata)
+	}
+}
+
+func TestStrataConflictsKeepOrder(t *testing.T) {
+	// 0 writes k; 1 writes k (conflict with 0); 2 reads k (conflict with 1);
+	// 3 writes k (conflict with reader 2); 4 writes x (free).
+	app := &scriptedApp{keys: []KeySet{
+		{Writes: []string{"k"}},
+		{Writes: []string{"k"}},
+		{Reads: []string{"k"}},
+		{Writes: []string{"k"}},
+		{Writes: []string{"x"}},
+	}}
+	strata := Strata(app, reqsFor(5))
+	want := [][]int{{0, 4}, {1}, {2}, {3}}
+	if fmt.Sprint(strata) != fmt.Sprint(want) {
+		t.Fatalf("strata = %v, want %v", strata, want)
+	}
+}
+
+func TestStrataReadersShareStratum(t *testing.T) {
+	// A writer, then three readers of the same key: the readers conflict
+	// with the writer but not each other, then a second writer must follow
+	// all three readers.
+	app := &scriptedApp{keys: []KeySet{
+		{Writes: []string{"k"}},
+		{Reads: []string{"k"}},
+		{Reads: []string{"k"}},
+		{Reads: []string{"k"}},
+		{Writes: []string{"k"}},
+	}}
+	strata := Strata(app, reqsFor(5))
+	want := [][]int{{0}, {1, 2, 3}, {4}}
+	if fmt.Sprint(strata) != fmt.Sprint(want) {
+		t.Fatalf("strata = %v, want %v", strata, want)
+	}
+}
+
+func TestStrataBarrierSerializesEverything(t *testing.T) {
+	// Writers, a barrier, more writers on fresh keys: the barrier must sit
+	// alone between them even though the key sets are disjoint.
+	app := &scriptedApp{keys: []KeySet{
+		{Writes: []string{"a"}},
+		{Writes: []string{"b"}},
+		{Barrier: true},
+		{Writes: []string{"c"}},
+		{Writes: []string{"d"}},
+	}}
+	strata := Strata(app, reqsFor(5))
+	want := [][]int{{0, 1}, {2}, {3, 4}}
+	if fmt.Sprint(strata) != fmt.Sprint(want) {
+		t.Fatalf("strata = %v, want %v", strata, want)
+	}
+}
+
+func TestStrataBackToBackBarriers(t *testing.T) {
+	app := &scriptedApp{keys: []KeySet{
+		{Barrier: true},
+		{Barrier: true},
+		{Writes: []string{"a"}},
+	}}
+	strata := Strata(app, reqsFor(3))
+	want := [][]int{{0}, {1}, {2}}
+	if fmt.Sprint(strata) != fmt.Sprint(want) {
+		t.Fatalf("strata = %v, want %v", strata, want)
+	}
+}
+
+func TestStrataEmptyKeySetIsFree(t *testing.T) {
+	// Constant-result requests (malformed ops) conflict with nothing.
+	app := &scriptedApp{keys: []KeySet{
+		{Writes: []string{"k"}},
+		{},
+		{Writes: []string{"k"}},
+	}}
+	strata := Strata(app, reqsFor(3))
+	want := [][]int{{0, 1}, {2}}
+	if fmt.Sprint(strata) != fmt.Sprint(want) {
+		t.Fatalf("strata = %v, want %v", strata, want)
+	}
+}
+
+func TestExecuteMergesResultsInRequestOrder(t *testing.T) {
+	n := 64
+	keys := make([]KeySet, n)
+	for i := range keys {
+		keys[i] = KeySet{Writes: []string{fmt.Sprintf("k%d", i%8)}}
+	}
+	app := &scriptedApp{keys: keys}
+	e := New(4)
+	results := e.Execute(smr.BatchContext{}, app, reqsFor(n))
+	if len(results) != n {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if len(r) != 1 || r[0] != byte(i) {
+			t.Fatalf("result %d = %v, want [%d]", i, r, i)
+		}
+	}
+	st := e.Stats()
+	if st.Batches != 1 || st.Requests != int64(n) {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestExecuteRespectsConflictOrder(t *testing.T) {
+	// 32 requests, 4 hot keys: within one key, journal order must be
+	// ascending (each writer of key k conflicts with the previous one).
+	n := 32
+	keys := make([]KeySet, n)
+	for i := range keys {
+		keys[i] = KeySet{Writes: []string{fmt.Sprintf("k%d", i%4)}}
+	}
+	app := &scriptedApp{keys: keys}
+	New(8).Execute(smr.BatchContext{}, app, reqsFor(n))
+
+	lastByKey := map[int]int{0: -1, 1: -1, 2: -1, 3: -1}
+	for _, seq := range app.journal {
+		k := seq % 4
+		if seq < lastByKey[k] {
+			t.Fatalf("key %d executed out of order: %v", k, app.journal)
+		}
+		lastByKey[k] = seq
+	}
+}
+
+func TestExecuteSequentialWhenOneWorker(t *testing.T) {
+	n := 16
+	keys := make([]KeySet, n)
+	for i := range keys {
+		keys[i] = KeySet{Writes: []string{fmt.Sprintf("k%d", i)}}
+	}
+	app := &scriptedApp{keys: keys}
+	e := New(1)
+	e.Execute(smr.BatchContext{}, app, reqsFor(n))
+	if got := app.peak.Load(); got != 1 {
+		t.Fatalf("sequential executor reached concurrency %d", got)
+	}
+	for i, seq := range app.journal {
+		if i != seq {
+			t.Fatalf("sequential order violated: %v", app.journal)
+		}
+	}
+	if st := e.Stats(); st.Batches != 0 {
+		t.Fatalf("sequential path must not count parallel batches: %+v", st)
+	}
+}
+
+func TestExecuteWorkerBound(t *testing.T) {
+	n := 64
+	keys := make([]KeySet, n)
+	for i := range keys {
+		keys[i] = KeySet{Writes: []string{fmt.Sprintf("k%d", i)}} // all disjoint
+	}
+	app := &scriptedApp{keys: keys}
+	New(3).Execute(smr.BatchContext{}, app, reqsFor(n))
+	if got := app.peak.Load(); got > 3 {
+		t.Fatalf("worker bound exceeded: peak %d > 3", got)
+	}
+}

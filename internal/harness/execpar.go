@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/workload"
+)
+
+// ExecParPoint is one contention level of the parallel-execution A/B: the
+// same pre-built committed blocks replayed through coin.Service with the
+// sequential path and with the conflict-aware executor at `Workers` workers.
+type ExecParPoint struct {
+	// Contention names the recipient distribution (uniform | zipfian | hotspot).
+	Contention string
+	// Workers is the parallel run's worker bound.
+	Workers int
+	// SeqTxPerSec / ParTxPerSec are execution-only throughputs (consensus,
+	// signing, and networking are deliberately outside the timed region).
+	SeqTxPerSec float64
+	ParTxPerSec float64
+	// Speedup is ParTxPerSec / SeqTxPerSec.
+	Speedup float64
+	// StrataPerBatch is the average dependency-graph depth the analyzer saw
+	// in the parallel run (1.0 = perfectly conflict-free batches).
+	StrataPerBatch float64
+	// Diverged reports whether any result byte or the post-state snapshot
+	// differed between the two runs. Must always be false.
+	Diverged bool
+	// NumCPU records the host parallelism (the speedup is only meaningful
+	// on multi-core hosts; a single-core runner cannot show one).
+	NumCPU int
+}
+
+func (p ExecParPoint) String() string {
+	return fmt.Sprintf("%-22s seq %9.0f tx/s   par(W=%d) %9.0f tx/s   speedup %.2fx   strata/batch %.1f   diverged=%v",
+		"execpar/"+p.Contention, p.SeqTxPerSec, p.Workers, p.ParTxPerSec, p.Speedup, p.StrataPerBatch, p.Diverged)
+}
+
+// execParWorkload is a deterministic pre-built request stream: a seed block
+// of MINTs creating every client's coin pool, then `batches` blocks of
+// single-input spends whose recipients follow the contention distribution.
+type execParWorkload struct {
+	minters []crypto.PublicKey
+	seed    []smr.Request
+	batches [][]smr.Request
+	txs     int
+}
+
+// buildExecParWorkload fabricates the committed blocks once per contention
+// level; both the sequential and the parallel run replay the identical
+// stream. Requests are assembled directly (no envelope signatures — request
+// authentication happens before ordering, not at execution) but transactions
+// are real signed SMaRtCoin transactions.
+func buildExecParWorkload(label string, clients, batches, batchTx, universe int, skew float64) (*execParWorkload, error) {
+	w := &execParWorkload{minters: workload.MinterKeys(label, clients)}
+	keys := make([]*crypto.KeyPair, clients)
+	for i := range keys {
+		keys[i] = crypto.SeededKeyPair(label+"/client", int64(i))
+	}
+
+	// Shared recipient universe; skew > 1 concentrates draws (cf.
+	// workload.WithRecipientSkew — rebuilt here because the replay needs all
+	// clients' draws from one deterministic stream).
+	hot := make([]crypto.PublicKey, universe)
+	for i := range hot {
+		hot[i] = crypto.SeededKeyPair(label+"/hot", int64(i)).Public()
+	}
+	rng := rand.New(rand.NewSource(7))
+	nextRecipient := func() crypto.PublicKey { return hot[rng.Intn(universe)] }
+	if skew > 1 && universe > 1 {
+		z := rand.NewZipf(rng, skew, 1, uint64(universe-1))
+		nextRecipient = func() crypto.PublicKey { return hot[z.Uint64()] }
+	}
+
+	// Seed block: one MINT per client creating its whole spend pool.
+	perClient := (batches*batchTx + clients - 1) / clients
+	nonces := make([]uint64, clients)
+	pools := make([][]coin.CoinID, clients)
+	for i, k := range keys {
+		nonces[i]++
+		values := make([]uint64, perClient)
+		for j := range values {
+			values[j] = 1
+		}
+		tx, err := coin.NewMint(k, nonces[i], values...)
+		if err != nil {
+			return nil, err
+		}
+		pools[i] = tx.OutputIDs()
+		w.seed = append(w.seed, smr.Request{
+			ClientID: int64(1000 + i), Seq: nonces[i], Op: tx.Encode(), PubKey: k.Public(),
+		})
+	}
+
+	// Spend blocks: clients round-robin, each consuming its next pool coin.
+	for b := 0; b < batches; b++ {
+		block := make([]smr.Request, 0, batchTx)
+		for t := 0; t < batchTx; t++ {
+			i := (b*batchTx + t) % clients
+			if len(pools[i]) == 0 {
+				continue
+			}
+			in := pools[i][0]
+			pools[i] = pools[i][1:]
+			nonces[i]++
+			tx, err := coin.NewSpend(keys[i], nonces[i], []coin.CoinID{in},
+				[]coin.Output{{Owner: nextRecipient(), Value: 1}})
+			if err != nil {
+				return nil, err
+			}
+			block = append(block, smr.Request{
+				ClientID: int64(1000 + i), Seq: nonces[i], Op: tx.Encode(), PubKey: keys[i].Public(),
+			})
+			w.txs++
+		}
+		w.batches = append(w.batches, block)
+	}
+	return w, nil
+}
+
+// replay executes the workload through a fresh service at the given worker
+// bound, returning per-batch results, the post-state snapshot, execution
+// stats, and the time spent inside ExecuteBatch for the spend blocks.
+func (w *execParWorkload) replay(workers int) ([][][]byte, []byte, float64, time.Duration) {
+	svc := coin.NewService(w.minters)
+	svc.SetExecWorkers(workers)
+	svc.ExecuteBatch(smr.BatchContext{}, w.seed) // untimed: pool setup
+	results := make([][][]byte, 0, len(w.batches))
+	var elapsed time.Duration
+	for _, block := range w.batches {
+		start := time.Now()
+		res := svc.ExecuteBatch(smr.BatchContext{}, block)
+		elapsed += time.Since(start)
+		results = append(results, res)
+	}
+	st := svc.ExecStats()
+	strataPerBatch := 0.0
+	if st.Batches > 0 {
+		strataPerBatch = float64(st.Strata) / float64(st.Batches)
+	}
+	return results, svc.Snapshot(), strataPerBatch, elapsed
+}
+
+// ExecPar is the conflict-aware parallel execution A/B (the tentpole's
+// experiment): identical pre-built blocks replayed sequentially and with
+// `workers` workers, across three contention levels — uniform recipients
+// over a wide universe (low contention), Zipf-skewed recipients over a small
+// one (hot accounts), and a single shared recipient (fully serial writes).
+// Every level checks the parallel run for divergence from the sequential
+// one; zero divergence is a correctness gate, the speedup a perf gate that
+// only multi-core hosts can meaningfully enforce.
+func ExecPar(workers int, o ExpOptions) ([]ExecParPoint, error) {
+	o = o.Defaults()
+	if workers < 2 {
+		workers = 8
+	}
+	// One spend per client per block: a client's spends serialize on its own
+	// issuer-account key, so fewer clients than the block size would
+	// manufacture intra-client conflicts at every contention level.
+	batches, batchTx := 120, 256
+	clients := batchTx
+	if o.Measure >= 5*time.Second {
+		batches = 600 // -paper: longer, steadier replay
+	}
+
+	levels := []struct {
+		name     string
+		universe int
+		skew     float64
+	}{
+		{"uniform", 4096, 0},
+		{"zipfian", 64, 1.3},
+		{"hotspot", 1, 0},
+	}
+	var points []ExecParPoint
+	for _, lv := range levels {
+		label := fmt.Sprintf("execpar/%s", lv.name)
+		w, err := buildExecParWorkload(label, clients, batches, batchTx, lv.universe, lv.skew)
+		if err != nil {
+			return points, err
+		}
+		seqRes, seqSnap, _, seqTime := w.replay(1)
+		parRes, parSnap, strata, parTime := w.replay(workers)
+
+		diverged := !bytes.Equal(seqSnap, parSnap)
+		for b := 0; b < len(seqRes) && !diverged; b++ {
+			for i := range seqRes[b] {
+				if !bytes.Equal(seqRes[b][i], parRes[b][i]) {
+					diverged = true
+					break
+				}
+			}
+		}
+		p := ExecParPoint{
+			Contention:     lv.name,
+			Workers:        workers,
+			SeqTxPerSec:    float64(w.txs) / seqTime.Seconds(),
+			ParTxPerSec:    float64(w.txs) / parTime.Seconds(),
+			StrataPerBatch: strata,
+			Diverged:       diverged,
+			NumCPU:         runtime.NumCPU(),
+		}
+		if p.SeqTxPerSec > 0 {
+			p.Speedup = p.ParTxPerSec / p.SeqTxPerSec
+		}
+		points = append(points, p)
+	}
+	return points, nil
+}

@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"math/rand"
 	"sync"
 
 	"smartchain/internal/coin"
@@ -26,7 +27,8 @@ type Script interface {
 // CoinScript is the paper's two-phase workload for one client: mint a pool
 // of coins, then spend them to fresh addresses one at a time. When the pool
 // runs dry it re-mints, so the script never exhausts (closed-loop load for
-// a fixed duration).
+// a fixed duration) — unless WithSpendOnly makes exhaustion the signal that
+// the pure-SPEND phase is over.
 type CoinScript struct {
 	key     *crypto.KeyPair
 	sink    crypto.PublicKey // spend recipient (a distinct per-client address)
@@ -36,9 +38,14 @@ type CoinScript struct {
 	value   uint64
 	phase   byte // 1 = minting, 2 = spending
 	mintQty int
-	// spendOnly skips re-minting (phase experiments that measure SPEND
-	// alone after a seeded MINT phase).
-	minted int
+	// spendOnly stops the script (NextOp ok=false) instead of re-minting
+	// when the pool runs dry: phase experiments that measure SPEND alone
+	// after the seeded MINT, e.g. the execpar contention sweeps.
+	spendOnly bool
+	// recipients, when non-nil, draws each SPEND's recipient from a shared
+	// address universe instead of the private per-client sink — the
+	// contention knob: skewed draws concentrate writes on hot accounts.
+	recipients func() crypto.PublicKey
 }
 
 // Option configures a CoinScript.
@@ -47,6 +54,41 @@ type Option func(*CoinScript)
 // WithMintBatch sets how many coins one MINT creates (default 16).
 func WithMintBatch(q int) Option {
 	return func(s *CoinScript) { s.mintQty = q }
+}
+
+// WithSpendOnly makes the script exhaust (NextOp returns ok=false) when the
+// minted pool runs dry instead of re-minting: after the seeded MINT phase
+// every remaining operation is a SPEND, which is what contention sweeps
+// want to measure in isolation.
+func WithSpendOnly() Option {
+	return func(s *CoinScript) { s.spendOnly = true }
+}
+
+// WithRecipientSkew draws each SPEND's recipient from a shared universe of
+// `universe` sink addresses (derived from label, so every client of an
+// experiment shares them) instead of the client's private sink. skew
+// selects the distribution: 0 draws uniformly — cross-client conflicts stay
+// rare, the low-contention baseline; skew > 1 draws Zipf-distributed with
+// that exponent, concentrating spends on a few hot accounts so write-write
+// conflicts (and thus execution strata) climb with the skew. Draws are
+// deterministic per (label, client), keeping runs reproducible.
+func WithRecipientSkew(label string, client int64, universe int, skew float64) Option {
+	return func(s *CoinScript) {
+		if universe < 1 {
+			universe = 1
+		}
+		addrs := make([]crypto.PublicKey, universe)
+		for i := range addrs {
+			addrs[i] = crypto.SeededKeyPair(label+"/hot", int64(i)).Public()
+		}
+		rng := rand.New(rand.NewSource(client*2654435761 + 1))
+		if skew > 1 {
+			z := rand.NewZipf(rng, skew, 1, uint64(universe-1))
+			s.recipients = func() crypto.PublicKey { return addrs[z.Uint64()] }
+			return
+		}
+		s.recipients = func() crypto.PublicKey { return addrs[rng.Intn(universe)] }
+	}
 }
 
 // NewCoinScript builds the script for client i. Clients derive their keys
@@ -103,6 +145,11 @@ func (s *CoinScript) NextOp(prev []byte) ([]byte, bool) {
 		return tx.Encode(), true
 	}
 	if len(s.pool) == 0 {
+		if s.spendOnly {
+			// Pure-SPEND phase over: exhaust instead of re-minting.
+			s.nonce--
+			return nil, false
+		}
 		// Pool dry: mint again.
 		s.phase = 1
 		s.nonce--
@@ -113,7 +160,11 @@ func (s *CoinScript) NextOp(prev []byte) ([]byte, bool) {
 	}
 	in := s.pool[0]
 	s.pool = s.pool[1:]
-	tx, err := coin.NewSpend(s.key, s.nonce, []coin.CoinID{in}, []coin.Output{{Owner: s.sink, Value: s.value}})
+	sink := s.sink
+	if s.recipients != nil {
+		sink = s.recipients()
+	}
+	tx, err := coin.NewSpend(s.key, s.nonce, []coin.CoinID{in}, []coin.Output{{Owner: sink, Value: s.value}})
 	if err != nil {
 		return nil, false
 	}
