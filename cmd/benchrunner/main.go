@@ -14,6 +14,7 @@
 //	benchrunner -exp reads             # quorum-fresh vs read-your-writes vs ordered reads
 //	benchrunner -exp execpar           # conflict-aware parallel execution vs sequential replay
 //	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
+//	benchrunner -exp catchup           # multi-peer pipelined state transfer vs legacy single donor
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|verify|all")
+		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|catchup|verify|all")
 		clients  = flag.Int("clients", 240, "closed-loop clients")
 		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -48,6 +49,7 @@ func main() {
 		ssd      = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
 		windows  = flag.String("windows", "1,8", "comma-separated ordering windows W for the fig6 sweep")
 		inflight = flag.Int("inflight", 16, "per-client in-flight cap for -exp openloop")
+		catchupN = flag.Int64("catchup-blocks", 10_000, "fabricated chain length for -exp catchup (CI smoke uses 2000)")
 		jsonPath = flag.String("json", "", "write all measured rows to this JSON file")
 	)
 	flag.Parse()
@@ -77,7 +79,7 @@ func main() {
 	}
 
 	report := make(map[string]any)
-	runErr := run(*exp, opts, *paper, *inflight, report)
+	runErr := run(*exp, opts, *paper, *inflight, *catchupN, report)
 	if *jsonPath != "" && len(report) > 0 {
 		// Persist whatever completed even when a later experiment failed:
 		// the CI artifact should carry the partial trajectory too.
@@ -120,7 +122,7 @@ func parseWindows(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, opts harness.ExpOptions, paper bool, inflight int, report map[string]any) error {
+func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupBlocks int64, report map[string]any) error {
 	all := exp == "all"
 	ran := false
 	if all || exp == "table1" {
@@ -301,6 +303,48 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int, report m
 		if okW && okS && wide.RecoveryMS > 0 {
 			fmt.Printf("  W=%d recovery speedup over sequential drain: %.2fx\n",
 				maxW, float64(seq.RecoveryMS)/float64(wide.RecoveryMS))
+		}
+	}
+	if all || exp == "catchup" {
+		ran = true
+		fmt.Printf("== Catch-up: multi-peer pipelined state transfer vs legacy single donor (%d-block chain) ==\n", catchupBlocks)
+		points, err := harness.Catchup(catchupBlocks)
+		report["catchup"] = points
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("  %s\n", p)
+		}
+		var multi, legacy *harness.CatchupPoint
+		for i := range points {
+			p := &points[i]
+			// Correctness gates, every scenario: the synced replica must be
+			// bit-identical to the donors, and a corrupt chunk must never be
+			// accepted silently — its donor gets banned.
+			if p.Diverged {
+				return fmt.Errorf("catchup: %s diverged from the donor state", p.Label)
+			}
+			if p.Fault == "corrupt-chunk" && p.Banned < 1 {
+				return fmt.Errorf("catchup: %s accepted corrupt chunks without banning the donor", p.Label)
+			}
+			switch {
+			case !p.Legacy && p.Fault == "":
+				multi = p
+			case p.Legacy:
+				legacy = p
+			}
+		}
+		if multi != nil && legacy != nil && multi.SyncMS > 0 {
+			speedup := float64(legacy.SyncMS) / float64(multi.SyncMS)
+			fmt.Printf("  multi-peer speedup over single donor: %.2fx (target ≥2x on multi-core)\n", speedup)
+			// Perf gate: with four donors the pool must not lose to one —
+			// but only multi-core hosts overlap fetch with verification, so
+			// a single-core runner only gets the correctness gates.
+			if multi.NumCPU >= 4 && speedup < 1.0 {
+				return fmt.Errorf("catchup: multi-peer sync (%d ms) slower than legacy single donor (%d ms) on a %d-core host",
+					multi.SyncMS, legacy.SyncMS, multi.NumCPU)
+			}
 		}
 	}
 	if all || exp == "verify" {

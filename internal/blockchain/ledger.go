@@ -296,6 +296,31 @@ func (l *Ledger) CachedBlocks() []Block {
 	return out
 }
 
+// CachedRange returns a copy of the cached blocks numbered from..to
+// inclusive, or false if any block in the range has been pruned — the
+// donor-side lookup for block-range catch-up requests.
+func (l *Ledger) CachedRange(from, to int64) ([]Block, bool) {
+	if from > to {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// The cache is kept in commit order; find the start by number.
+	start := -1
+	for i := range l.cache {
+		if l.cache[i].Header.Number == from {
+			start = i
+			break
+		}
+	}
+	if start < 0 || start+int(to-from) >= len(l.cache) {
+		return nil, false
+	}
+	out := make([]Block, to-from+1)
+	copy(out, l.cache[start:start+len(out)])
+	return out, true
+}
+
 // CachedBlock returns the cached block with the given number, if present.
 func (l *Ledger) CachedBlock(number int64) (Block, bool) {
 	l.mu.Lock()

@@ -1,0 +1,161 @@
+package blockchain
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"smartchain/internal/consensus"
+	"smartchain/internal/crypto"
+	"smartchain/internal/view"
+)
+
+// RangeAnchor pins the committed chain point a fetched block range must
+// extend: the header hash and back-links of the last trusted block, plus
+// the view and permanent keys in force after it. Catch-up starts from an
+// anchor it already trusts (its own tip, or a quorum-agreed snapshot
+// envelope) and rolls the anchor forward across each verified range.
+type RangeAnchor struct {
+	Number         int64
+	Hash           crypto.Hash
+	LastReconfig   int64
+	LastCheckpoint int64
+	View           view.View
+	Permanent      map[int32]crypto.PublicKey
+}
+
+// VerifyRange checks that blocks form a valid continuation of the anchor:
+// hash linkage, back-links, commitment roots, consensus decision proofs
+// under the view in force at each block, and view updates across
+// reconfigurations. Decision proofs — the dominant cost, a quorum of
+// Ed25519 verifications per block — are checked on `workers` goroutines
+// (NumCPU when 0) so multi-peer catch-up overlaps verification with
+// fetching. Certificates are not required: fetched tails legitimately lack
+// PERSIST quorums.
+//
+// On success the returned anchor describes the chain point after the last
+// block; the input anchor (including its Permanent map) is not mutated.
+func VerifyRange(a RangeAnchor, blocks []Block, workers int) (RangeAnchor, error) {
+	out := a
+	out.Permanent = make(map[int32]crypto.PublicKey, len(a.Permanent))
+	for id, k := range a.Permanent {
+		out.Permanent[id] = k
+	}
+	if len(blocks) == 0 {
+		return out, nil
+	}
+
+	type proofJob struct {
+		keys   view.View
+		number int64
+		cid    int64
+		epoch  int64
+		digest crypto.Hash
+		proof  *crypto.Certificate
+		quorum int
+	}
+	jobs := make([]proofJob, 0, len(blocks))
+
+	// Sequential pass: structure, linkage, roots, and view tracking. These
+	// are cheap; only the signature checks are worth fanning out.
+	for i := range blocks {
+		b := &blocks[i]
+		n := b.Header.Number
+		if n != out.Number+1 || b.Header.PrevHash != out.Hash {
+			return a, fmt.Errorf("%w: block %d does not extend %d", ErrVerifyLinkage, n, out.Number)
+		}
+		if b.Header.LastReconfig != out.LastReconfig || b.Header.LastCheckpoint > n {
+			return a, fmt.Errorf("%w: block %d back-links", ErrVerifyLinkage, n)
+		}
+		if b.Header.LastCheckpoint < out.LastCheckpoint {
+			return a, fmt.Errorf("%w: block %d checkpoint link regressed", ErrVerifyLinkage, n)
+		}
+		out.LastCheckpoint = b.Header.LastCheckpoint
+
+		batch, err := b.Body.Batch()
+		if err != nil {
+			return a, fmt.Errorf("%w: block %d: %v", ErrVerifyRoots, n, err)
+		}
+		if b.Header.TxRoot != TxRootOf(&batch) || b.Header.ResultsRoot != ResultsRootOf(b.Body.Results) {
+			return a, fmt.Errorf("%w: block %d", ErrVerifyRoots, n)
+		}
+		jobs = append(jobs, proofJob{
+			keys:   out.View,
+			number: n,
+			cid:    b.Body.ConsensusID,
+			epoch:  b.Body.Epoch,
+			digest: crypto.HashBytes(b.Body.BatchData),
+			proof:  &b.Body.Proof,
+			quorum: out.View.Quorum(),
+		})
+
+		if b.Body.Kind == KindReconfig {
+			if b.Body.Update == nil {
+				return a, fmt.Errorf("%w: block %d missing update", ErrVerifyUpdate, n)
+			}
+			next, err := applyViewUpdate(out.View, out.Permanent, b.Body.Update)
+			if err != nil {
+				return a, fmt.Errorf("%w: block %d: %v", ErrVerifyUpdate, n, err)
+			}
+			out.View = next
+			out.LastReconfig = n
+		}
+		out.Number = n
+		out.Hash = b.Header.Hash()
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			if err := consensus.VerifyDecisionProof(j.keys, j.cid, j.epoch, j.digest, j.proof, j.quorum); err != nil {
+				return a, fmt.Errorf("%w: block %d: %v", ErrVerifyProof, j.number, err)
+			}
+		}
+		return out, nil
+	}
+
+	var (
+		next    int64
+		wg      sync.WaitGroup
+		errMu   sync.Mutex
+		probErr error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				errMu.Lock()
+				if probErr != nil {
+					errMu.Unlock()
+					return
+				}
+				i := next
+				next++
+				errMu.Unlock()
+				if int(i) >= len(jobs) {
+					return
+				}
+				j := jobs[i]
+				if err := consensus.VerifyDecisionProof(j.keys, j.cid, j.epoch, j.digest, j.proof, j.quorum); err != nil {
+					errMu.Lock()
+					if probErr == nil {
+						probErr = fmt.Errorf("%w: block %d: %v", ErrVerifyProof, j.number, err)
+					}
+					errMu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if probErr != nil {
+		return a, probErr
+	}
+	return out, nil
+}

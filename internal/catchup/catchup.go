@@ -1,0 +1,230 @@
+// Package catchup implements pluggable state transfer for SMARTCHAIN
+// replicas: how a node that is behind the committed chain gets back to the
+// tip while the cluster keeps serving clients.
+//
+// The package is deliberately split along a narrow seam:
+//
+//   - A Source owns the transfer *protocol* — which peers to ask, for what,
+//     in which order, and what to do when a donor stalls, dies, or lies.
+//   - A Fetcher (implemented by core.Node) owns the *mechanism* — sending
+//     requests on the real transport, verifying fetched blocks against
+//     consensus decision proofs, and installing state into the ledger,
+//     application, and stores.
+//
+// Two Sources ship. Pool is the collaborative, Tendermint-blocksync-shaped
+// protocol: a height-keyed request pool that round-robins snapshot-chunk
+// and block-range requests across all live donors under per-peer in-flight
+// caps, demotes peers that time out, permanently bans peers that serve
+// chunks failing their quorum-agreed digests, and reassigns their work.
+// Legacy is the original single-donor fetch (one peer ships snapshot +
+// tail in one message), kept as the A/B baseline behind
+// core.Config.LegacyStateTransfer.
+//
+// Trust model: the envelope describing the snapshot (height, block hash,
+// chunk digest chain) is accepted only when f+1 of the asked peers offer
+// byte-identical envelopes, so at least one correct replica vouches for
+// it. Individual chunks are then verifiable alone (SHA-256 against the
+// envelope), and fetched block ranges are verified against consensus
+// decision proofs before any byte reaches the application — a snapshot is
+// never restored before its envelope is bound to a committed block header.
+package catchup
+
+import (
+	"context"
+	"time"
+
+	"smartchain/internal/blockchain"
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+	"smartchain/internal/storage"
+)
+
+// Config tunes the collaborative pool. The zero value selects defaults.
+type Config struct {
+	// InFlightPerPeer caps outstanding requests per donor (default 4).
+	InFlightPerPeer int
+	// PeerTimeout is how long a donor may sit on a request before the work
+	// is reassigned and the donor demoted (default 1s).
+	PeerTimeout time.Duration
+	// RangeBlocks is the number of blocks per block-range request
+	// (default 64).
+	RangeBlocks int
+}
+
+func (c Config) withDefaults() Config {
+	if c.InFlightPerPeer <= 0 {
+		c.InFlightPerPeer = 4
+	}
+	if c.PeerTimeout <= 0 {
+		c.PeerTimeout = time.Second
+	}
+	if c.RangeBlocks <= 0 {
+		c.RangeBlocks = 64
+	}
+	return c
+}
+
+// Stats counts what a Source did. Cumulative across rounds except
+// PeersUsed and BytesPerSec, which describe the most recent round.
+type Stats struct {
+	// Rounds is the number of Sync invocations that found work to do.
+	Rounds int64
+	// PeersUsed is the number of distinct donors that contributed accepted
+	// payloads in the most recent round.
+	PeersUsed int64
+	// ChunksFetched counts snapshot chunks accepted after digest checks.
+	ChunksFetched int64
+	// RangesFetched counts block ranges accepted and applied.
+	RangesFetched int64
+	// BlocksFetched counts blocks applied from fetched ranges.
+	BlocksFetched int64
+	// Redos counts requests reassigned after a timeout or bad response.
+	Redos int64
+	// Banned counts donors banned for serving payloads that failed
+	// verification.
+	Banned int64
+	// Installs counts snapshots installed.
+	Installs int64
+	// BytesFetched counts accepted payload bytes.
+	BytesFetched int64
+	// BytesPerSec is the accepted-payload throughput of the most recent
+	// round.
+	BytesPerSec float64
+}
+
+// Envelope describes a snapshot offer: which block the state covers, the
+// header hash of that block, and the chunk digest chain. Tip additionally
+// reports the donor's current chain height; it is per-donor and therefore
+// excluded from Fingerprint.
+type Envelope struct {
+	Height    int64
+	BlockHash crypto.Hash
+	// Snap carries the chunk layout and digests; Snap.Meta is opaque
+	// coordination metadata the Fetcher understands (core's recovery
+	// envelope: view, watermarks, consensus position).
+	Snap storage.SnapEnvelope
+	Tip  int64
+}
+
+// Fingerprint hashes every field except Tip: the value f+1 donors must
+// agree on before the envelope is trusted.
+func (e *Envelope) Fingerprint() crypto.Hash {
+	enc := codec.NewEncoder(64)
+	enc.Int64(e.Height)
+	enc.Bytes32([32]byte(e.BlockHash))
+	enc.WriteBytes(e.Snap.Encode())
+	return crypto.HashBytes(enc.Bytes())
+}
+
+// Encode serializes the envelope for the wire.
+func (e *Envelope) Encode() []byte {
+	snap := e.Snap.Encode()
+	enc := codec.NewEncoder(8 + 32 + 4 + len(snap) + 8)
+	enc.Int64(e.Height)
+	enc.Bytes32([32]byte(e.BlockHash))
+	enc.WriteBytes(snap)
+	enc.Int64(e.Tip)
+	return enc.Bytes()
+}
+
+// DecodeEnvelope parses an Encode()d envelope.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	d := codec.NewDecoder(data)
+	var e Envelope
+	e.Height = d.Int64()
+	e.BlockHash = crypto.Hash(d.Bytes32())
+	snapRaw := d.ReadBytes()
+	e.Tip = d.Int64()
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	snap, err := storage.DecodeSnapEnvelope(snapRaw)
+	if err != nil {
+		return nil, err
+	}
+	e.Snap = snap
+	return &e, nil
+}
+
+// Kind discriminates Response payloads.
+type Kind uint8
+
+// Response kinds.
+const (
+	KindEnvelope Kind = iota + 1
+	KindChunk
+	KindRange
+	KindLegacy
+)
+
+// Response is one donor reply, already decoded from the wire by the
+// Fetcher owner and routed to the active Source via Deliver.
+type Response struct {
+	Peer int32
+	Kind Kind
+
+	// KindEnvelope and KindLegacy carry the donor's snapshot offer.
+	Envelope *Envelope
+
+	// KindChunk: chunk Index of the snapshot covering block Height.
+	Height int64
+	Index  int
+	Data   []byte
+
+	// KindRange: blocks From..(From+len(Blocks)-1). KindLegacy reuses
+	// Blocks for the donor's cached tail.
+	From   int64
+	Blocks []blockchain.Block
+
+	// KindLegacy: the full snapshot state, inline.
+	State []byte
+}
+
+// Fetcher is the mechanism a Source drives: transport sends, verification
+// against the committed chain, and installation. core.Node implements it.
+//
+// Verification contract: InstallSnapshot must reject state that fails the
+// envelope's chunk digest chain, and must not be called by a Source before
+// the envelope is bound to a committed block header (an f+1 envelope
+// quorum plus, when blocks beyond the snapshot exist, VerifyBlocks over a
+// range extending the envelope). ApplyBlocks verifies decision proofs
+// against the caller's current tip before replaying; ReplayBlocks skips
+// proof verification and is only for ranges a VerifyBlocks call already
+// covered.
+type Fetcher interface {
+	// Height returns the local committed chain height.
+	Height() int64
+
+	// RequestEnvelope asks peer for its snapshot envelope and tip.
+	RequestEnvelope(peer int32) error
+	// RequestChunk asks peer for chunk index of the snapshot at height.
+	RequestChunk(peer int32, height int64, index int) error
+	// RequestRange asks peer for blocks from..to inclusive.
+	RequestRange(peer int32, from, to int64) error
+	// RequestLegacy asks peer for a monolithic snapshot + tail offer.
+	RequestLegacy(peer int32, have int64) error
+
+	// VerifyBlocks checks that blocks extend the envelope's block (hash
+	// linkage from env.BlockHash at env.Height) with valid consensus
+	// decision proofs under the envelope's view, without touching state.
+	VerifyBlocks(env *Envelope, blocks []blockchain.Block) error
+	// InstallSnapshot digest-verifies state against the envelope and
+	// restores it into the application and ledger position.
+	InstallSnapshot(env *Envelope, state []byte) error
+	// ApplyBlocks verifies blocks against the current tip and replays them.
+	ApplyBlocks(blocks []blockchain.Block) error
+	// ReplayBlocks replays blocks whose proofs were already verified.
+	ReplayBlocks(blocks []blockchain.Block) error
+}
+
+// Source is a state-transfer protocol. Sync drives one round against the
+// given peers and reports whether any state was installed or applied.
+// Deliver routes an incoming donor reply to the round in progress (replies
+// arriving between rounds are dropped). Implementations serialize Sync
+// calls internally; Deliver is safe to call from any goroutine and never
+// blocks.
+type Source interface {
+	Sync(ctx context.Context, f Fetcher, peers []int32) (progressed bool, err error)
+	Deliver(r Response)
+	Stats() Stats
+}

@@ -1,0 +1,204 @@
+package catchup
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"smartchain/internal/codec"
+	"smartchain/internal/crypto"
+)
+
+// Legacy is the original single-donor state transfer, kept as the A/B
+// baseline: every peer is asked for a monolithic snapshot + cached tail in
+// one message, f+1 byte-identical offers select the winner, and everything
+// is taken from that one reply. Unlike the historical implementation it
+// verifies before it trusts: the snapshot state must match the envelope's
+// chunk digest chain, and when blocks beyond the snapshot exist their
+// consensus decision proofs must bind the envelope to the committed chain
+// — all before Restore runs.
+type Legacy struct {
+	mu    sync.Mutex
+	ch    chan Response
+	stats Stats
+}
+
+// NewLegacy returns the single-donor baseline Source.
+func NewLegacy() *Legacy {
+	return &Legacy{}
+}
+
+// Deliver implements Source.
+func (l *Legacy) Deliver(r Response) {
+	l.mu.Lock()
+	ch := l.ch
+	l.mu.Unlock()
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- r:
+	default:
+	}
+}
+
+// Stats implements Source.
+func (l *Legacy) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// legacyFingerprint condenses a full offer — envelope, state bytes, and
+// tail — into the value f+1 donors must agree on.
+func legacyFingerprint(r *Response) crypto.Hash {
+	enc := codec.NewEncoder(128)
+	enc.Bytes32(r.Envelope.Fingerprint())
+	enc.Bytes32(sha256.Sum256(r.State))
+	enc.Uint32(uint32(len(r.Blocks)))
+	if n := len(r.Blocks); n > 0 {
+		enc.Bytes32(r.Blocks[n-1].Hash())
+	}
+	return crypto.HashBytes(enc.Bytes())
+}
+
+// Sync implements Source: one single-donor round.
+func (l *Legacy) Sync(ctx context.Context, f Fetcher, peers []int32) (bool, error) {
+	if len(peers) == 0 {
+		return false, nil
+	}
+	ch := make(chan Response, 2*len(peers)+8)
+	l.mu.Lock()
+	if l.ch != nil {
+		l.mu.Unlock()
+		return false, errors.New("catchup: sync already in progress")
+	}
+	l.ch = ch
+	l.mu.Unlock()
+	defer func() {
+		l.mu.Lock()
+		l.ch = nil
+		l.mu.Unlock()
+	}()
+
+	start := time.Now()
+	have := f.Height()
+	for _, peer := range peers {
+		_ = f.RequestLegacy(peer, have)
+	}
+	need := len(peers)/3 + 1
+
+	counts := make(map[crypto.Hash]int)
+	responded := make(map[int32]bool)
+	var chosen *Response
+	for chosen == nil {
+		select {
+		case <-ctx.Done():
+			return false, ctx.Err()
+		case resp := <-ch:
+			if resp.Kind != KindLegacy || resp.Envelope == nil || responded[resp.Peer] {
+				continue
+			}
+			responded[resp.Peer] = true
+			fp := legacyFingerprint(&resp)
+			counts[fp]++
+			if counts[fp] >= need {
+				r := resp
+				chosen = &r
+			}
+		}
+	}
+
+	progressed, err := l.install(f, chosen, have, need)
+	l.mu.Lock()
+	l.stats.Rounds++
+	if progressed {
+		l.stats.PeersUsed = 1
+		n := int64(len(chosen.State))
+		for i := range chosen.Blocks {
+			n += int64(len(chosen.Blocks[i].Body.BatchData))
+		}
+		l.stats.BytesFetched += n
+		if el := time.Since(start).Seconds(); el > 0 {
+			l.stats.BytesPerSec = float64(n) / el
+		}
+	}
+	l.mu.Unlock()
+	return progressed, err
+}
+
+// install applies the winning offer: verification first, Restore second.
+func (l *Legacy) install(f Fetcher, r *Response, have int64, need int) (bool, error) {
+	env := r.Envelope
+	tip := env.Height
+	if n := len(r.Blocks); n > 0 {
+		tip = r.Blocks[n-1].Header.Number
+	}
+	if tip <= have {
+		return false, nil // nothing newer than we hold
+	}
+
+	if env.Height > have {
+		// Install path. The donor's tail must start right after the
+		// snapshot for linkage evidence to exist.
+		blocks := r.Blocks
+		for len(blocks) > 0 && blocks[0].Header.Number <= env.Height {
+			blocks = blocks[1:]
+		}
+		switch {
+		case len(blocks) > 0:
+			// The fix for the forged-height hole: bind the envelope to the
+			// committed chain — hash linkage from env.BlockHash plus
+			// decision proofs under the envelope's view — BEFORE any state
+			// reaches Restore.
+			if err := f.VerifyBlocks(env, blocks); err != nil {
+				return false, fmt.Errorf("catchup: offer fails block verification: %w", err)
+			}
+		case need < 2:
+			// Snapshot-only offer from a non-quorum of donors: nothing
+			// binds the claimed height to a committed block. Refuse.
+			return false, errors.New("catchup: unverifiable single-donor snapshot offer")
+		}
+		// InstallSnapshot re-checks the state against the chunk digest
+		// chain, so forged or corrupt state dies before Restore too.
+		if err := f.InstallSnapshot(env, r.State); err != nil {
+			return false, fmt.Errorf("catchup: install snapshot: %w", err)
+		}
+		l.mu.Lock()
+		l.stats.Installs++
+		l.mu.Unlock()
+		if len(blocks) > 0 {
+			if err := f.ReplayBlocks(blocks); err != nil {
+				return true, err
+			}
+			l.mu.Lock()
+			l.stats.RangesFetched++
+			l.stats.BlocksFetched += int64(len(blocks))
+			l.mu.Unlock()
+		}
+		return true, nil
+	}
+
+	// No snapshot needed: the tail must extend our own tip; ApplyBlocks
+	// verifies proofs against it.
+	blocks := r.Blocks
+	for len(blocks) > 0 && blocks[0].Header.Number <= have {
+		blocks = blocks[1:]
+	}
+	if len(blocks) == 0 {
+		return false, nil
+	}
+	if err := f.ApplyBlocks(blocks); err != nil {
+		return false, err
+	}
+	l.mu.Lock()
+	l.stats.RangesFetched++
+	l.stats.BlocksFetched += int64(len(blocks))
+	l.mu.Unlock()
+	return true, nil
+}
+
+var _ Source = (*Legacy)(nil)

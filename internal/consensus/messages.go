@@ -52,6 +52,14 @@ func AcceptSignedMessage(instance, epoch int64, digest crypto.Hash) []byte {
 	return voteMessage(instance, epoch, digest)
 }
 
+// SignAccept produces one replica's ACCEPT signature over (instance, epoch,
+// digest) — the building block of decision proofs. It exists for tooling
+// that fabricates decided chains with genuine proofs (the catch-up
+// benchmark's 10k-block donors) without running consensus for every block.
+func SignAccept(key *crypto.KeyPair, instance, epoch int64, digest crypto.Hash) ([]byte, error) {
+	return key.Sign(ctxAccept, voteMessage(instance, epoch, digest))
+}
+
 // VerifyDecisionProof checks that proof contains at least quorum valid
 // ACCEPT signatures for (instance, epoch, digest) under keys. This is what
 // makes a single replica's log trustworthy: every logged value carries the

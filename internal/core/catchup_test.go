@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+)
+
+// mintSpec fabricates a chain of minter-issued MINT transactions: the
+// simplest traffic the coin application executes successfully, with one
+// unique nonce per request.
+func mintSpec(t *testing.T, minter *crypto.KeyPair, blocks, snapshotAt int64, txPerBlock int) *ChainSpec {
+	t.Helper()
+	return &ChainSpec{
+		Blocks:     blocks,
+		TxPerBlock: txPerBlock,
+		SnapshotAt: snapshotAt,
+		MakeRequests: func(block int64, clientID int64, firstSeq uint64) []smr.Request {
+			reqs := make([]smr.Request, 0, txPerBlock)
+			for i := 0; i < txPerBlock; i++ {
+				seq := firstSeq + uint64(i)
+				tx, err := coin.NewMint(minter, seq, 1)
+				if err != nil {
+					t.Fatalf("fabricate mint: %v", err)
+				}
+				reqs = append(reqs, smr.Request{
+					ClientID: clientID,
+					Seq:      seq,
+					Op:       WrapAppOp(tx.Encode()),
+					PubKey:   minter.Public(),
+				})
+			}
+			return reqs
+		},
+	}
+}
+
+func catchupCluster(t *testing.T, blocks, snapshotAt int64, mutate func(*ClusterConfig)) (*Cluster, *crypto.KeyPair) {
+	t.Helper()
+	minter := crypto.SeededKeyPair("catchup-minter", 0)
+	cfg := ClusterConfig{
+		N:                 5,
+		AppFactory:        func() Application { return coin.NewService([]crypto.PublicKey{minter.Public()}) },
+		Persistence:       PersistenceStrong,
+		Storage:           smr.StorageSync,
+		Verify:            smr.VerifyParallel,
+		Pipeline:          true,
+		CheckpointPeriod:  0,
+		MaxBatch:          64,
+		Minters:           []crypto.PublicKey{minter.Public()},
+		ConsensusTimeout:  250 * time.Millisecond,
+		ChainID:           "catchup-test",
+		Prime:             mintSpec(t, minter, blocks, snapshotAt, 4),
+		Deferred:          []int32{4},
+		CatchupChunkBytes: 4096,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	return c, minter
+}
+
+// syncUntil drives explicit catch-up rounds until the replica reaches
+// height, failing the test on deadline.
+func syncUntil(t *testing.T, n *Node, peers []int32, height int64, deadline time.Duration) {
+	t.Helper()
+	limit := time.Now().Add(deadline)
+	for n.Ledger().Height() < height {
+		if time.Now().After(limit) {
+			t.Fatalf("catch-up stalled at height %d, want %d", n.Ledger().Height(), height)
+		}
+		if err := n.SyncFromPeers(peers, 10*time.Second); err != nil {
+			t.Logf("sync round at height %d: %v", n.Ledger().Height(), err)
+		}
+	}
+}
+
+// TestClusterCatchupUnderDonorFaults is the tentpole fault gate: a fresh
+// replica joins a 4-donor cluster holding a fabricated 300-block chain
+// (snapshot at 240) while (a) one donor serves corrupt snapshot chunks,
+// (b) two donors are partitioned away mid-transfer, and (c) a client keeps
+// committing transactions throughout. The transfer must complete from the
+// single surviving correct donor, the corrupt donor must be banned, client
+// goodput must never drop to zero, and the synced replica's application
+// state must be bit-identical to the donors'.
+func TestClusterCatchupUnderDonorFaults(t *testing.T) {
+	const blocks, snapAt = 300, 240
+	c, minter := catchupCluster(t, blocks, snapAt, func(cfg *ClusterConfig) {
+		cfg.CatchupPeerTimeout = 150 * time.Millisecond
+	})
+
+	// Donor 1 keeps its correct envelope (so it joins the quorum) but every
+	// chunk it serves is corrupt.
+	store := c.Nodes[1].Snapshots
+	env, err := store.LoadEnvelope()
+	if err != nil {
+		t.Fatalf("donor 1 envelope: %v", err)
+	}
+	for i := 0; i < env.NumChunks(); i++ {
+		data, err := store.ReadChunk(i)
+		if err != nil {
+			t.Fatalf("donor 1 chunk %d: %v", i, err)
+		}
+		data[0] ^= 0xff
+		if err := store.WriteChunk(i, data); err != nil {
+			t.Fatalf("corrupt donor 1 chunk %d: %v", i, err)
+		}
+	}
+
+	// Donors 2 and 3 die mid-transfer: their first few replies reach the
+	// joiner (they are counted into the envelope quorum and may serve some
+	// early chunks), then the links go permanently dark.
+	var fromDead atomic.Int32
+	c.Net.SetFilter(func(m transport.Message) bool {
+		if (m.From == 2 || m.From == 3) && m.To == 4 {
+			return fromDead.Add(1) > 6
+		}
+		return false
+	})
+	defer c.Net.SetFilter(nil)
+
+	// Sustained client load for the whole transfer: the cluster must keep
+	// serving while it donates state.
+	p := registeredClient(t, c, minter)
+	var goodput atomic.Int64
+	stopLoad := make(chan struct{})
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for nonce := uint64(1 << 20); ; nonce++ {
+			select {
+			case <-stopLoad:
+				return
+			default:
+			}
+			tx, err := coin.NewMint(minter, nonce, 1)
+			if err != nil {
+				return
+			}
+			if _, err := p.Invoke(context.Background(), WrapAppOp(tx.Encode())); err == nil {
+				goodput.Add(1)
+			}
+		}
+	}()
+
+	if err := c.StartDeferred(4, nil); err != nil {
+		t.Fatalf("start deferred: %v", err)
+	}
+	n4 := c.Nodes[4].Node
+	peers := []int32{0, 1, 2, 3}
+	syncUntil(t, n4, peers, blocks, 60*time.Second)
+	close(stopLoad)
+	<-loadDone
+	if goodput.Load() == 0 {
+		t.Fatal("client goodput dropped to zero during the transfer")
+	}
+
+	// Quiesce: heal the dead links (with one donor banned and two dark, a
+	// lone survivor can never re-form the f+1 envelope quorum — by design),
+	// then catch the joiner up to the final load-extended tip before
+	// comparing state.
+	c.Net.SetFilter(nil)
+	tip := c.Nodes[0].Node.Ledger().Height()
+	syncUntil(t, n4, peers, tip, 60*time.Second)
+
+	st := n4.Stats().Catchup
+	if st.Banned < 1 {
+		t.Fatalf("corrupt donor was never banned: %+v", st)
+	}
+	if st.Installs < 1 || st.ChunksFetched < 1 || st.BlocksFetched < 1 {
+		t.Fatalf("transfer did not use the chunk+range path: %+v", st)
+	}
+	if st.Redos < 1 {
+		t.Fatalf("no work was ever reassigned despite dead and corrupt donors: %+v", st)
+	}
+	if got, want := c.Nodes[4].App.Snapshot(), c.Nodes[0].App.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("synced application state diverges from donor state (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestClusterCatchupLegacyBaseline wires the A/B baseline end to end: with
+// Config.LegacyStateTransfer set, a deferred replica catches up through the
+// single-donor protocol and converges to identical state.
+func TestClusterCatchupLegacyBaseline(t *testing.T) {
+	const blocks, snapAt = 120, 100
+	c, _ := catchupCluster(t, blocks, snapAt, func(cfg *ClusterConfig) {
+		cfg.LegacyStateTransfer = true
+	})
+	if err := c.StartDeferred(4, nil); err != nil {
+		t.Fatalf("start deferred: %v", err)
+	}
+	n4 := c.Nodes[4].Node
+	syncUntil(t, n4, []int32{0, 1, 2, 3}, blocks, 60*time.Second)
+
+	st := n4.Stats().Catchup
+	if st.Installs < 1 {
+		t.Fatalf("legacy path never installed a snapshot: %+v", st)
+	}
+	if got, want := c.Nodes[4].App.Snapshot(), c.Nodes[0].App.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("legacy-synced application state diverges (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestClusterCatchupMultiDonorSpread: with healthy donors the pool must
+// actually spread accepted payloads across multiple peers — the whole point
+// of collaborative transfer.
+func TestClusterCatchupMultiDonorSpread(t *testing.T) {
+	const blocks, snapAt = 200, 160
+	c, _ := catchupCluster(t, blocks, snapAt, func(cfg *ClusterConfig) {
+		cfg.CatchupChunkBytes = 2048
+	})
+	if err := c.StartDeferred(4, nil); err != nil {
+		t.Fatalf("start deferred: %v", err)
+	}
+	n4 := c.Nodes[4].Node
+	syncUntil(t, n4, []int32{0, 1, 2, 3}, blocks, 60*time.Second)
+
+	st := n4.Stats().Catchup
+	if st.PeersUsed < 2 {
+		t.Fatalf("pool used %d donors, want the work spread: %+v", st.PeersUsed, st)
+	}
+	if got, want := c.Nodes[4].App.Snapshot(), c.Nodes[0].App.Snapshot(); !bytes.Equal(got, want) {
+		t.Fatalf("synced application state diverges (%d vs %d bytes)", len(got), len(want))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartchain/internal/blockchain"
+	"smartchain/internal/consensus"
 	"smartchain/internal/crypto"
 	"smartchain/internal/reconfig"
 	"smartchain/internal/smr"
@@ -62,11 +63,57 @@ type ClusterConfig struct {
 	ConsensusTimeout time.Duration
 	// NetLatency adds one-way delivery delay between processes.
 	NetLatency time.Duration
+	// NetBandwidth models each process's uplink in bytes/s (0 = infinite).
+	// Catch-up benchmarks set it so a single donor shipping a monolithic
+	// snapshot serializes on its own link while multiple donors add up.
+	NetBandwidth float64
 	// ChainID names the deployment.
 	ChainID string
 	// Policy admits join candidates (nil = admit all).
 	Policy reconfig.Policy
+	// LegacyStateTransfer selects the single-donor baseline on every node.
+	LegacyStateTransfer bool
+	// CatchupInFlightPerPeer / CatchupChunkBytes / CatchupPeerTimeout mirror
+	// Config (0 = defaults).
+	CatchupInFlightPerPeer int
+	CatchupChunkBytes      int
+	CatchupPeerTimeout     time.Duration
+	// Prime fabricates a pre-committed chain and installs it into every
+	// non-deferred replica's storage before start, so catch-up scenarios
+	// measure transfer, not the time to order thousands of live blocks.
+	// Requires CheckpointPeriod == 0 (fabricated headers pin the checkpoint
+	// back-link at Prime.SnapshotAt).
+	Prime *ChainSpec
+	// Deferred lists genesis replicas whose processes are NOT started by
+	// NewCluster (and whose storage is left empty): fresh replicas that
+	// later catch up via StartDeferred.
+	Deferred []int32
 }
+
+// ChainSpec describes a fabricated pre-committed chain: Blocks application
+// blocks of TxPerBlock requests each, with the service checkpoint
+// (snapshot) taken at height SnapshotAt. The blocks carry genuine consensus
+// decision proofs — every genesis replica's consensus key signs each
+// decision — so catch-up verification runs exactly as it would against a
+// live-ordered chain.
+type ChainSpec struct {
+	Blocks     int64
+	TxPerBlock int
+	SnapshotAt int64
+	// MakeRequests builds one block's ordered requests. The fabricator
+	// supplies the client identity and the first sequence number; the
+	// callback assigns Seq = firstSeq, firstSeq+1, … and OpApp-framed
+	// operations the cluster's application executes successfully.
+	MakeRequests func(block int64, clientID int64, firstSeq uint64) []smr.Request
+}
+
+// FabClientID is the client identity fabricated chain traffic is issued
+// under — far outside the live client ID space.
+const FabClientID int64 = 1 << 40
+
+// fabTimestampBase keeps fabricated batch timestamps plausible without
+// consulting the wall clock (determinism across fabrication runs).
+const fabTimestampBase = int64(1_700_000_000_000_000_000)
 
 // ClusterNode bundles one replica with its persistent resources, which
 // survive Crash/Recover cycles like a machine's disk would.
@@ -79,6 +126,7 @@ type ClusterNode struct {
 	Snapshots storage.SnapshotStore
 	KeyFile   storage.SnapshotStore
 	crashed   bool
+	deferred  bool
 }
 
 // Cluster is an in-process SMARTCHAIN deployment.
@@ -87,6 +135,10 @@ type Cluster struct {
 	Net     *transport.MemNetwork
 	Genesis blockchain.Genesis
 	Nodes   map[int32]*ClusterNode
+
+	// consKeys holds the genesis consensus keys so deferred replicas can
+	// come up with their view-0 identity later.
+	consKeys map[int32]*crypto.KeyPair
 
 	nextClientID int32
 }
@@ -106,9 +158,15 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.ChainID == "" {
 		cfg.ChainID = "smartchain-cluster"
 	}
+	if cfg.Prime != nil && cfg.CheckpointPeriod != 0 {
+		return nil, fmt.Errorf("core: Prime requires CheckpointPeriod == 0")
+	}
 	var netOpts []transport.MemOption
 	if cfg.NetLatency > 0 {
 		netOpts = append(netOpts, transport.WithLatency(cfg.NetLatency))
+	}
+	if cfg.NetBandwidth > 0 {
+		netOpts = append(netOpts, transport.WithBandwidth(cfg.NetBandwidth))
 	}
 	c := &Cluster{
 		cfg:          cfg,
@@ -139,6 +197,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		CheckpointPeriod: cfg.CheckpointPeriod,
 		MaxBatchSize:     cfg.MaxBatch,
 	}
+	c.consKeys = consKeys
+
+	var primed *primedChain
+	if cfg.Prime != nil {
+		pc, err := c.fabricate(cfg.Prime)
+		if err != nil {
+			return nil, err
+		}
+		primed = pc
+	}
+	deferred := make(map[int32]bool, len(cfg.Deferred))
+	for _, id := range cfg.Deferred {
+		deferred[id] = true
+	}
 
 	for i := 0; i < cfg.N; i++ {
 		id := int32(i)
@@ -150,12 +222,137 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			KeyFile:   storage.NewMemSnapshotStore(nil),
 		}
 		c.Nodes[id] = cn
+		if deferred[id] {
+			cn.deferred = true
+			continue
+		}
+		if primed != nil {
+			if err := c.primeStorage(cn, primed); err != nil {
+				c.Stop()
+				return nil, err
+			}
+		}
 		if err := c.startNode(cn, consKeys[id], nil); err != nil {
 			c.Stop()
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// primedChain is one fabricated chain artifact, shared by every primed
+// replica: the log records (genesis + post-snapshot blocks — blocks the
+// snapshot covers never need replaying) and the chunked checkpoint.
+type primedChain struct {
+	records    [][]byte
+	snapHeight int64
+	snapMeta   []byte
+	snapState  []byte
+}
+
+// fabricate builds Prime's chain once: requests are executed on a scratch
+// application instance (yielding genuine per-request results and the
+// snapshot state), and each block's decision proof is signed by every
+// genesis consensus key, so receivers verify fabricated history exactly
+// like live history.
+func (c *Cluster) fabricate(spec *ChainSpec) (*primedChain, error) {
+	if spec.Blocks < 1 || spec.SnapshotAt < 1 || spec.SnapshotAt > spec.Blocks {
+		return nil, fmt.Errorf("core: invalid chain spec: blocks=%d snapshot=%d", spec.Blocks, spec.SnapshotAt)
+	}
+	if spec.MakeRequests == nil {
+		return nil, fmt.Errorf("core: chain spec needs MakeRequests")
+	}
+	app := c.cfg.AppFactory()
+	ledger := blockchain.NewLedger(c.Genesis)
+	gb := blockchain.GenesisBlock(&c.Genesis)
+	v := c.Genesis.InitialView()
+	pc := &primedChain{
+		records:    [][]byte{blockchain.EncodeBlockRecord(&gb)},
+		snapHeight: spec.SnapshotAt,
+	}
+	var seq uint64
+	for b := int64(1); b <= spec.Blocks; b++ {
+		reqs := spec.MakeRequests(b, FabClientID, seq+1)
+		seq += uint64(len(reqs))
+		batch := smr.Batch{Timestamp: fabTimestampBase + b, Requests: reqs}
+		batchData := batch.Encode()
+		appReqs := make([]smr.Request, 0, len(reqs))
+		for i := range reqs {
+			if len(reqs[i].Op) == 0 || reqs[i].Op[0] != OpApp {
+				return nil, fmt.Errorf("core: fabricated request without OpApp frame (block %d)", b)
+			}
+			r := reqs[i]
+			r.Op = r.Op[1:]
+			appReqs = append(appReqs, r)
+		}
+		bc := smr.NewBatchContext(b, b, 0, &batch)
+		results := app.ExecuteBatch(bc, appReqs)
+		digest := crypto.HashBytes(batchData)
+		proof := crypto.Certificate{Digest: digest}
+		for _, id := range v.Members {
+			sig, err := consensus.SignAccept(c.consKeys[id], b, 0, digest)
+			if err != nil {
+				return nil, err
+			}
+			proof.Sigs = append(proof.Sigs, crypto.Signature{Signer: id, Sig: sig})
+		}
+		blk, err := ledger.BuildBlock(blockchain.KindTransactions, b, 0, batchData, proof, results, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := ledger.Commit(&blk); err != nil {
+			return nil, err
+		}
+		if b == spec.SnapshotAt {
+			ledger.MarkCheckpoint(b)
+			env := snapshotEnvelope{
+				Height:       b,
+				Instance:     b + 1,
+				BlockHash:    blk.Header.Hash(),
+				LastReconfig: 0,
+				View:         v,
+				PermKeys:     c.Genesis.PermanentKeys(),
+				Watermarks:   map[int64]smr.Watermark{FabClientID: {Low: seq, LastSeen: b}},
+			}
+			pc.snapMeta = env.encode()
+			pc.snapState = app.Snapshot()
+		}
+		if b > spec.SnapshotAt {
+			pc.records = append(pc.records, blockchain.EncodeBlockRecord(&blk))
+		}
+	}
+	return pc, nil
+}
+
+// primeStorage installs the fabricated chain into one replica's stable
+// storage: the node then recovers from it at Start exactly as if it had
+// committed the history live.
+func (c *Cluster) primeStorage(cn *ClusterNode, pc *primedChain) error {
+	for _, rec := range pc.records {
+		if err := cn.Log.Append(rec); err != nil {
+			return err
+		}
+	}
+	if err := cn.Log.Sync(); err != nil {
+		return err
+	}
+	cb := c.cfg.CatchupChunkBytes
+	if cb <= 0 {
+		cb = storage.DefaultChunkBytes
+	}
+	return storage.SaveSnapshot(cn.Snapshots, pc.snapHeight, pc.snapMeta, pc.snapState, cb)
+}
+
+// StartDeferred brings a deferred replica online. With syncPeers set, Start
+// runs catch-up rounds before ordering begins; passing nil lets the caller
+// drive (and measure) SyncFromPeers explicitly after Start returns.
+func (c *Cluster) StartDeferred(id int32, syncPeers []int32) error {
+	cn, ok := c.Nodes[id]
+	if !ok || !cn.deferred {
+		return fmt.Errorf("core: replica %d is not deferred", id)
+	}
+	cn.deferred = false
+	return c.startNode(cn, c.consKeys[id], syncPeers)
 }
 
 func (c *Cluster) newDisk() *storage.SimDisk {
@@ -173,29 +370,33 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 		execWorkers = c.cfg.ExecWorkersFor(cn.ID)
 	}
 	node, err := NewNode(Config{
-		Self:                cn.ID,
-		Genesis:             c.Genesis,
-		Permanent:           cn.Permanent,
-		InitialConsensusKey: initialKey,
-		Transport:           c.Net.Endpoint(cn.ID),
-		Log:                 cn.Log,
-		Snapshots:           cn.Snapshots,
-		KeyFile:             cn.KeyFile,
-		App:                 cn.App,
-		Policy:              c.cfg.Policy,
-		Persistence:         c.cfg.Persistence,
-		Storage:             c.cfg.Storage,
-		Verify:              c.cfg.Verify,
-		Pipeline:            c.cfg.Pipeline,
-		PipelineDepth:       c.cfg.PipelineDepth,
-		SequentialSync:      c.cfg.SequentialSync,
-		SessionGCBlocks:     c.cfg.SessionGCBlocks,
-		ExecWorkers:         execWorkers,
-		ReadParkTimeout:     c.cfg.ReadParkTimeout,
-		ReadParkLimit:       c.cfg.ReadParkLimit,
-		MaxBatch:            c.cfg.MaxBatch,
-		ConsensusTimeout:    c.cfg.ConsensusTimeout,
-		SyncPeers:           syncPeers,
+		Self:                   cn.ID,
+		Genesis:                c.Genesis,
+		Permanent:              cn.Permanent,
+		InitialConsensusKey:    initialKey,
+		Transport:              c.Net.Endpoint(cn.ID),
+		Log:                    cn.Log,
+		Snapshots:              cn.Snapshots,
+		KeyFile:                cn.KeyFile,
+		App:                    cn.App,
+		Policy:                 c.cfg.Policy,
+		Persistence:            c.cfg.Persistence,
+		Storage:                c.cfg.Storage,
+		Verify:                 c.cfg.Verify,
+		Pipeline:               c.cfg.Pipeline,
+		PipelineDepth:          c.cfg.PipelineDepth,
+		SequentialSync:         c.cfg.SequentialSync,
+		SessionGCBlocks:        c.cfg.SessionGCBlocks,
+		ExecWorkers:            execWorkers,
+		ReadParkTimeout:        c.cfg.ReadParkTimeout,
+		ReadParkLimit:          c.cfg.ReadParkLimit,
+		MaxBatch:               c.cfg.MaxBatch,
+		ConsensusTimeout:       c.cfg.ConsensusTimeout,
+		SyncPeers:              syncPeers,
+		LegacyStateTransfer:    c.cfg.LegacyStateTransfer,
+		CatchupInFlightPerPeer: c.cfg.CatchupInFlightPerPeer,
+		CatchupChunkBytes:      c.cfg.CatchupChunkBytes,
+		CatchupPeerTimeout:     c.cfg.CatchupPeerTimeout,
 	})
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"smartchain/internal/blockchain"
+	"smartchain/internal/catchup"
 	"smartchain/internal/consensus"
 	"smartchain/internal/crypto"
 	"smartchain/internal/reconfig"
@@ -28,14 +29,20 @@ import (
 // once, in the smr package; the aliases keep core's message-type namespace
 // complete in one place.
 const (
-	MsgRequest            = smr.MsgRequest // client → replicas: encoded smr.Request
-	MsgReply              = smr.MsgReply   // replica → client: encoded smr.Reply
-	MsgPersist     uint16 = 210            // PERSIST phase signature share
-	MsgStateReq    uint16 = 220            // state transfer request
-	MsgStateRep    uint16 = 221            // state transfer response
-	MsgJoinAsk     uint16 = 230            // candidate → member: reconfig.JoinRequest
-	MsgJoinVote    uint16 = 231            // member → candidate: reconfig.Vote
-	MsgKeyAnnounce uint16 = 232            // fresh consensus key after a view change
+	MsgRequest              = smr.MsgRequest // client → replicas: encoded smr.Request
+	MsgReply                = smr.MsgReply   // replica → client: encoded smr.Reply
+	MsgPersist       uint16 = 210            // PERSIST phase signature share
+	MsgStateReq      uint16 = 220            // legacy state transfer request
+	MsgStateRep      uint16 = 221            // legacy state transfer response
+	MsgEnvelopeReq   uint16 = 222            // catch-up: snapshot envelope + tip query
+	MsgEnvelopeRep   uint16 = 223            // catch-up: encoded catchup.Envelope
+	MsgChunkReq      uint16 = 224            // catch-up: one snapshot chunk by (height, index)
+	MsgChunkRep      uint16 = 225            // catch-up: chunk bytes
+	MsgBlockRangeReq uint16 = 226            // catch-up: committed blocks from..to
+	MsgBlockRangeRep uint16 = 227            // catch-up: encoded block range
+	MsgJoinAsk       uint16 = 230            // candidate → member: reconfig.JoinRequest
+	MsgJoinVote      uint16 = 231            // member → candidate: reconfig.Vote
+	MsgKeyAnnounce   uint16 = 232            // fresh consensus key after a view change
 )
 
 // Operation kinds: the first byte of every request Op routes it to the
@@ -249,10 +256,25 @@ type Config struct {
 	// KeyFile persists this replica's current consensus private key across
 	// recoverable crashes. It must be local-only storage, never shared.
 	KeyFile storage.SnapshotStore
-	// SyncPeers, when non-empty, makes Start run a state-transfer round
+	// SyncPeers, when non-empty, makes Start run state-transfer rounds
 	// against these peers before ordering begins (recovering replicas and
 	// join candidates catching up).
 	SyncPeers []int32
+	// LegacyStateTransfer selects the original single-donor state transfer
+	// (one peer ships snapshot + tail in one message) instead of the
+	// collaborative multi-peer pool. Kept as the A/B baseline.
+	LegacyStateTransfer bool
+	// CatchupInFlightPerPeer caps outstanding catch-up requests per donor
+	// (0 = catchup default, 4).
+	CatchupInFlightPerPeer int
+	// CatchupChunkBytes is the snapshot chunk size for checkpoints taken by
+	// this node (0 = storage.DefaultChunkBytes). All replicas must agree, or
+	// their envelopes fingerprint differently and chunks do not compose.
+	CatchupChunkBytes int
+	// CatchupPeerTimeout is how long a donor may sit on a catch-up request
+	// before the work is reassigned and the donor demoted (0 = catchup
+	// default, 1s).
+	CatchupPeerTimeout time.Duration
 }
 
 // Node is one SMARTCHAIN replica.
@@ -275,10 +297,14 @@ type Node struct {
 	verifier *smr.VerifierPool
 	persist  *persistCollector
 
-	// joinVotes and stateSink intercept protocol replies for in-flight
-	// join/leave and state-transfer flows (guarded by mu).
+	// joinVotes intercepts protocol replies for in-flight join/leave flows
+	// (guarded by mu).
 	joinVotes func(reconfig.Vote)
-	stateSink func(transport.Message)
+
+	// source is the pluggable catch-up protocol (immutable after NewNode);
+	// catchupCh queues donor-side work off the dispatch goroutine.
+	source    catchup.Source
+	catchupCh chan transport.Message
 
 	decisions chan engineDecision // forwarded from the live engine
 
@@ -371,6 +397,9 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.ReadParkLimit <= 0 {
 		cfg.ReadParkLimit = DefaultReadParkLimit
 	}
+	if cfg.CatchupChunkBytes <= 0 {
+		cfg.CatchupChunkBytes = storage.DefaultChunkBytes
+	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = reconfig.AdmitAll()
@@ -400,6 +429,15 @@ func NewNode(cfg Config) (*Node, error) {
 		stop:          make(chan struct{}),
 		done:          make(chan struct{}),
 		recvDone:      make(chan struct{}),
+		catchupCh:     make(chan transport.Message, 64),
+	}
+	if cfg.LegacyStateTransfer {
+		n.source = catchup.NewLegacy()
+	} else {
+		n.source = catchup.NewPool(catchup.Config{
+			InFlightPerPeer: cfg.CatchupInFlightPerPeer,
+			PeerTimeout:     cfg.CatchupPeerTimeout,
+		})
 	}
 	n.nextInstance.Store(1)
 	if pa, ok := cfg.App.(ParallelApplication); ok {
@@ -426,10 +464,20 @@ func (n *Node) Start() error {
 	n.logger = smr.NewDurableLogger(n.cfg.Log, n.cfg.Storage)
 
 	go n.receiveLoop()
+	go n.catchupServer()
 
 	if len(n.cfg.SyncPeers) > 0 {
-		// Best effort: a lone recovering replica must still come up.
-		_ = n.SyncFromPeers(n.cfg.SyncPeers, 2*time.Second)
+		// Best effort: a lone recovering replica must still come up. Rounds
+		// repeat while they make progress, so a fresh replica lands at (or
+		// near) the live tip before ordering begins; the first round that
+		// installs nothing — donors unreachable, or already caught up —
+		// ends the loop.
+		for {
+			progressed, _ := n.syncRound(n.cfg.SyncPeers, 2*time.Second)
+			if !progressed {
+				break
+			}
+		}
 	}
 
 	n.mu.Lock()
@@ -565,6 +613,9 @@ type Stats struct {
 	// non-contributor to every reply quorum — this counter is what makes
 	// that failure observable instead of invisible.
 	TagSignFailures int64
+	// Catchup reports what the state-transfer Source did: chunks and ranges
+	// fetched, donors used and banned, work reassigned, bytes moved.
+	Catchup catchup.Stats
 }
 
 // Stats returns current counters.
@@ -579,6 +630,7 @@ func (n *Node) Stats() Stats {
 		Instances:       n.nextInstance.Load() - 1,
 		StateTransfers:  n.stateTransfers.Load(),
 		TagSignFailures: n.tagSignFails.Load(),
+		Catchup:         n.source.Stats(),
 	}
 }
 
@@ -707,15 +759,18 @@ func (n *Node) dispatch(m transport.Message) {
 		n.onViewQuery(m.From)
 	case m.Type == MsgPersist:
 		n.persist.onMessage(m)
-	case m.Type == MsgStateReq:
-		n.serveStateTransfer(m)
-	case m.Type == MsgStateRep:
-		n.mu.Lock()
-		sink := n.stateSink
-		n.mu.Unlock()
-		if sink != nil {
-			sink(m)
+	case m.Type == MsgStateReq || m.Type == MsgEnvelopeReq ||
+		m.Type == MsgChunkReq || m.Type == MsgBlockRangeReq:
+		// Donor-side work: queue it for the catch-up server so a giant
+		// snapshot never blocks the dispatch goroutine. Overflow drops the
+		// request; the requester times out and reassigns the work.
+		select {
+		case n.catchupCh <- m:
+		default:
 		}
+	case m.Type == MsgStateRep || m.Type == MsgEnvelopeRep ||
+		m.Type == MsgChunkRep || m.Type == MsgBlockRangeRep:
+		n.onCatchupReply(m)
 	case m.Type == MsgJoinAsk:
 		n.onJoinAsk(m)
 	case m.Type == MsgJoinVote:

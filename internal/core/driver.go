@@ -9,6 +9,7 @@ import (
 	"smartchain/internal/consensus"
 	"smartchain/internal/reconfig"
 	"smartchain/internal/smr"
+	"smartchain/internal/storage"
 )
 
 // Result codes the node produces itself (application result codes are
@@ -591,10 +592,15 @@ func (n *Node) takeCheckpoint(number int64) {
 		LastReconfig: n.ledger.LastReconfig(),
 		View:         v,
 		PermKeys:     permKeys,
-		AppState:     n.app.Snapshot(),
 		Watermarks:   n.batcher.Watermarks(),
 	}
-	if err := n.cfg.Snapshots.Save(number, env.encode()); err != nil {
+	// Chunked store write: the metadata envelope plus the application state
+	// split at CatchupChunkBytes, each chunk digest-addressed so catch-up
+	// peers can fetch and verify them independently. All replicas chunk at
+	// the same configured size, so their stored envelopes (and therefore
+	// catch-up fingerprints) are byte-identical.
+	state := n.app.Snapshot()
+	if err := storage.SaveSnapshot(n.cfg.Snapshots, number, env.encode(), state, n.cfg.CatchupChunkBytes); err != nil {
 		return // snapshot failure is non-fatal: the chain still has everything
 	}
 	n.ledger.MarkCheckpoint(number)

@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
 	"smartchain/internal/blockchain"
+	"smartchain/internal/catchup"
 	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
 	"smartchain/internal/smr"
@@ -25,13 +27,27 @@ func (n *Node) recoverLocal() error {
 	n.loadConsensusKey()
 
 	var base *snapshotEnvelope
-	if _, data, err := n.cfg.Snapshots.Load(); err == nil {
-		env, err := decodeSnapshotEnvelope(data)
+	var baseState []byte
+	lastBlock, meta, state, err := storage.LoadSnapshot(n.cfg.Snapshots)
+	switch {
+	case err == nil:
+		env, err := decodeSnapshotEnvelope(meta)
 		if err != nil {
 			return fmt.Errorf("snapshot envelope: %w", err)
 		}
+		if env.Height != lastBlock {
+			return fmt.Errorf("core: snapshot metadata height %d != stored %d", env.Height, lastBlock)
+		}
 		base = &env
-	} else if !errors.Is(err, storage.ErrNoSnapshot) {
+		baseState = state
+	case errors.Is(err, storage.ErrNoSnapshot):
+		// No checkpoint yet: the log is the whole story.
+	case errors.Is(err, storage.ErrCorrupted):
+		// A torn or bit-rotted snapshot is treated as absent: the block log
+		// is the durability anchor and replays the full history. (If the log
+		// does not start at genesis either, recovery fails below.)
+		base = nil
+	default:
 		return err
 	}
 
@@ -62,8 +78,8 @@ func (n *Node) recoverLocal() error {
 
 	if base != nil {
 		// Restore from the snapshot, then replay any local blocks past it.
-		if len(base.AppState) > 0 {
-			if err := n.app.Restore(base.AppState); err != nil {
+		if len(baseState) > 0 {
+			if err := n.app.Restore(baseState); err != nil {
 				return fmt.Errorf("restore app: %w", err)
 			}
 		}
@@ -197,7 +213,7 @@ func (n *Node) persistConsensusKey() {
 	e := codec.NewEncoder(80)
 	e.Int64(viewID)
 	e.WriteBytes(priv)
-	_ = n.cfg.KeyFile.Save(viewID, e.Bytes())
+	_ = storage.SaveBlob(n.cfg.KeyFile, viewID, e.Bytes())
 }
 
 // loadConsensusKey restores a persisted consensus key, replacing the key
@@ -206,7 +222,7 @@ func (n *Node) loadConsensusKey() {
 	if n.cfg.KeyFile == nil {
 		return
 	}
-	_, data, err := n.cfg.KeyFile.Load()
+	_, data, err := storage.LoadBlob(n.cfg.KeyFile)
 	if err != nil {
 		return
 	}
@@ -223,25 +239,43 @@ func (n *Node) loadConsensusKey() {
 	n.keys = newRecoveredKeyStore(n.cfg.Self, n.cfg.Permanent, viewID, kp, n.cfg.KeyGen)
 }
 
-// serveStateTransfer answers a state request with the latest snapshot
-// envelope plus the cached blocks after it (Algorithm 1 lines 55-57).
-func (n *Node) serveStateTransfer(m transport.Message) {
-	if _, err := decodeStateReq(m.Payload); err != nil {
-		return
+// ---------------------------------------------------------------------------
+// Donor side: serving catch-up requests.
+//
+// All four request kinds are answered off the dispatch goroutine by the
+// catchupServer loop, so a donor streaming a multi-megabyte snapshot never
+// head-of-line-blocks consensus messages behind it.
+// ---------------------------------------------------------------------------
+
+// catchupServer drains queued donor work until the node stops.
+func (n *Node) catchupServer() {
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m := <-n.catchupCh:
+			switch m.Type {
+			case MsgStateReq:
+				n.serveLegacyState(m)
+			case MsgEnvelopeReq:
+				n.serveEnvelope(m)
+			case MsgChunkReq:
+				n.serveChunk(m)
+			case MsgBlockRangeReq:
+				n.serveRange(m)
+			}
+		}
 	}
-	env := n.currentEnvelope()
-	rep := stateRep{Snapshot: env, Blocks: n.ledger.CachedBlocks()}
-	_ = n.cfg.Transport.Send(m.From, MsgStateRep, rep.encode())
 }
 
-// currentEnvelope returns the stored snapshot envelope, or a synthetic
-// genesis-level one when no checkpoint was taken yet (receiver replays from
-// block 1; AppState empty means "start from the initial application
-// state").
-func (n *Node) currentEnvelope() snapshotEnvelope {
-	if _, data, err := n.cfg.Snapshots.Load(); err == nil {
-		if env, err := decodeSnapshotEnvelope(data); err == nil {
-			return env
+// donorSnapshot loads this replica's stored checkpoint (metadata plus the
+// digest-verified assembled state), or a synthetic genesis-level envelope
+// when no checkpoint was taken yet (receiver replays from block 1; empty
+// state means "start from the initial application state").
+func (n *Node) donorSnapshot() (snapshotEnvelope, []byte) {
+	if _, meta, state, err := storage.LoadSnapshot(n.cfg.Snapshots); err == nil {
+		if env, err := decodeSnapshotEnvelope(meta); err == nil {
+			return env, state
 		}
 	}
 	gb := blockchain.GenesisBlock(&n.cfg.Genesis)
@@ -252,106 +286,281 @@ func (n *Node) currentEnvelope() snapshotEnvelope {
 		LastReconfig: 0,
 		View:         n.cfg.Genesis.InitialView(),
 		PermKeys:     n.cfg.Genesis.PermanentKeys(),
-	}
+	}, nil
 }
 
-// SyncFromPeers performs one state-transfer round: ask peers, wait for f+1
-// matching replies (at least one is from a correct replica), and install
-// the state if it is ahead of ours. Matching means identical snapshot
-// coverage and chain tip.
-func (n *Node) SyncFromPeers(peers []int32, timeout time.Duration) error {
-	if len(peers) == 0 {
-		return errors.New("core: no peers to sync from")
+// serveLegacyState answers a legacy single-donor request with the full
+// snapshot + cached tail in one message (Algorithm 1 lines 55-57).
+func (n *Node) serveLegacyState(m transport.Message) {
+	if _, err := decodeStateReq(m.Payload); err != nil {
+		return
 	}
-	f := (len(peers)) / 3 // f+1 matching out of up-to-n peers; conservative
-	needed := f + 1
+	env, state := n.donorSnapshot()
+	rep := stateRep{Snapshot: env, State: state, Blocks: n.ledger.CachedBlocks()}
+	_ = n.cfg.Transport.Send(m.From, MsgStateRep, rep.encode())
+}
 
-	reps := make(chan stateRep, len(peers))
-	n.setStateSink(func(m transport.Message) {
+// serveEnvelope answers with this donor's snapshot envelope and chain tip —
+// the pool's discovery unit, a few hundred bytes regardless of state size.
+func (n *Node) serveEnvelope(m transport.Message) {
+	var env catchup.Envelope
+	if snap, err := n.cfg.Snapshots.LoadEnvelope(); err == nil {
+		if me, err := decodeSnapshotEnvelope(snap.Meta); err == nil && me.Height == snap.LastBlock {
+			env = catchup.Envelope{Height: me.Height, BlockHash: me.BlockHash, Snap: snap}
+		}
+	}
+	if env.Snap.Meta == nil {
+		me, _ := n.donorSnapshot() // genesis-level synthetic envelope
+		cb := n.cfg.CatchupChunkBytes
+		if cb <= 0 {
+			cb = storage.DefaultChunkBytes
+		}
+		env = catchup.Envelope{
+			Height:    0,
+			BlockHash: me.BlockHash,
+			Snap:      storage.SnapEnvelope{LastBlock: 0, ChunkBytes: int32(cb), Meta: me.encode()},
+		}
+	}
+	env.Tip = n.ledger.Height()
+	_ = n.cfg.Transport.Send(m.From, MsgEnvelopeRep, env.Encode())
+}
+
+// serveChunk answers one snapshot chunk straight from the chunk-addressed
+// store. Empty data tells the requester to look elsewhere; the bytes are
+// NOT re-verified here — the receiver checks them against the
+// quorum-agreed envelope digests, which is what lets it catch (and ban) a
+// donor whose store rotted or who lies.
+func (n *Node) serveChunk(m transport.Message) {
+	req, err := decodeChunkReq(m.Payload)
+	if err != nil {
+		return
+	}
+	rep := chunkRep{Height: req.Height, Index: req.Index}
+	if env, err := n.cfg.Snapshots.LoadEnvelope(); err == nil && env.LastBlock == req.Height {
+		if data, err := n.cfg.Snapshots.ReadChunk(int(req.Index)); err == nil {
+			rep.Data = data
+		}
+	}
+	_ = n.cfg.Transport.Send(m.From, MsgChunkRep, rep.encode())
+}
+
+// maxRangeServe caps one block-range reply; larger asks are ignored.
+const maxRangeServe = 1024
+
+// serveRange answers a contiguous block range from the post-checkpoint
+// cache. An empty reply means the cache no longer covers the range.
+func (n *Node) serveRange(m transport.Message) {
+	req, err := decodeRangeReq(m.Payload)
+	if err != nil || req.To < req.From || req.To-req.From+1 > maxRangeServe {
+		return
+	}
+	rep := rangeRep{From: req.From}
+	if blocks, ok := n.ledger.CachedRange(req.From, req.To); ok {
+		rep.Blocks = blocks
+	}
+	_ = n.cfg.Transport.Send(m.From, MsgBlockRangeRep, rep.encode())
+}
+
+// onCatchupReply decodes a donor reply and routes it to the active Source.
+// Runs on the dispatch goroutine; Deliver never blocks.
+func (n *Node) onCatchupReply(m transport.Message) {
+	switch m.Type {
+	case MsgStateRep:
 		rep, err := decodeStateRep(m.Payload)
 		if err != nil {
 			return
 		}
-		select {
-		case reps <- rep:
-		default:
+		env := legacyEnvelope(&rep, n.cfg.CatchupChunkBytes)
+		n.source.Deliver(catchup.Response{
+			Peer: m.From, Kind: catchup.KindLegacy,
+			Envelope: env, State: rep.State, Blocks: rep.Blocks,
+		})
+	case MsgEnvelopeRep:
+		env, err := catchup.DecodeEnvelope(m.Payload)
+		if err != nil {
+			return
 		}
-	})
-	defer n.setStateSink(nil)
-
-	req := stateReq{HaveBlock: n.ledger.Height()}
-	payload := req.encode()
-	for _, p := range peers {
-		_ = n.cfg.Transport.Send(p, MsgStateReq, payload)
-	}
-
-	type fingerprint struct {
-		height    int64
-		blockHash crypto.Hash
-		stateHash crypto.Hash
-		tipHash   crypto.Hash
-		blocks    int
-	}
-	counts := make(map[fingerprint]int)
-	var chosen *stateRep
-	deadline := time.After(timeout)
-	for chosen == nil {
-		select {
-		case rep := <-reps:
-			fp := fingerprint{
-				height:    rep.Snapshot.Height,
-				blockHash: rep.Snapshot.BlockHash,
-				stateHash: crypto.HashBytes(rep.Snapshot.AppState),
-				blocks:    len(rep.Blocks),
-			}
-			if len(rep.Blocks) > 0 {
-				fp.tipHash = rep.Blocks[len(rep.Blocks)-1].Hash()
-			}
-			counts[fp]++
-			if counts[fp] >= needed {
-				r := rep
-				chosen = &r
-			}
-		case <-deadline:
-			return fmt.Errorf("core: state transfer quorum not reached")
-		case <-n.stop:
-			return ErrRetired
+		n.source.Deliver(catchup.Response{Peer: m.From, Kind: catchup.KindEnvelope, Envelope: env})
+	case MsgChunkRep:
+		rep, err := decodeChunkRep(m.Payload)
+		if err != nil {
+			return
 		}
+		n.source.Deliver(catchup.Response{
+			Peer: m.From, Kind: catchup.KindChunk,
+			Height: rep.Height, Index: int(rep.Index), Data: rep.Data,
+		})
+	case MsgBlockRangeRep:
+		rep, err := decodeRangeRep(m.Payload)
+		if err != nil {
+			return
+		}
+		n.source.Deliver(catchup.Response{
+			Peer: m.From, Kind: catchup.KindRange,
+			From: rep.From, Blocks: rep.Blocks,
+		})
 	}
-	return n.installState(chosen)
 }
 
-// installState applies a fetched state if it advances past our tip. syncMu
-// excludes the driver's commit loop: replayed blocks and the commit floor
-// must move together, or a decision committing concurrently could rewind
-// the floor and re-execute replayed batches.
-func (n *Node) installState(rep *stateRep) error {
-	n.syncMu.Lock()
-	defer n.syncMu.Unlock()
-	tip := rep.Snapshot.Height
-	if len(rep.Blocks) > 0 {
-		tip = rep.Blocks[len(rep.Blocks)-1].Header.Number
+// legacyEnvelope reconstructs a catchup.Envelope from a monolithic legacy
+// offer. The chunk digests are computed locally over the received state, so
+// the envelope fingerprint commits to metadata AND state bytes — exactly
+// what the legacy f+1 agreement must cover.
+func legacyEnvelope(rep *stateRep, chunkBytes int) *catchup.Envelope {
+	if chunkBytes <= 0 {
+		chunkBytes = storage.DefaultChunkBytes
 	}
-	if tip <= n.ledger.Height() {
-		return nil // we are already at or past this state
+	snap := storage.BuildEnvelope(rep.Snapshot.Height, rep.Snapshot.encode(), rep.State, chunkBytes)
+	env := &catchup.Envelope{
+		Height:    rep.Snapshot.Height,
+		BlockHash: rep.Snapshot.BlockHash,
+		Snap:      snap,
+		Tip:       rep.Snapshot.Height,
 	}
+	if nb := len(rep.Blocks); nb > 0 {
+		env.Tip = rep.Blocks[nb-1].Header.Number
+	}
+	return env
+}
 
-	if rep.Snapshot.Height > n.ledger.Height() {
-		// Jump to the snapshot, then replay the blocks after it.
-		// installEnvelope positions the commit floor at the envelope's
-		// consensus Instance (monotonically).
-		if len(rep.Snapshot.AppState) > 0 {
-			if err := n.app.Restore(rep.Snapshot.AppState); err != nil {
-				return fmt.Errorf("restore fetched state: %w", err)
-			}
+// ---------------------------------------------------------------------------
+// Receiver side: the catchup.Fetcher mechanism.
+// ---------------------------------------------------------------------------
+
+// nodeFetcher implements catchup.Fetcher over the node's transport, ledger,
+// and application. All verification/installation methods run on the
+// Sync caller's goroutine, under syncMu.
+type nodeFetcher struct{ n *Node }
+
+func (f nodeFetcher) Height() int64 { return f.n.ledger.Height() }
+
+func (f nodeFetcher) RequestEnvelope(peer int32) error {
+	return f.n.cfg.Transport.Send(peer, MsgEnvelopeReq, nil)
+}
+
+func (f nodeFetcher) RequestChunk(peer int32, height int64, index int) error {
+	req := chunkReq{Height: height, Index: int32(index)}
+	return f.n.cfg.Transport.Send(peer, MsgChunkReq, req.encode())
+}
+
+func (f nodeFetcher) RequestRange(peer int32, from, to int64) error {
+	req := rangeReq{From: from, To: to}
+	return f.n.cfg.Transport.Send(peer, MsgBlockRangeReq, req.encode())
+}
+
+func (f nodeFetcher) RequestLegacy(peer int32, have int64) error {
+	req := stateReq{HaveBlock: have}
+	return f.n.cfg.Transport.Send(peer, MsgStateReq, req.encode())
+}
+
+// fetchedMeta decodes and cross-checks the core metadata embedded in a
+// catch-up envelope: the donor-supplied Meta must agree with the envelope's
+// own height and block hash, or the offer is internally inconsistent.
+func fetchedMeta(env *catchup.Envelope) (snapshotEnvelope, error) {
+	me, err := decodeSnapshotEnvelope(env.Snap.Meta)
+	if err != nil {
+		return snapshotEnvelope{}, fmt.Errorf("core: envelope metadata: %w", err)
+	}
+	if me.Height != env.Height || me.BlockHash != env.BlockHash || env.Snap.LastBlock != env.Height {
+		return snapshotEnvelope{}, errors.New("core: envelope metadata mismatch")
+	}
+	return me, nil
+}
+
+// VerifyBlocks checks that blocks extend the envelope's block: hash linkage
+// from env.BlockHash plus consensus decision proofs under the envelope's
+// view. No state is touched — this is what binds a snapshot offer to the
+// committed chain BEFORE InstallSnapshot may run.
+func (f nodeFetcher) VerifyBlocks(env *catchup.Envelope, blocks []blockchain.Block) error {
+	me, err := fetchedMeta(env)
+	if err != nil {
+		return err
+	}
+	anchor := blockchain.RangeAnchor{
+		Number:         me.Height,
+		Hash:           me.BlockHash,
+		LastReconfig:   me.LastReconfig,
+		LastCheckpoint: me.Height,
+		View:           me.View,
+		Permanent:      me.PermKeys,
+	}
+	_, err = blockchain.VerifyRange(anchor, blocks, 0)
+	return err
+}
+
+// InstallSnapshot digest-verifies the assembled state against the
+// quorum-agreed envelope, restores it into the application, and positions
+// the ledger, view, and commit floor at the snapshot point. The persisted
+// copy keeps the donor's chunking so this replica immediately serves
+// byte-identical chunks onward.
+func (f nodeFetcher) InstallSnapshot(env *catchup.Envelope, state []byte) error {
+	n := f.n
+	me, err := fetchedMeta(env)
+	if err != nil {
+		return err
+	}
+	if env.Height <= n.ledger.Height() {
+		return nil // raced past it; nothing to do
+	}
+	if int64(len(state)) != env.Snap.TotalBytes {
+		return fmt.Errorf("core: snapshot state is %d bytes, envelope says %d: %w",
+			len(state), env.Snap.TotalBytes, storage.ErrCorrupted)
+	}
+	off := 0
+	for i := 0; i < env.Snap.NumChunks(); i++ {
+		l := env.Snap.ChunkLen(i)
+		if !env.Snap.VerifyChunk(i, state[off:off+l]) {
+			return fmt.Errorf("core: assembled state fails digest of chunk %d: %w", i, storage.ErrCorrupted)
 		}
-		n.installEnvelope(&rep.Snapshot)
-		if err := n.cfg.Snapshots.Save(rep.Snapshot.Height, rep.Snapshot.encode()); err != nil {
-			return err
+		off += l
+	}
+	if len(state) > 0 {
+		if err := n.app.Restore(state); err != nil {
+			return fmt.Errorf("restore fetched state: %w", err)
 		}
 	}
-	for i := range rep.Blocks {
-		b := &rep.Blocks[i]
+	n.installEnvelope(&me)
+	cb := int(env.Snap.ChunkBytes)
+	if err := storage.SaveSnapshot(n.cfg.Snapshots, env.Height, env.Snap.Meta, state, cb); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ApplyBlocks verifies a fetched range against this replica's own tip
+// (linkage, roots, decision proofs) and replays it.
+func (f nodeFetcher) ApplyBlocks(blocks []blockchain.Block) error {
+	n := f.n
+	for len(blocks) > 0 && blocks[0].Header.Number <= n.ledger.Height() {
+		blocks = blocks[1:]
+	}
+	if len(blocks) == 0 {
+		return nil
+	}
+	n.mu.Lock()
+	v := n.curView
+	perms := clonePermKeys(n.permanentKeys)
+	n.mu.Unlock()
+	anchor := blockchain.RangeAnchor{
+		Number:         n.ledger.Height(),
+		Hash:           n.ledger.LastHash(),
+		LastReconfig:   n.ledger.LastReconfig(),
+		LastCheckpoint: n.ledger.LastCheckpoint(),
+		View:           v,
+		Permanent:      perms,
+	}
+	if _, err := blockchain.VerifyRange(anchor, blocks, 0); err != nil {
+		return err
+	}
+	return f.ReplayBlocks(blocks)
+}
+
+// ReplayBlocks re-executes already-verified blocks and appends them to the
+// local log.
+func (f nodeFetcher) ReplayBlocks(blocks []blockchain.Block) error {
+	n := f.n
+	for i := range blocks {
+		b := &blocks[i]
 		if b.Header.Number <= n.ledger.Height() {
 			continue
 		}
@@ -364,9 +573,44 @@ func (n *Node) installState(rep *stateRep) error {
 			_ = n.cfg.Log.Append(blockchain.EncodeBlockRecord(b))
 		}
 	}
-	n.stateTransfers.Add(1)
-	n.afterInstall()
 	return nil
+}
+
+var _ catchup.Fetcher = nodeFetcher{}
+
+// SyncFromPeers runs one catch-up round through the configured Source (the
+// collaborative pool, or the legacy single-donor protocol when
+// Config.LegacyStateTransfer is set). syncMu excludes the driver's commit
+// loop for the whole round: replayed blocks and the commit floor must move
+// together, or a decision committing concurrently could rewind the floor
+// and re-execute replayed batches.
+func (n *Node) SyncFromPeers(peers []int32, timeout time.Duration) error {
+	_, err := n.syncRound(peers, timeout)
+	return err
+}
+
+func (n *Node) syncRound(peers []int32, timeout time.Duration) (bool, error) {
+	if len(peers) == 0 {
+		return false, errors.New("core: no peers to sync from")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	go func() {
+		select {
+		case <-n.stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	n.syncMu.Lock()
+	progressed, err := n.source.Sync(ctx, nodeFetcher{n}, peers)
+	if progressed {
+		n.stateTransfers.Add(1)
+		n.afterInstall()
+	}
+	n.syncMu.Unlock()
+	return progressed, err
 }
 
 // afterInstall reconciles membership after new state arrived: a member
@@ -428,10 +672,4 @@ func (n *Node) WaitMembership(peers []int32, timeout time.Duration) error {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
-}
-
-func (n *Node) setStateSink(sink func(transport.Message)) {
-	n.mu.Lock()
-	n.stateSink = sink
-	n.mu.Unlock()
 }

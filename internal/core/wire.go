@@ -81,9 +81,11 @@ func decodeView(data []byte) (view.View, error) {
 	return view.New(id, members, keys), nil
 }
 
-// snapshotEnvelope is what the node stores in the SnapshotStore and ships
-// during state transfer: the application snapshot plus the ledger position
-// and view needed to resume from it.
+// snapshotEnvelope is the coordination metadata of a checkpoint: the
+// ledger position and view needed to resume from an application snapshot.
+// The application state itself does NOT live here — it rides in the
+// chunk-addressed SnapshotStore payload (and, during catch-up, in
+// individually verifiable chunks), with this envelope as the store's Meta.
 type snapshotEnvelope struct {
 	Height int64 // last block covered
 	// Instance is the next consensus instance after the checkpoint (the
@@ -98,7 +100,6 @@ type snapshotEnvelope struct {
 	LastReconfig int64
 	View         view.View
 	PermKeys     map[int32]crypto.PublicKey
-	AppState     []byte
 	// Watermarks is the per-client executed-sequence record at Height
 	// (contiguous low watermark plus the out-of-order executed set):
 	// replaying blocks after the snapshot must skip exactly the duplicate
@@ -107,7 +108,7 @@ type snapshotEnvelope struct {
 }
 
 func (s *snapshotEnvelope) encode() []byte {
-	e := codec.NewEncoder(256 + len(s.AppState))
+	e := codec.NewEncoder(256)
 	e.Int64(s.Height)
 	e.Int64(s.Instance)
 	e.Bytes32(s.BlockHash)
@@ -118,7 +119,6 @@ func (s *snapshotEnvelope) encode() []byte {
 		e.Int32(m)
 		e.WriteBytes(s.PermKeys[m])
 	}
-	e.WriteBytes(s.AppState)
 	e.Uint32(uint32(len(s.Watermarks)))
 	for _, c := range sortedClients(s.Watermarks) {
 		w := s.Watermarks[c]
@@ -154,7 +154,6 @@ func decodeSnapshotEnvelope(data []byte) (snapshotEnvelope, error) {
 		id := d.Int32()
 		s.PermKeys[id] = crypto.PublicKey(d.ReadBytesCopy())
 	}
-	s.AppState = d.ReadBytesCopy()
 	nw := d.Uint32()
 	if d.Err() != nil || nw > 1<<24 {
 		return snapshotEnvelope{}, fmt.Errorf("decode snapshot: bad watermark count")
@@ -229,17 +228,22 @@ func decodeStateReq(data []byte) (stateReq, error) {
 	return r, nil
 }
 
-// stateRep carries a snapshot envelope plus the blocks after it
-// (Algorithm 1 lines 55-57: last snapshot + cached transactions).
+// stateRep carries a snapshot envelope, the monolithic application state it
+// covers, and the blocks after it (Algorithm 1 lines 55-57: last snapshot +
+// cached transactions). This is the legacy single-donor wire format; the
+// collaborative pool ships the same information as an envelope plus
+// individually fetched chunks and ranges.
 type stateRep struct {
 	Snapshot snapshotEnvelope
+	State    []byte
 	Blocks   []blockchain.Block
 }
 
 func (r *stateRep) encode() []byte {
 	snap := r.Snapshot.encode()
-	e := codec.NewEncoder(64 + len(snap))
+	e := codec.NewEncoder(64 + len(snap) + len(r.State))
 	e.WriteBytes(snap)
+	e.WriteBytes(r.State)
 	e.Uint32(uint32(len(r.Blocks)))
 	for i := range r.Blocks {
 		e.WriteBytes(r.Blocks[i].Encode())
@@ -254,6 +258,7 @@ func decodeStateRep(data []byte) (stateRep, error) {
 		return stateRep{}, err
 	}
 	r := stateRep{Snapshot: snap}
+	r.State = d.ReadBytesCopy()
 	nb := d.Uint32()
 	if d.Err() != nil || nb > 1<<20 {
 		return stateRep{}, fmt.Errorf("decode state rep: bad block count")
@@ -267,6 +272,120 @@ func decodeStateRep(data []byte) (stateRep, error) {
 	}
 	if err := d.Finish(); err != nil {
 		return stateRep{}, fmt.Errorf("decode state rep: %w", err)
+	}
+	return r, nil
+}
+
+// chunkReq asks a donor for one chunk of the snapshot covering Height.
+type chunkReq struct {
+	Height int64
+	Index  int32
+}
+
+func (r *chunkReq) encode() []byte {
+	e := codec.NewEncoder(12)
+	e.Int64(r.Height)
+	e.Int32(r.Index)
+	return e.Bytes()
+}
+
+func decodeChunkReq(data []byte) (chunkReq, error) {
+	d := codec.NewDecoder(data)
+	var r chunkReq
+	r.Height = d.Int64()
+	r.Index = d.Int32()
+	if err := d.Finish(); err != nil {
+		return chunkReq{}, fmt.Errorf("decode chunk req: %w", err)
+	}
+	return r, nil
+}
+
+// chunkRep answers a chunkReq. Empty Data means the donor does not hold
+// that snapshot (or chunk); the requester reassigns the work elsewhere.
+type chunkRep struct {
+	Height int64
+	Index  int32
+	Data   []byte
+}
+
+func (r *chunkRep) encode() []byte {
+	e := codec.NewEncoder(16 + len(r.Data))
+	e.Int64(r.Height)
+	e.Int32(r.Index)
+	e.WriteBytes(r.Data)
+	return e.Bytes()
+}
+
+func decodeChunkRep(data []byte) (chunkRep, error) {
+	d := codec.NewDecoder(data)
+	var r chunkRep
+	r.Height = d.Int64()
+	r.Index = d.Int32()
+	r.Data = d.ReadBytesCopy()
+	if err := d.Finish(); err != nil {
+		return chunkRep{}, fmt.Errorf("decode chunk rep: %w", err)
+	}
+	return r, nil
+}
+
+// rangeReq asks a donor for committed blocks From..To inclusive.
+type rangeReq struct {
+	From int64
+	To   int64
+}
+
+func (r *rangeReq) encode() []byte {
+	e := codec.NewEncoder(16)
+	e.Int64(r.From)
+	e.Int64(r.To)
+	return e.Bytes()
+}
+
+func decodeRangeReq(data []byte) (rangeReq, error) {
+	d := codec.NewDecoder(data)
+	var r rangeReq
+	r.From = d.Int64()
+	r.To = d.Int64()
+	if err := d.Finish(); err != nil {
+		return rangeReq{}, fmt.Errorf("decode range req: %w", err)
+	}
+	return r, nil
+}
+
+// rangeRep answers a rangeReq. Empty Blocks means the donor's cache no
+// longer holds the range; the requester reassigns the work elsewhere.
+type rangeRep struct {
+	From   int64
+	Blocks []blockchain.Block
+}
+
+func (r *rangeRep) encode() []byte {
+	e := codec.NewEncoder(64)
+	e.Int64(r.From)
+	e.Uint32(uint32(len(r.Blocks)))
+	for i := range r.Blocks {
+		e.WriteBytes(r.Blocks[i].Encode())
+	}
+	return e.Bytes()
+}
+
+func decodeRangeRep(data []byte) (rangeRep, error) {
+	d := codec.NewDecoder(data)
+	var r rangeRep
+	r.From = d.Int64()
+	nb := d.Uint32()
+	if d.Err() != nil || nb > 1<<20 {
+		return rangeRep{}, fmt.Errorf("decode range rep: bad block count")
+	}
+	for i := uint32(0); i < nb; i++ {
+		b, err := blockchain.DecodeBlock(d.ReadBytes())
+		if err != nil {
+			return rangeRep{}, err
+		}
+		r.Blocks = append(r.Blocks, b)
+	}
+	if err := d.Finish(); err != nil {
+		return rangeRep{}, fmt.Errorf("decode range rep: %w", err)
 	}
 	return r, nil
 }

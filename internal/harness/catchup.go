@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/core"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/transport"
+)
+
+// CatchupPoint is one time-to-sync measurement: a fresh replica joining a
+// cluster that holds a fabricated pre-committed chain, through either the
+// collaborative multi-peer pool or the legacy single-donor protocol,
+// optionally under fault injection.
+type CatchupPoint struct {
+	Label  string
+	Blocks int64
+	Legacy bool
+	// Fault names the injected fault: "", "donor-death" (two of four
+	// donors partitioned mid-transfer), "corrupt-chunk" (one donor serves
+	// chunks failing their digests).
+	Fault         string
+	SyncMS        int64
+	PeersUsed     int64
+	ChunksFetched int64
+	BlocksFetched int64
+	Redos         int64
+	Banned        int64
+	BytesFetched  int64
+	MBPerSec      float64
+	// Diverged reports whether the synced replica's application state
+	// differs from the donors' — must always be false.
+	Diverged bool
+	NumCPU   int
+}
+
+func (p CatchupPoint) String() string {
+	fault := p.Fault
+	if fault == "" {
+		fault = "none"
+	}
+	return fmt.Sprintf("%-26s sync %6d ms   %5.1f MB/s   peers %d   chunks %3d   blocks %5d   redos %3d   banned %d",
+		p.Label, p.SyncMS, p.MBPerSec, p.PeersUsed, p.ChunksFetched, p.BlocksFetched, p.Redos, p.Banned)
+}
+
+// catchupBandwidth models each donor's uplink. It is the experiment's
+// pivot: a single donor shipping snapshot + tail serializes on its own
+// link, while four donors shipping chunks and ranges in parallel add up.
+const catchupBandwidth = 16 << 20 // 16 MB/s per process
+
+// catchupSpec fabricates minter-issued MINT traffic. The transactions are
+// unsigned — replay never verifies request signatures (the decision proofs
+// carry the trust) — which keeps fabricating a 10k-block chain cheap.
+func catchupSpec(minter *crypto.KeyPair, blocks int64) *core.ChainSpec {
+	return &core.ChainSpec{
+		Blocks:     blocks,
+		TxPerBlock: 8,
+		SnapshotAt: blocks * 4 / 5,
+		MakeRequests: func(block int64, clientID int64, firstSeq uint64) []smr.Request {
+			reqs := make([]smr.Request, 0, 8)
+			for i := 0; i < 8; i++ {
+				seq := firstSeq + uint64(i)
+				tx := coin.Tx{
+					Type:    coin.TxMint,
+					Issuer:  minter.Public(),
+					Nonce:   seq,
+					Outputs: []coin.Output{{Owner: minter.Public(), Value: 1}},
+				}
+				reqs = append(reqs, smr.Request{
+					ClientID: clientID,
+					Seq:      seq,
+					Op:       core.WrapAppOp(tx.Encode()),
+					PubKey:   minter.Public(),
+				})
+			}
+			return reqs
+		},
+	}
+}
+
+// catchupScenario measures one join: 4 donors with a fabricated chain, a
+// deferred fifth replica that syncs via explicit rounds.
+func catchupScenario(label string, blocks int64, legacy bool, fault string) (CatchupPoint, error) {
+	p := CatchupPoint{Label: label, Blocks: blocks, Legacy: legacy, Fault: fault, NumCPU: runtime.NumCPU()}
+	minter := crypto.SeededKeyPair(label+"/minter", 0)
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N:                   5,
+		AppFactory:          func() core.Application { return coin.NewService([]crypto.PublicKey{minter.Public()}) },
+		Persistence:         core.PersistenceWeak,
+		Storage:             smr.StorageMemory,
+		Verify:              smr.VerifyNone,
+		Pipeline:            true,
+		MaxBatch:            64,
+		Minters:             []crypto.PublicKey{minter.Public()},
+		ConsensusTimeout:    time.Second,
+		NetBandwidth:        catchupBandwidth,
+		ChainID:             label,
+		LegacyStateTransfer: legacy,
+		Prime:               catchupSpec(minter, blocks),
+		Deferred:            []int32{4},
+		CatchupPeerTimeout:  2 * time.Second,
+	})
+	if err != nil {
+		return p, err
+	}
+	defer cluster.Stop()
+
+	switch fault {
+	case "corrupt-chunk":
+		// Donor 1 joins the envelope quorum honestly but serves flipped
+		// bytes for every chunk.
+		store := cluster.Nodes[1].Snapshots
+		env, err := store.LoadEnvelope()
+		if err != nil {
+			return p, fmt.Errorf("corrupt donor envelope: %w", err)
+		}
+		for i := 0; i < env.NumChunks(); i++ {
+			data, err := store.ReadChunk(i)
+			if err != nil {
+				return p, fmt.Errorf("corrupt donor chunk %d: %w", i, err)
+			}
+			data[0] ^= 0xff
+			if err := store.WriteChunk(i, data); err != nil {
+				return p, fmt.Errorf("corrupt donor chunk %d: %w", i, err)
+			}
+		}
+	case "donor-death":
+		// Donors 2 and 3 answer the first few requests (enough to be
+		// counted on and assigned work), then go permanently dark.
+		var replies atomic.Int32
+		cluster.Net.SetFilter(func(m transport.Message) bool {
+			if (m.From == 2 || m.From == 3) && m.To == 4 {
+				return replies.Add(1) > 6
+			}
+			return false
+		})
+		defer cluster.Net.SetFilter(nil)
+	}
+
+	if err := cluster.StartDeferred(4, nil); err != nil {
+		return p, err
+	}
+	joiner := cluster.Nodes[4].Node
+	peers := []int32{0, 1, 2, 3}
+
+	start := time.Now()
+	deadline := start.Add(5 * time.Minute)
+	for joiner.Ledger().Height() < blocks {
+		if time.Now().After(deadline) {
+			return p, fmt.Errorf("%s: catch-up stalled at height %d of %d", label, joiner.Ledger().Height(), blocks)
+		}
+		if err := joiner.SyncFromPeers(peers, 2*time.Minute); err != nil &&
+			joiner.Ledger().Height() < blocks {
+			// Transient round failure (e.g. every reachable donor struck
+			// out while the partition settled): retry.
+			continue
+		}
+	}
+	p.SyncMS = time.Since(start).Milliseconds()
+
+	st := joiner.Stats().Catchup
+	p.PeersUsed = st.PeersUsed
+	p.ChunksFetched = st.ChunksFetched
+	p.BlocksFetched = st.BlocksFetched
+	p.Redos = st.Redos
+	p.Banned = st.Banned
+	p.BytesFetched = st.BytesFetched
+	if secs := float64(p.SyncMS) / 1000; secs > 0 {
+		p.MBPerSec = float64(st.BytesFetched) / (1 << 20) / secs
+	}
+	p.Diverged = !bytes.Equal(cluster.Nodes[4].App.Snapshot(), cluster.Nodes[0].App.Snapshot()) ||
+		joiner.Ledger().Height() != cluster.Nodes[0].Node.Ledger().Height()
+	return p, nil
+}
+
+// Catchup runs the state-transfer experiment: multi-peer vs legacy A/B on
+// the same fabricated chain, then the two fault scenarios against the
+// multi-peer pool. blocks ≤ 0 selects the paper-scale 10k-block chain.
+func Catchup(blocks int64) ([]CatchupPoint, error) {
+	if blocks <= 0 {
+		blocks = 10_000
+	}
+	scenarios := []struct {
+		label  string
+		legacy bool
+		fault  string
+	}{
+		{"multi-peer/4-donors", false, ""},
+		{"legacy/single-donor", true, ""},
+		{"multi-peer/donor-death", false, "donor-death"},
+		{"multi-peer/corrupt-chunk", false, "corrupt-chunk"},
+	}
+	points := make([]CatchupPoint, 0, len(scenarios))
+	for _, s := range scenarios {
+		pt, err := catchupScenario(s.label, blocks, s.legacy, s.fault)
+		if err != nil {
+			return points, err
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}

@@ -1,38 +1,277 @@
 package storage
 
 import (
-	"encoding/binary"
+	"crypto/sha256"
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"smartchain/internal/codec"
 )
 
-// ErrNoSnapshot is returned by Load when no snapshot has been saved.
+// ErrNoSnapshot is returned by LoadEnvelope when no snapshot has been saved.
 var ErrNoSnapshot = errors.New("storage: no snapshot")
 
-// SnapshotStore persists service-state snapshots outside the blockchain
-// (paper §V-B3, Algorithm 1 line 54). Each snapshot records the number of
-// the last block whose transactions it covers, so state transfer can send
-// "snapshot + blocks after it".
+// DefaultChunkBytes is the chunk size used when a caller passes 0. Large
+// enough to amortize per-message overhead, small enough that a snapshot
+// spreads across several donors during collaborative catch-up.
+const DefaultChunkBytes = 256 << 10
+
+// maxSnapChunks bounds the number of chunks a decoded envelope may declare
+// (protects LoadEnvelope and wire decoders from hostile counts).
+const maxSnapChunks = 1 << 20
+
+// SnapEnvelope describes a chunked snapshot (paper §V-B3, Algorithm 1 line
+// 54, extended for collaborative state transfer): the number of the last
+// block the state covers, how the state bytes are split into fixed-size
+// chunks, and a SHA-256 digest per chunk. The envelope is small; the chunk
+// payloads are stored and transferred separately, so chunks fetched from
+// different replicas compose into one verified snapshot.
+type SnapEnvelope struct {
+	LastBlock  int64
+	ChunkBytes int32 // chunk payload size; the last chunk may be shorter
+	TotalBytes int64 // total state size across all chunks
+	Chunks     [][32]byte
+	// Meta carries opaque caller metadata (core stores its recovery
+	// envelope — view, watermarks, consensus position — here).
+	Meta []byte
+}
+
+// NumChunks returns the number of chunks the envelope declares.
+func (e *SnapEnvelope) NumChunks() int { return len(e.Chunks) }
+
+// ChunkLen returns the payload length of chunk i.
+func (e *SnapEnvelope) ChunkLen(i int) int {
+	if i < 0 || i >= len(e.Chunks) {
+		return 0
+	}
+	off := int64(i) * int64(e.ChunkBytes)
+	n := e.TotalBytes - off
+	if n > int64(e.ChunkBytes) {
+		n = int64(e.ChunkBytes)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// VerifyChunk reports whether data matches chunk i's declared length and
+// digest. This is the receiver-side integrity check of collaborative
+// catch-up: a chunk from any donor is accepted only if it hashes to the
+// digest the envelope quorum agreed on.
+func (e *SnapEnvelope) VerifyChunk(i int, data []byte) bool {
+	if i < 0 || i >= len(e.Chunks) || len(data) != e.ChunkLen(i) {
+		return false
+	}
+	return sha256.Sum256(data) == e.Chunks[i]
+}
+
+// Root returns a digest over the full envelope encoding (including Meta): a
+// single fingerprint that commits to the chunk digest chain.
+func (e *SnapEnvelope) Root() [32]byte {
+	return sha256.Sum256(e.Encode())
+}
+
+// Validate checks internal consistency: the chunk count must match the
+// declared total size and chunk size.
+func (e *SnapEnvelope) Validate() error {
+	if e.TotalBytes < 0 {
+		return fmt.Errorf("snapshot envelope: negative total size: %w", ErrCorrupted)
+	}
+	if e.TotalBytes == 0 {
+		if len(e.Chunks) != 0 {
+			return fmt.Errorf("snapshot envelope: chunks without payload: %w", ErrCorrupted)
+		}
+		return nil
+	}
+	if e.ChunkBytes <= 0 {
+		return fmt.Errorf("snapshot envelope: bad chunk size %d: %w", e.ChunkBytes, ErrCorrupted)
+	}
+	want := (e.TotalBytes + int64(e.ChunkBytes) - 1) / int64(e.ChunkBytes)
+	if int64(len(e.Chunks)) != want {
+		return fmt.Errorf("snapshot envelope: %d chunks, want %d: %w", len(e.Chunks), want, ErrCorrupted)
+	}
+	return nil
+}
+
+// Encode serializes the envelope with the codec wire format.
+func (e *SnapEnvelope) Encode() []byte {
+	enc := codec.NewEncoder(8 + 4 + 8 + 4 + 32*len(e.Chunks) + 4 + len(e.Meta))
+	enc.Int64(e.LastBlock)
+	enc.Int32(e.ChunkBytes)
+	enc.Int64(e.TotalBytes)
+	enc.Uint32(uint32(len(e.Chunks)))
+	for _, c := range e.Chunks {
+		enc.Bytes32(c)
+	}
+	enc.WriteBytes(e.Meta)
+	return enc.Bytes()
+}
+
+// DecodeSnapEnvelopeFrom decodes an envelope from d.
+func DecodeSnapEnvelopeFrom(d *codec.Decoder) (SnapEnvelope, error) {
+	var e SnapEnvelope
+	e.LastBlock = d.Int64()
+	e.ChunkBytes = d.Int32()
+	e.TotalBytes = d.Int64()
+	n := d.Uint32()
+	if d.Err() != nil {
+		return SnapEnvelope{}, d.Err()
+	}
+	if n > maxSnapChunks {
+		return SnapEnvelope{}, fmt.Errorf("snapshot envelope: %d chunks: %w", n, ErrCorrupted)
+	}
+	e.Chunks = make([][32]byte, n)
+	for i := range e.Chunks {
+		e.Chunks[i] = d.Bytes32()
+	}
+	e.Meta = d.ReadBytesCopy()
+	if err := d.Err(); err != nil {
+		return SnapEnvelope{}, err
+	}
+	if err := e.Validate(); err != nil {
+		return SnapEnvelope{}, err
+	}
+	return e, nil
+}
+
+// DecodeSnapEnvelope decodes a standalone envelope encoding.
+func DecodeSnapEnvelope(data []byte) (SnapEnvelope, error) {
+	d := codec.NewDecoder(data)
+	e, err := DecodeSnapEnvelopeFrom(d)
+	if err != nil {
+		return SnapEnvelope{}, err
+	}
+	if err := d.Finish(); err != nil {
+		return SnapEnvelope{}, err
+	}
+	return e, nil
+}
+
+// clone deep-copies the envelope so stores don't alias caller memory.
+func (e *SnapEnvelope) clone() SnapEnvelope {
+	out := *e
+	out.Chunks = append([][32]byte(nil), e.Chunks...)
+	out.Meta = append([]byte(nil), e.Meta...)
+	return out
+}
+
+// BuildEnvelope splits state into chunks of chunkBytes (DefaultChunkBytes
+// when 0) and returns the envelope describing it.
+func BuildEnvelope(lastBlock int64, meta, state []byte, chunkBytes int) SnapEnvelope {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	env := SnapEnvelope{
+		LastBlock:  lastBlock,
+		ChunkBytes: int32(chunkBytes),
+		TotalBytes: int64(len(state)),
+		Meta:       append([]byte(nil), meta...),
+	}
+	for off := 0; off < len(state); off += chunkBytes {
+		end := off + chunkBytes
+		if end > len(state) {
+			end = len(state)
+		}
+		env.Chunks = append(env.Chunks, sha256.Sum256(state[off:end]))
+	}
+	return env
+}
+
+// SnapshotStore persists one chunk-addressed snapshot. StoreEnvelope
+// replaces the stored snapshot's envelope and resets its chunk slots;
+// WriteChunk/ReadChunk address individual chunk payloads, so a donor can
+// serve any chunk without materializing the whole state and an installer
+// can persist chunks as they arrive from different peers.
+//
+// Crash semantics are deliberately relaxed: a save torn between
+// StoreEnvelope and the last WriteChunk loads with chunk digests that fail
+// verification, which LoadSnapshot reports as corruption and recovery
+// treats as "no snapshot" (the block log remains the durability anchor).
 type SnapshotStore interface {
-	// Save atomically replaces the stored snapshot.
-	Save(lastBlock int64, state []byte) error
-	// Load returns the most recent snapshot, or ErrNoSnapshot.
-	Load() (lastBlock int64, state []byte, err error)
+	// StoreEnvelope replaces the stored snapshot envelope and clears all
+	// chunk slots.
+	StoreEnvelope(env SnapEnvelope) error
+	// LoadEnvelope returns the stored envelope, or ErrNoSnapshot.
+	LoadEnvelope() (SnapEnvelope, error)
+	// WriteChunk stores the payload of chunk i of the current envelope.
+	WriteChunk(i int, data []byte) error
+	// ReadChunk returns the payload of chunk i of the current envelope.
+	ReadChunk(i int) ([]byte, error)
 	// Close releases resources.
 	Close() error
 }
 
+// SaveSnapshot stores a complete snapshot: envelope plus every chunk of
+// state, split at chunkBytes (DefaultChunkBytes when 0).
+func SaveSnapshot(s SnapshotStore, lastBlock int64, meta, state []byte, chunkBytes int) error {
+	env := BuildEnvelope(lastBlock, meta, state, chunkBytes)
+	if err := s.StoreEnvelope(env); err != nil {
+		return err
+	}
+	cb := int(env.ChunkBytes)
+	for i := range env.Chunks {
+		off := i * cb
+		end := off + env.ChunkLen(i)
+		if err := s.WriteChunk(i, state[off:end]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadSnapshot reads the stored snapshot, reassembles the state from its
+// chunks, and verifies every chunk digest. A digest mismatch (torn save,
+// bit rot, or tampering) is reported as ErrCorrupted.
+func LoadSnapshot(s SnapshotStore) (lastBlock int64, meta, state []byte, err error) {
+	env, err := s.LoadEnvelope()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if err := env.Validate(); err != nil {
+		return 0, nil, nil, err
+	}
+	state = make([]byte, 0, env.TotalBytes)
+	for i := range env.Chunks {
+		data, err := s.ReadChunk(i)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("snapshot chunk %d: %w", i, err)
+		}
+		if !env.VerifyChunk(i, data) {
+			return 0, nil, nil, fmt.Errorf("snapshot chunk %d digest: %w", i, ErrCorrupted)
+		}
+		state = append(state, data...)
+	}
+	return env.LastBlock, env.Meta, state, nil
+}
+
+// SaveBlob stores an opaque blob as a single-chunk snapshot. Compatibility
+// shim for callers that used the old monolithic Save (consensus key files).
+func SaveBlob(s SnapshotStore, lastBlock int64, blob []byte) error {
+	cb := len(blob)
+	if cb == 0 {
+		cb = 1
+	}
+	return SaveSnapshot(s, lastBlock, nil, blob, cb)
+}
+
+// LoadBlob reads back a blob stored with SaveBlob.
+func LoadBlob(s SnapshotStore) (int64, []byte, error) {
+	lastBlock, _, blob, err := LoadSnapshot(s)
+	return lastBlock, blob, err
+}
+
 // MemSnapshotStore keeps the snapshot in memory (used with MemLog/SimLog).
 type MemSnapshotStore struct {
-	mu        sync.Mutex
-	has       bool
-	lastBlock int64
-	state     []byte
-	// SaveDelay lets the harness model snapshot-write cost.
+	mu     sync.Mutex
+	has    bool
+	env    SnapEnvelope
+	chunks [][]byte
+	// disk, when non-nil, charges device time for writes so the harness
+	// can model snapshot cost.
 	disk *SimDisk
 }
 
@@ -42,39 +281,77 @@ func NewMemSnapshotStore(disk *SimDisk) *MemSnapshotStore {
 	return &MemSnapshotStore{disk: disk}
 }
 
-// Save implements SnapshotStore.
-func (s *MemSnapshotStore) Save(lastBlock int64, state []byte) error {
-	cp := make([]byte, len(state))
-	copy(cp, state)
+// StoreEnvelope implements SnapshotStore.
+func (s *MemSnapshotStore) StoreEnvelope(env SnapEnvelope) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
 	if s.disk != nil {
-		s.disk.Write(len(state))
+		s.disk.Write(len(env.Meta) + 32*len(env.Chunks) + 24)
 		s.disk.Sync()
 	}
 	s.mu.Lock()
 	s.has = true
-	s.lastBlock = lastBlock
-	s.state = cp
+	s.env = env.clone()
+	s.chunks = make([][]byte, env.NumChunks())
 	s.mu.Unlock()
 	return nil
 }
 
-// Load implements SnapshotStore.
-func (s *MemSnapshotStore) Load() (int64, []byte, error) {
+// LoadEnvelope implements SnapshotStore.
+func (s *MemSnapshotStore) LoadEnvelope() (SnapEnvelope, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.has {
-		return 0, nil, ErrNoSnapshot
+		return SnapEnvelope{}, ErrNoSnapshot
 	}
-	out := make([]byte, len(s.state))
-	copy(out, s.state)
-	return s.lastBlock, out, nil
+	return s.env.clone(), nil
+}
+
+// WriteChunk implements SnapshotStore.
+func (s *MemSnapshotStore) WriteChunk(i int, data []byte) error {
+	cp := append([]byte(nil), data...)
+	if s.disk != nil {
+		s.disk.Write(len(data))
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return ErrNoSnapshot
+	}
+	if i < 0 || i >= len(s.chunks) {
+		return fmt.Errorf("storage: chunk %d out of range (%d chunks)", i, len(s.chunks))
+	}
+	s.chunks[i] = cp
+	return nil
+}
+
+// ReadChunk implements SnapshotStore.
+func (s *MemSnapshotStore) ReadChunk(i int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.has {
+		return nil, ErrNoSnapshot
+	}
+	if i < 0 || i >= len(s.chunks) {
+		return nil, fmt.Errorf("storage: chunk %d out of range (%d chunks)", i, len(s.chunks))
+	}
+	if s.chunks[i] == nil {
+		return nil, fmt.Errorf("storage: chunk %d not written: %w", i, ErrCorrupted)
+	}
+	return append([]byte(nil), s.chunks[i]...), nil
 }
 
 // Close implements SnapshotStore.
 func (s *MemSnapshotStore) Close() error { return nil }
 
-// FileSnapshotStore stores the snapshot in a file, written atomically via a
-// temporary file and rename. Format: lastBlock(8) | crc32(4) | state.
+// FileSnapshotStore stores the snapshot in one file:
+//
+//	envLen(4) | envelope | chunk payloads at fixed ChunkBytes offsets
+//
+// StoreEnvelope writes the header atomically (temp + rename) and
+// pre-extends the file to its final size; WriteChunk/ReadChunk then address
+// payloads in place. A torn save fails chunk digest verification on load.
 type FileSnapshotStore struct {
 	mu   sync.Mutex
 	path string
@@ -85,14 +362,18 @@ func NewFileSnapshotStore(path string) *FileSnapshotStore {
 	return &FileSnapshotStore{path: path}
 }
 
-// Save implements SnapshotStore.
-func (s *FileSnapshotStore) Save(lastBlock int64, state []byte) error {
+// StoreEnvelope implements SnapshotStore.
+func (s *FileSnapshotStore) StoreEnvelope(env SnapEnvelope) error {
+	if err := env.Validate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	buf := make([]byte, 0, 12+len(state))
-	buf = binary.BigEndian.AppendUint64(buf, uint64(lastBlock))
-	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(state))
-	buf = append(buf, state...)
+	encoded := env.Encode()
+	header := make([]byte, 0, 4+len(encoded))
+	header = append(header,
+		byte(len(encoded)>>24), byte(len(encoded)>>16), byte(len(encoded)>>8), byte(len(encoded)))
+	header = append(header, encoded...)
 
 	dir := filepath.Dir(s.path)
 	tmp, err := os.CreateTemp(dir, ".snapshot-*")
@@ -100,15 +381,19 @@ func (s *FileSnapshotStore) Save(lastBlock int64, state []byte) error {
 		return fmt.Errorf("snapshot temp: %w", err)
 	}
 	tmpName := tmp.Name()
-	if _, err := tmp.Write(buf); err != nil {
+	fail := func(op string, err error) error {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("snapshot write: %w", err)
+		return fmt.Errorf("snapshot %s: %w", op, err)
+	}
+	if _, err := tmp.Write(header); err != nil {
+		return fail("write", err)
+	}
+	if err := tmp.Truncate(int64(len(header)) + env.TotalBytes); err != nil {
+		return fail("truncate", err)
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
-		return fmt.Errorf("snapshot sync: %w", err)
+		return fail("sync", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
@@ -121,27 +406,98 @@ func (s *FileSnapshotStore) Save(lastBlock int64, state []byte) error {
 	return nil
 }
 
-// Load implements SnapshotStore.
-func (s *FileSnapshotStore) Load() (int64, []byte, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	data, err := os.ReadFile(s.path)
+// loadEnvelopeLocked reads the header and returns the envelope plus the
+// file offset where chunk payloads begin.
+func (s *FileSnapshotStore) loadEnvelopeLocked(f *os.File) (SnapEnvelope, int64, error) {
+	var lenBuf [4]byte
+	if _, err := f.ReadAt(lenBuf[:], 0); err != nil {
+		return SnapEnvelope{}, 0, fmt.Errorf("snapshot header: %w", ErrCorrupted)
+	}
+	n := int(lenBuf[0])<<24 | int(lenBuf[1])<<16 | int(lenBuf[2])<<8 | int(lenBuf[3])
+	if n <= 0 || n > codec.MaxBytesLen {
+		return SnapEnvelope{}, 0, fmt.Errorf("snapshot header length %d: %w", n, ErrCorrupted)
+	}
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, 4); err != nil {
+		return SnapEnvelope{}, 0, fmt.Errorf("snapshot envelope: %w", ErrCorrupted)
+	}
+	env, err := DecodeSnapEnvelope(buf)
+	if err != nil {
+		return SnapEnvelope{}, 0, err
+	}
+	return env, int64(4 + n), nil
+}
+
+func (s *FileSnapshotStore) open() (*os.File, error) {
+	f, err := os.OpenFile(s.path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
-		return 0, nil, ErrNoSnapshot
+		return nil, ErrNoSnapshot
 	}
 	if err != nil {
-		return 0, nil, fmt.Errorf("snapshot read: %w", err)
+		return nil, fmt.Errorf("snapshot open: %w", err)
 	}
-	if len(data) < 12 {
-		return 0, nil, fmt.Errorf("snapshot: %w", ErrCorrupted)
+	return f, nil
+}
+
+// LoadEnvelope implements SnapshotStore.
+func (s *FileSnapshotStore) LoadEnvelope() (SnapEnvelope, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open()
+	if err != nil {
+		return SnapEnvelope{}, err
 	}
-	lastBlock := int64(binary.BigEndian.Uint64(data[0:]))
-	crc := binary.BigEndian.Uint32(data[8:])
-	state := data[12:]
-	if crc32.ChecksumIEEE(state) != crc {
-		return 0, nil, fmt.Errorf("snapshot crc: %w", ErrCorrupted)
+	defer f.Close()
+	env, _, err := s.loadEnvelopeLocked(f)
+	return env, err
+}
+
+// WriteChunk implements SnapshotStore.
+func (s *FileSnapshotStore) WriteChunk(i int, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open()
+	if err != nil {
+		return err
 	}
-	return lastBlock, state, nil
+	defer f.Close()
+	env, base, err := s.loadEnvelopeLocked(f)
+	if err != nil {
+		return err
+	}
+	if i < 0 || i >= env.NumChunks() {
+		return fmt.Errorf("storage: chunk %d out of range (%d chunks)", i, env.NumChunks())
+	}
+	if len(data) != env.ChunkLen(i) {
+		return fmt.Errorf("storage: chunk %d size %d, want %d", i, len(data), env.ChunkLen(i))
+	}
+	if _, err := f.WriteAt(data, base+int64(i)*int64(env.ChunkBytes)); err != nil {
+		return fmt.Errorf("snapshot chunk write: %w", err)
+	}
+	return f.Sync()
+}
+
+// ReadChunk implements SnapshotStore.
+func (s *FileSnapshotStore) ReadChunk(i int) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.open()
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	env, base, err := s.loadEnvelopeLocked(f)
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= env.NumChunks() {
+		return nil, fmt.Errorf("storage: chunk %d out of range (%d chunks)", i, env.NumChunks())
+	}
+	buf := make([]byte, env.ChunkLen(i))
+	if _, err := f.ReadAt(buf, base+int64(i)*int64(env.ChunkBytes)); err != nil {
+		return nil, fmt.Errorf("snapshot chunk read: %w", ErrCorrupted)
+	}
+	return buf, nil
 }
 
 // Close implements SnapshotStore.

@@ -267,26 +267,26 @@ func TestSimDiskGroupCommitAmortization(t *testing.T) {
 
 func TestMemSnapshotStore(t *testing.T) {
 	s := NewMemSnapshotStore(nil)
-	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+	if _, err := s.LoadEnvelope(); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("want ErrNoSnapshot, got %v", err)
 	}
 	state := []byte("state-at-100")
-	if err := s.Save(100, state); err != nil {
+	if err := SaveSnapshot(s, 100, []byte("meta"), state, 5); err != nil {
 		t.Fatalf("save: %v", err)
 	}
 	state[0] = 'X' // snapshot must have copied
-	blk, got, err := s.Load()
+	blk, meta, got, err := LoadSnapshot(s)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	if blk != 100 || string(got) != "state-at-100" {
-		t.Fatalf("load: block=%d state=%q", blk, got)
+	if blk != 100 || string(got) != "state-at-100" || string(meta) != "meta" {
+		t.Fatalf("load: block=%d meta=%q state=%q", blk, meta, got)
 	}
 	// Overwrite.
-	if err := s.Save(200, []byte("newer")); err != nil {
+	if err := SaveSnapshot(s, 200, nil, []byte("newer"), 0); err != nil {
 		t.Fatalf("save 2: %v", err)
 	}
-	blk, got, _ = s.Load()
+	blk, _, got, _ = LoadSnapshot(s)
 	if blk != 200 || string(got) != "newer" {
 		t.Fatalf("load 2: block=%d state=%q", blk, got)
 	}
@@ -295,13 +295,13 @@ func TestMemSnapshotStore(t *testing.T) {
 func TestFileSnapshotStore(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "snap")
 	s := NewFileSnapshotStore(path)
-	if _, _, err := s.Load(); !errors.Is(err, ErrNoSnapshot) {
+	if _, err := s.LoadEnvelope(); !errors.Is(err, ErrNoSnapshot) {
 		t.Fatalf("want ErrNoSnapshot, got %v", err)
 	}
-	if err := s.Save(7, []byte("seven")); err != nil {
+	if err := SaveSnapshot(s, 7, nil, []byte("seven"), 2); err != nil {
 		t.Fatalf("save: %v", err)
 	}
-	blk, state, err := s.Load()
+	blk, _, state, err := LoadSnapshot(s)
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
@@ -309,15 +309,127 @@ func TestFileSnapshotStore(t *testing.T) {
 		t.Fatalf("load: %d %q", blk, state)
 	}
 	// Atomic overwrite survives reopen by a second store instance.
-	if err := s.Save(9, []byte("nine")); err != nil {
+	if err := SaveSnapshot(s, 9, nil, []byte("nine"), 0); err != nil {
 		t.Fatalf("save 2: %v", err)
 	}
 	s2 := NewFileSnapshotStore(path)
-	blk, state, err = s2.Load()
+	blk, _, state, err = LoadSnapshot(s2)
 	if err != nil {
 		t.Fatalf("load from second store: %v", err)
 	}
 	if blk != 9 || string(state) != "nine" {
 		t.Fatalf("load 2: %d %q", blk, state)
+	}
+}
+
+func TestSnapshotChunkAddressing(t *testing.T) {
+	for name, s := range map[string]SnapshotStore{
+		"mem":  NewMemSnapshotStore(nil),
+		"file": NewFileSnapshotStore(filepath.Join(t.TempDir(), "snap")),
+	} {
+		state := make([]byte, 1000)
+		for i := range state {
+			state[i] = byte(i % 251) // period coprime to the chunk size
+		}
+		if err := SaveSnapshot(s, 42, []byte("m"), state, 256); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		env, err := s.LoadEnvelope()
+		if err != nil {
+			t.Fatalf("%s: envelope: %v", name, err)
+		}
+		if env.NumChunks() != 4 || env.ChunkLen(3) != 1000-3*256 {
+			t.Fatalf("%s: chunks=%d last=%d", name, env.NumChunks(), env.ChunkLen(3))
+		}
+		// Every chunk reads back individually and verifies against its digest.
+		for i := 0; i < env.NumChunks(); i++ {
+			data, err := s.ReadChunk(i)
+			if err != nil {
+				t.Fatalf("%s: read chunk %d: %v", name, i, err)
+			}
+			if !env.VerifyChunk(i, data) {
+				t.Fatalf("%s: chunk %d fails digest", name, i)
+			}
+		}
+		// Chunk verification rejects wrong-index and corrupt payloads.
+		c0, _ := s.ReadChunk(0)
+		if env.VerifyChunk(1, c0) {
+			t.Fatalf("%s: chunk 0 data verified as chunk 1", name)
+		}
+		c0[0] ^= 0xff
+		if env.VerifyChunk(0, c0) {
+			t.Fatalf("%s: corrupt chunk verified", name)
+		}
+	}
+}
+
+func TestSnapshotCorruptChunkDetected(t *testing.T) {
+	for name, s := range map[string]SnapshotStore{
+		"mem":  NewMemSnapshotStore(nil),
+		"file": NewFileSnapshotStore(filepath.Join(t.TempDir(), "snap")),
+	} {
+		state := make([]byte, 300)
+		for i := range state {
+			state[i] = byte(i)
+		}
+		if err := SaveSnapshot(s, 5, nil, state, 100); err != nil {
+			t.Fatalf("%s: save: %v", name, err)
+		}
+		// Overwrite a committed chunk in place (models bit rot or a
+		// Byzantine donor's store) — LoadSnapshot must refuse the state.
+		bad := make([]byte, 100)
+		if err := s.WriteChunk(1, bad); err != nil {
+			t.Fatalf("%s: corrupt write: %v", name, err)
+		}
+		if _, _, _, err := LoadSnapshot(s); !errors.Is(err, ErrCorrupted) {
+			t.Fatalf("%s: want ErrCorrupted, got %v", name, err)
+		}
+	}
+}
+
+func TestSnapshotTornSaveLoadsAsCorrupt(t *testing.T) {
+	s := NewMemSnapshotStore(nil)
+	env := BuildEnvelope(9, nil, []byte("abcdefgh"), 4)
+	if err := s.StoreEnvelope(env); err != nil {
+		t.Fatalf("store envelope: %v", err)
+	}
+	if err := s.WriteChunk(0, []byte("abcd")); err != nil {
+		t.Fatalf("write chunk: %v", err)
+	}
+	// Chunk 1 never arrives: the torn snapshot must not load.
+	if _, _, _, err := LoadSnapshot(s); !errors.Is(err, ErrCorrupted) {
+		t.Fatalf("want ErrCorrupted for torn save, got %v", err)
+	}
+}
+
+func TestSnapshotBlobShim(t *testing.T) {
+	s := NewMemSnapshotStore(nil)
+	if err := SaveBlob(s, 3, []byte("key-material")); err != nil {
+		t.Fatalf("save blob: %v", err)
+	}
+	blk, blob, err := LoadBlob(s)
+	if err != nil {
+		t.Fatalf("load blob: %v", err)
+	}
+	if blk != 3 || string(blob) != "key-material" {
+		t.Fatalf("blob: %d %q", blk, blob)
+	}
+}
+
+func TestSnapEnvelopeRoundTrip(t *testing.T) {
+	env := BuildEnvelope(77, []byte("meta"), make([]byte, 1024+3), 256)
+	dec, err := DecodeSnapEnvelope(env.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.LastBlock != 77 || dec.NumChunks() != 5 || dec.TotalBytes != 1027 ||
+		string(dec.Meta) != "meta" || dec.Root() != env.Root() {
+		t.Fatalf("round trip mismatch: %+v", dec)
+	}
+	// Inconsistent chunk counts are rejected at decode time.
+	bad := env
+	bad.Chunks = bad.Chunks[:3]
+	if _, err := DecodeSnapEnvelope(bad.Encode()); err == nil {
+		t.Fatal("decode accepted inconsistent chunk count")
 	}
 }

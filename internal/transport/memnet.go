@@ -21,6 +21,14 @@ type MemNetwork struct {
 	partition map[int32]int // process → partition group; 0 = default group
 	isolated  map[int32]bool
 	filter    func(Message) bool // true = drop (targeted fault injection)
+
+	// bandwidth models each sender's uplink in bytes/s (0 = infinite):
+	// messages serialize onto the sender's link, so one donor pushing a
+	// giant snapshot queues behind itself while four donors push in
+	// parallel. busyUntil tracks when each sender's uplink frees up.
+	bandwidth float64
+	bwMu      sync.Mutex
+	busyUntil map[int32]time.Time
 }
 
 // MemOption configures a MemNetwork.
@@ -40,12 +48,18 @@ func WithDropRate(p float64, seed int64) MemOption {
 	}
 }
 
+// WithBandwidth models each sender's uplink at bytesPerSec (0 = infinite).
+func WithBandwidth(bytesPerSec float64) MemOption {
+	return func(n *MemNetwork) { n.bandwidth = bytesPerSec }
+}
+
 // NewMemNetwork creates an empty in-process network.
 func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{
 		endpoints: make(map[int32]*memEndpoint),
 		partition: make(map[int32]int),
 		isolated:  make(map[int32]bool),
+		busyUntil: make(map[int32]time.Time),
 		rng:       rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
@@ -86,6 +100,13 @@ func (n *MemNetwork) Detach(id int32) {
 func (n *MemNetwork) SetLatency(d time.Duration) {
 	n.mu.Lock()
 	n.latency = d
+	n.mu.Unlock()
+}
+
+// SetBandwidth changes the per-sender uplink model at runtime (0 disables).
+func (n *MemNetwork) SetBandwidth(bytesPerSec float64) {
+	n.mu.Lock()
+	n.bandwidth = bytesPerSec
 	n.mu.Unlock()
 }
 
@@ -133,6 +154,7 @@ func (n *MemNetwork) deliver(m Message) error {
 	n.mu.RLock()
 	dst, ok := n.endpoints[m.To]
 	latency := n.latency
+	bandwidth := n.bandwidth
 	blocked := n.isolated[m.From] || n.isolated[m.To] ||
 		n.partition[m.From] != n.partition[m.To]
 	drop := n.dropRate
@@ -156,8 +178,24 @@ func (n *MemNetwork) deliver(m Message) error {
 			return nil
 		}
 	}
-	if latency > 0 {
-		time.AfterFunc(latency, func() { dst.enqueue(m) })
+	delay := latency
+	if bandwidth > 0 {
+		// Serialize the message onto the sender's uplink: it transmits only
+		// after everything the sender already queued, then propagates.
+		tx := time.Duration(float64(len(m.Payload)) / bandwidth * float64(time.Second))
+		n.bwMu.Lock()
+		now := time.Now()
+		free := n.busyUntil[m.From]
+		if free.Before(now) {
+			free = now
+		}
+		free = free.Add(tx)
+		n.busyUntil[m.From] = free
+		n.bwMu.Unlock()
+		delay = free.Sub(now) + latency
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, func() { dst.enqueue(m) })
 		return nil
 	}
 	dst.enqueue(m)

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"smartchain/internal/blockchain"
+	"smartchain/internal/catchup"
 	"smartchain/internal/client"
 	"smartchain/internal/coin"
 	"smartchain/internal/core"
@@ -147,6 +148,21 @@ type (
 	View = view.View
 	// JoinPolicy is the application-defined admission criterion.
 	JoinPolicy = reconfig.Policy
+)
+
+// Collaborative catch-up (multi-peer pipelined state transfer).
+type (
+	// CatchupStats counts what a replica's state-transfer source did:
+	// chunks and block ranges fetched, distinct donors used, reassigned
+	// requests, banned donors, and accepted-payload throughput. Returned
+	// as part of Node.Stats().
+	CatchupStats = catchup.Stats
+	// CatchupConfig tunes the collaborative pool protocol (per-peer
+	// in-flight cap, peer timeout, blocks per range request). Node-level
+	// knobs live on Config: CatchupInFlightPerPeer, CatchupChunkBytes,
+	// CatchupPeerTimeout, and LegacyStateTransfer for the single-donor
+	// baseline.
+	CatchupConfig = catchup.Config
 )
 
 // Client access.
