@@ -15,6 +15,7 @@
 //	benchrunner -exp execpar           # conflict-aware parallel execution vs sequential replay
 //	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
 //	benchrunner -exp catchup           # multi-peer pipelined state transfer vs legacy single donor
+//	benchrunner -exp chaos             # seeded fault schedule under load, invariant-gated
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
@@ -41,16 +42,19 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|catchup|verify|all")
-		clients  = flag.Int("clients", 240, "closed-loop clients")
-		measure  = flag.Duration("measure", 2*time.Second, "measured window per configuration")
-		warmup   = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
-		paper    = flag.Bool("paper", false, "paper-scale run (2400 clients, 10s windows)")
-		ssd      = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
-		windows  = flag.String("windows", "1,8", "comma-separated ordering windows W for the fig6 sweep")
-		inflight = flag.Int("inflight", 16, "per-client in-flight cap for -exp openloop")
-		catchupN = flag.Int64("catchup-blocks", 10_000, "fabricated chain length for -exp catchup (CI smoke uses 2000)")
-		jsonPath = flag.String("json", "", "write all measured rows to this JSON file")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|catchup|chaos|verify|all")
+		clients    = flag.Int("clients", 240, "closed-loop clients")
+		measure    = flag.Duration("measure", 2*time.Second, "measured window per configuration")
+		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
+		paper      = flag.Bool("paper", false, "paper-scale run (2400 clients, 10s windows)")
+		ssd        = flag.Bool("ssd", false, "use the SSD device profile instead of the paper's HDD")
+		windows    = flag.String("windows", "1,8", "comma-separated ordering windows W for the fig6 sweep")
+		inflight   = flag.Int("inflight", 16, "per-client in-flight cap for -exp openloop")
+		catchupN   = flag.Int64("catchup-blocks", 10_000, "fabricated chain length for -exp catchup (CI smoke uses 2000)")
+		chaosSeed  = flag.Int64("chaos-seed", 1, "schedule seed for -exp chaos (same seed = same fault timeline)")
+		chaosDur   = flag.Duration("chaos-duration", 15*time.Second, "fault window for -exp chaos")
+		chaosChurn = flag.Bool("chaos-churn", false, "interleave membership churn into the -exp chaos schedule")
+		jsonPath   = flag.String("json", "", "write all measured rows to this JSON file")
 	)
 	flag.Parse()
 
@@ -78,8 +82,10 @@ func main() {
 		opts.Disk = storage.SSDProfile
 	}
 
+	chaosOpts := harness.ChaosOptions{Seed: *chaosSeed, Duration: *chaosDur, Churn: *chaosChurn}
+
 	report := make(map[string]any)
-	runErr := run(*exp, opts, *paper, *inflight, *catchupN, report)
+	runErr := run(*exp, opts, *paper, *inflight, *catchupN, chaosOpts, report)
 	if *jsonPath != "" && len(report) > 0 {
 		// Persist whatever completed even when a later experiment failed:
 		// the CI artifact should carry the partial trajectory too.
@@ -122,7 +128,7 @@ func parseWindows(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupBlocks int64, report map[string]any) error {
+func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupBlocks int64, chaosOpts harness.ChaosOptions, report map[string]any) error {
 	all := exp == "all"
 	ran := false
 	if all || exp == "table1" {
@@ -346,6 +352,42 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupB
 					multi.SyncMS, legacy.SyncMS, multi.NumCPU)
 			}
 		}
+	}
+	if all || exp == "chaos" {
+		ran = true
+		fmt.Printf("== Chaos: seeded fault schedule under load (seed=%d, %s window) ==\n",
+			chaosOpts.Seed, chaosOpts.Duration)
+		rep, err := harness.Chaos(chaosOpts)
+		report["chaos"] = rep
+		if err != nil {
+			return err
+		}
+		// Goodput-under-adversity timeline with fault-event markers.
+		evIdx := 0
+		for _, s := range rep.Timeline {
+			marker := ""
+			for evIdx < len(rep.Events) && rep.Events[evIdx].T <= s.T {
+				if marker != "" {
+					marker += "; "
+				}
+				marker += fmt.Sprintf("%s %s", rep.Events[evIdx].Kind, rep.Events[evIdx].Name)
+				evIdx++
+			}
+			if marker != "" {
+				marker = "   <-- " + marker
+			}
+			fmt.Printf("  t=%6.2fs  %8.0f tx/s%s\n", s.T.Seconds(), s.TxPerSec, marker)
+		}
+		fmt.Printf("  confirmed=%d errors=%d chain-txs=%d height=%d epoch-changes=%d equivocations=%d survivors=%d\n",
+			rep.Confirmed, rep.Errors, rep.ChainTxs, rep.FinalHeight, rep.EpochChanges, rep.Equivocations, rep.Survivors)
+		// Invariant gate: any violation hard-fails the run (CI catches it).
+		if len(rep.Violations) > 0 {
+			for _, v := range rep.Violations {
+				fmt.Printf("  VIOLATION: %s\n", v)
+			}
+			return fmt.Errorf("chaos: %d invariant violation(s) on seed %d", len(rep.Violations), rep.Seed)
+		}
+		fmt.Println("  invariants: all green")
 	}
 	if all || exp == "verify" {
 		ran = true

@@ -193,13 +193,28 @@ func (p *Pool) discover(ctx context.Context, f Fetcher, peers []int32, ch chan R
 		tips []int64
 		ids  []int32
 	}
+	// Quorum alone does not end discovery: the first f+1 matching envelopes
+	// may come from the laggards (an idle stale replica answers faster than
+	// a busy live donor), and a target computed from that subset can equal
+	// our own height — two mutually-stale replicas would then certify each
+	// other as "caught up" forever. After the quorum lands, keep draining
+	// replies for a grace window (or until every asked peer answered):
+	// stragglers can only raise the need-th-largest tip, never stretch it
+	// beyond what f+1 donors claim.
 	offers := make(map[crypto.Hash]*offer)
 	responded := make(map[int32]bool)
 	var won *offer
-	for won == nil {
+	var grace <-chan time.Time
+	for won == nil || (grace != nil && len(responded) < asked) {
 		select {
 		case <-ctx.Done():
+			if won != nil {
+				grace = nil
+				continue
+			}
 			return nil, ctx.Err()
+		case <-grace:
+			grace = nil
 		case resp := <-ch:
 			if resp.Kind != KindEnvelope || resp.Envelope == nil || banned[resp.Peer] || responded[resp.Peer] {
 				continue
@@ -213,22 +228,34 @@ func (p *Pool) discover(ctx context.Context, f Fetcher, peers []int32, ch chan R
 			}
 			o.tips = append(o.tips, resp.Envelope.Tip)
 			o.ids = append(o.ids, resp.Peer)
-			if len(o.ids) >= need {
+			if won == nil && len(o.ids) >= need {
 				won = o
+				grace = time.After(p.cfg.PeerTimeout / 4)
 			}
 		}
 	}
 
 	// Target: the need-th largest tip among the winning group — at least
 	// one correct donor claims it, so it is reachable; no smaller minority
-	// can stretch it.
-	tips := append([]int64(nil), won.tips...)
-	for i := 1; i < len(tips); i++ {
-		for j := i; j > 0 && tips[j] > tips[j-1]; j-- {
-			tips[j], tips[j-1] = tips[j-1], tips[j]
+	// can stretch it. Several envelopes may have reached quorum by now
+	// (e.g. a stale quorum answered first, the live one during the grace
+	// window): take the offer whose quorum-backed tip is highest.
+	target := int64(-1)
+	for _, o := range offers {
+		if len(o.ids) < need {
+			continue
+		}
+		tips := append([]int64(nil), o.tips...)
+		for i := 1; i < len(tips); i++ {
+			for j := i; j > 0 && tips[j] > tips[j-1]; j-- {
+				tips[j], tips[j-1] = tips[j-1], tips[j]
+			}
+		}
+		if t := tips[need-1]; t > target {
+			target = t
+			won = o
 		}
 	}
-	target := tips[need-1]
 	env := won.env
 	have := f.Height()
 	if target < env.Height {

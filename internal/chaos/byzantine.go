@@ -1,0 +1,127 @@
+package chaos
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smartchain/internal/consensus"
+	"smartchain/internal/transport"
+)
+
+// ByzMode is a replica's Byzantine behaviour, flipped at runtime by
+// ByzantineAction.
+type ByzMode uint8
+
+const (
+	// ByzOff is honest operation (the zero value).
+	ByzOff ByzMode = iota
+	// ByzEquivocate forks the replica's own leader proposals: half the
+	// peers receive the real value, half an empty one. Neither fork can
+	// reach a quorum in a correctly-sized cluster, so the instance stalls
+	// until an epoch change deposes the equivocator — the safety property
+	// under test is that no decided instance is ever lost and no two
+	// survivors diverge.
+	ByzEquivocate
+	// ByzSilent withholds the replica's leader proposals entirely (a mute
+	// leader), exercising the timeout/epoch-change path without any
+	// conflicting values on the wire.
+	ByzSilent
+)
+
+func (m ByzMode) String() string {
+	switch m {
+	case ByzOff:
+		return "off"
+	case ByzEquivocate:
+		return "equivocate"
+	case ByzSilent:
+		return "silent"
+	}
+	return "?"
+}
+
+// Byzantine turns selected replicas' outbound transport hostile. Wire it in
+// with ClusterConfig.WrapEndpoint = byz.Endpoint so every node's sends pass
+// through it; modes default to ByzOff, so the wrapper is free until a
+// schedule flips a replica.
+//
+// Equivocation happens here, below consensus, because proposals are not
+// signed — their authenticity comes from the authenticated point-to-point
+// links — so only the proposer itself can fork a proposal's value per
+// destination. That is exactly the power a Byzantine leader has.
+type Byzantine struct {
+	mu    sync.Mutex
+	modes map[int32]ByzMode
+
+	equivocations atomic.Int64
+	muted         atomic.Int64
+}
+
+// NewByzantine returns a controller with every replica honest.
+func NewByzantine() *Byzantine {
+	return &Byzantine{modes: make(map[int32]ByzMode)}
+}
+
+// SetMode flips replica id's behaviour.
+func (b *Byzantine) SetMode(id int32, m ByzMode) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if m == ByzOff {
+		delete(b.modes, id)
+		return
+	}
+	b.modes[id] = m
+}
+
+// Mode reports replica id's current behaviour.
+func (b *Byzantine) Mode(id int32) ByzMode {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.modes[id]
+}
+
+// Equivocations counts proposals sent with a forked value.
+func (b *Byzantine) Equivocations() int64 { return b.equivocations.Load() }
+
+// Muted counts proposals withheld by ByzSilent replicas.
+func (b *Byzantine) Muted() int64 { return b.muted.Load() }
+
+// Endpoint wraps a node's transport endpoint; it matches the signature of
+// core.ClusterConfig.WrapEndpoint.
+func (b *Byzantine) Endpoint(id int32, ep transport.Endpoint) transport.Endpoint {
+	return &byzEndpoint{ctl: b, id: id, inner: ep}
+}
+
+type byzEndpoint struct {
+	ctl   *Byzantine
+	id    int32
+	inner transport.Endpoint
+}
+
+func (e *byzEndpoint) ID() int32 { return e.inner.ID() }
+
+func (e *byzEndpoint) Send(to int32, typ uint16, payload []byte) error {
+	if typ == consensus.MsgPropose {
+		switch e.ctl.Mode(e.id) {
+		case ByzSilent:
+			e.ctl.muted.Add(1)
+			return nil // withheld: the peers time out and change epoch
+		case ByzEquivocate:
+			// Fork by destination parity: odd ids get an empty value. With
+			// N >= 4 neither side of the split is a quorum, so the fork can
+			// stall the instance but never split the decision.
+			if to%2 == 1 {
+				forked, err := consensus.ForkProposalValue(payload, nil)
+				if err == nil {
+					e.ctl.equivocations.Add(1)
+					return e.inner.Send(to, typ, forked)
+				}
+			}
+		}
+	}
+	return e.inner.Send(to, typ, payload)
+}
+
+func (e *byzEndpoint) Receive() <-chan transport.Message { return e.inner.Receive() }
+
+func (e *byzEndpoint) Close() error { return e.inner.Close() }

@@ -1,0 +1,128 @@
+package chaos
+
+import (
+	"math/rand"
+	"time"
+
+	"smartchain/internal/transport"
+)
+
+// GenConfig shapes the seeded schedule generator.
+type GenConfig struct {
+	// Duration is the fault window; the generator spreads its palette
+	// across it and leaves slack at both ends for warm-up and drain.
+	Duration time.Duration
+	// Replicas are the ids running at schedule start.
+	Replicas []int32
+	// MaxFaulty caps concurrent crash-style faults (default 1: stay within
+	// f for N=4 so liveness is always recoverable).
+	MaxFaulty int
+	// Churn interleaves joins and leaves of fresh replica ids on top of
+	// the fault track.
+	Churn bool
+	// ChurnEvery is the churn cadence (default 3 s).
+	ChurnEvery time.Duration
+	// NextJoinID is the first id handed to generated joins (default
+	// max(Replicas)+1).
+	NextJoinID int32
+}
+
+// Generate derives a fault schedule deterministically from seed: the same
+// (cfg, seed) pair always yields the same schedule, so any chaos run can be
+// replayed bit-for-bit from the seed its report records. Every fault kind
+// in the palette appears exactly once — equivocating leader included — in a
+// seeded order with seeded timing, serialized so at most one "heavy" fault
+// (crash, partition, equivocation) is active at a time.
+func Generate(cfg GenConfig, seed int64) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	if cfg.Duration <= 0 {
+		cfg.Duration = 15 * time.Second
+	}
+	if cfg.MaxFaulty <= 0 {
+		cfg.MaxFaulty = 1
+	}
+	if len(cfg.Replicas) == 0 {
+		cfg.Replicas = []int32{0, 1, 2, 3}
+	}
+	nextJoin := cfg.NextJoinID
+	for _, id := range cfg.Replicas {
+		if id >= nextJoin {
+			nextJoin = id + 1
+		}
+	}
+
+	pick := func() int32 { return cfg.Replicas[rng.Intn(len(cfg.Replicas))] }
+	nonLeaderPick := func() int32 {
+		// Avoid id 0: the initial leader is regency%n = 0, and the palette
+		// already has a dedicated leader-targeted fault.
+		return cfg.Replicas[1+rng.Intn(len(cfg.Replicas)-1)]
+	}
+
+	// The palette: one builder per fault kind. Each gets one slot of the
+	// window; the seeded shuffle decides the order, the seeded jitter the
+	// exact offsets and durations.
+	palette := []func() Action{
+		func() Action { return &ByzantineAction{TargetLeader: true, Mode: ByzEquivocate} },
+		func() Action { return &PartitionAction{Groups: [][]int32{{nonLeaderPick()}}} },
+		func() Action { return &CrashAction{ID: nonLeaderPick()} },
+		func() Action {
+			victim := nonLeaderPick()
+			others := make([]int32, 0, len(cfg.Replicas)-1)
+			for _, id := range cfg.Replicas {
+				if id != victim {
+					others = append(others, id)
+				}
+			}
+			return &OneWayAction{From: others, To: []int32{victim}}
+		},
+		func() Action { return &LossAction{Rate: 0.15 + 0.2*rng.Float64(), Seed: rng.Int63()} },
+		func() Action {
+			return &DelayAction{
+				From: transport.AnyProcess, To: pick(),
+				Dist: transport.DelayDist{
+					Base:   time.Duration(5+rng.Intn(20)) * time.Millisecond,
+					Jitter: time.Duration(2+rng.Intn(8)) * time.Millisecond,
+					Kind:   transport.JitterNormal,
+				},
+			}
+		},
+	}
+	rng.Shuffle(len(palette), func(i, j int) { palette[i], palette[j] = palette[j], palette[i] })
+
+	var steps []Step
+	slot := cfg.Duration / time.Duration(len(palette))
+	for i, build := range palette {
+		// Each fault lives inside its own slot: applied somewhere in the
+		// first fifth, cleared with 30-80% of the slot held, so faults never
+		// overlap (>= MaxFaulty heavy faults at once would stall N=4 for
+		// good) and every fault has quiet time after it clears for the
+		// recovery-budget check.
+		at := time.Duration(i)*slot + time.Duration(rng.Int63n(int64(slot/5)+1))
+		dur := time.Duration(float64(slot) * (0.3 + 0.5*rng.Float64()))
+		if at+dur > time.Duration(i+1)*slot {
+			dur = time.Duration(i+1)*slot - at
+		}
+		steps = append(steps, Step{At: at, Dur: dur, Action: build()})
+	}
+
+	if cfg.Churn {
+		every := cfg.ChurnEvery
+		if every <= 0 {
+			every = 3 * time.Second
+		}
+		join := true
+		var last int32
+		for at := every; at < cfg.Duration; at += every {
+			if join {
+				steps = append(steps, Step{At: at, Action: &JoinAction{ID: nextJoin}})
+				last = nextJoin
+				nextJoin++
+			} else {
+				steps = append(steps, Step{At: at, Action: &LeaveAction{ID: last}})
+			}
+			join = !join
+		}
+	}
+
+	return Schedule{Seed: seed, Steps: steps}
+}

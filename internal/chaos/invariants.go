@@ -1,0 +1,227 @@
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Budgets bound how much adversity is allowed to hurt. Zero fields take the
+// defaults noted on each.
+type Budgets struct {
+	// MaxStall is the longest tolerated zero-goodput run once traffic has
+	// started flowing: goodput may dip under faults, but a flatline longer
+	// than this is a liveness violation (default 10 s).
+	MaxStall time.Duration
+	// RecoveryBudget bounds how long after a fault clears the system may
+	// take to confirm new work (default 8 s).
+	RecoveryBudget time.Duration
+	// SettleTimeout bounds post-schedule convergence — all survivors at
+	// the same height with identical state (default 30 s). Enforced by the
+	// harness, recorded here so reports carry the full contract.
+	SettleTimeout time.Duration
+}
+
+func (b Budgets) maxStall() time.Duration {
+	if b.MaxStall > 0 {
+		return b.MaxStall
+	}
+	return 10 * time.Second
+}
+
+func (b Budgets) recoveryBudget() time.Duration {
+	if b.RecoveryBudget > 0 {
+		return b.RecoveryBudget
+	}
+	return 8 * time.Second
+}
+
+// RecoveryDeadline returns the recovery budget with its default applied.
+func (b Budgets) RecoveryDeadline() time.Duration { return b.recoveryBudget() }
+
+// SettleBudget returns the convergence deadline with its default applied.
+func (b Budgets) SettleBudget() time.Duration {
+	if b.SettleTimeout > 0 {
+		return b.SettleTimeout
+	}
+	return 30 * time.Second
+}
+
+// Sample is one goodput observation: confirmed-operation throughput over
+// the interval ending at offset T.
+type Sample struct {
+	T        time.Duration
+	TxPerSec float64
+}
+
+// Checker samples client goodput on a fixed cadence and, after the run,
+// judges the timeline plus the fault events against the budgets. It owns
+// the liveness side of the invariant contract; the safety side (no decided
+// instance lost, bit-identical survivor state, chain verification) needs
+// cluster access and lives in the harness.
+type Checker struct {
+	confirmed func() int64
+	interval  time.Duration
+
+	mu      sync.Mutex
+	samples []Sample
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewChecker samples the confirmed-operation counter every interval
+// (default 250 ms).
+func NewChecker(confirmed func() int64, interval time.Duration) *Checker {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	return &Checker{confirmed: confirmed, interval: interval}
+}
+
+// Start begins sampling. Call StopSampling before reading the timeline.
+func (c *Checker) Start() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stop != nil {
+		return
+	}
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.run(c.stop, c.done, time.Now())
+}
+
+func (c *Checker) run(stop, done chan struct{}, start time.Time) {
+	defer close(done)
+	tick := time.NewTicker(c.interval)
+	defer tick.Stop()
+	last := c.confirmed()
+	lastT := start
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-tick.C:
+			cur := c.confirmed()
+			dt := now.Sub(lastT).Seconds()
+			var rate float64
+			if dt > 0 {
+				rate = float64(cur-last) / dt
+			}
+			c.mu.Lock()
+			c.samples = append(c.samples, Sample{T: now.Sub(start), TxPerSec: rate})
+			c.mu.Unlock()
+			last, lastT = cur, now
+		}
+	}
+}
+
+// StopSampling halts the sampler and waits for it to exit.
+func (c *Checker) StopSampling() {
+	c.mu.Lock()
+	stop, done := c.stop, c.done
+	c.stop = nil
+	c.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// Timeline returns the goodput samples collected so far.
+func (c *Checker) Timeline() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Sample, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// Analyze judges the run: the goodput timeline against the flatline budget,
+// each fault clearance against the recovery budget, and every EventError as
+// a violation in its own right. It returns human-readable violations, empty
+// when the run honoured the contract.
+func (c *Checker) Analyze(events []Event, b Budgets) []string {
+	var violations []string
+	samples := c.Timeline()
+
+	// EventError entries are violations outright: a join that never
+	// committed or a recover that failed means the cluster lost capacity
+	// the schedule intended it to keep.
+	for _, ev := range events {
+		if ev.Kind == EventError {
+			violations = append(violations, fmt.Sprintf("action %s failed at t=%.2fs: %s", ev.Name, ev.T.Seconds(), ev.Err))
+		}
+	}
+
+	// Flatline: after goodput first flows, no zero-run may exceed
+	// MaxStall. Trailing zeros are judged too — a run that dies at the end
+	// and stays dead is precisely the failure this catches.
+	firstFlow := -1
+	for i, s := range samples {
+		if s.TxPerSec > 0 {
+			firstFlow = i
+			break
+		}
+	}
+	if firstFlow < 0 {
+		if len(samples) > 0 {
+			violations = append(violations, "goodput never rose above zero for the entire run")
+		}
+	} else {
+		stallStart := time.Duration(-1)
+		worst, worstAt := time.Duration(0), time.Duration(0)
+		note := func(end time.Duration) {
+			if stallStart >= 0 && end-stallStart > worst {
+				worst, worstAt = end-stallStart, stallStart
+			}
+		}
+		for _, s := range samples[firstFlow:] {
+			if s.TxPerSec == 0 {
+				if stallStart < 0 {
+					stallStart = s.T
+				}
+			} else {
+				note(s.T)
+				stallStart = -1
+			}
+		}
+		if len(samples) > 0 {
+			note(samples[len(samples)-1].T)
+		}
+		if worst > b.maxStall() {
+			violations = append(violations, fmt.Sprintf("goodput flatlined for %.2fs starting at t=%.2fs (budget %.2fs)", worst.Seconds(), worstAt.Seconds(), b.maxStall().Seconds()))
+		}
+	}
+
+	// Recovery: after each fault clears, confirmed work must flow again
+	// within the budget. Only judged when the timeline extends past the
+	// deadline — a clear right at the end of sampling is not a verdict.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	for _, ev := range events {
+		if ev.Kind != EventClear {
+			continue
+		}
+		deadline := ev.T + b.recoveryBudget()
+		recovered, judgeable := false, false
+		for _, s := range samples {
+			if s.T <= ev.T {
+				continue
+			}
+			if s.T <= deadline && s.TxPerSec > 0 {
+				recovered = true
+				break
+			}
+			if s.T > deadline {
+				judgeable = true
+				break
+			}
+		}
+		if judgeable && !recovered {
+			violations = append(violations, fmt.Sprintf("no confirmed ops within %.2fs after %s cleared at t=%.2fs", b.recoveryBudget().Seconds(), ev.Name, ev.T.Seconds()))
+		}
+	}
+
+	return violations
+}

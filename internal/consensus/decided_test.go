@@ -1,0 +1,137 @@
+package consensus
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"smartchain/internal/crypto"
+	"smartchain/internal/transport"
+)
+
+// fabricateDecided builds a decidedMsg whose proof is signed by the given
+// replicas of the harness view — the same fabrication the primed-chain
+// harness uses, so the certificate verifies like a live one.
+func fabricateDecided(h *harness, instance, epoch int64, value []byte, signers []int) decidedMsg {
+	digest := crypto.HashBytes(value)
+	proof := crypto.Certificate{Digest: digest}
+	for _, i := range signers {
+		sig, err := SignAccept(h.keys[i], instance, epoch, digest)
+		if err != nil {
+			h.t.Fatalf("sign accept: %v", err)
+		}
+		proof.Add(crypto.Signature{Signer: int32(i), Sig: sig})
+	}
+	return decidedMsg{Instance: instance, Epoch: epoch, Value: value, Proof: proof}
+}
+
+func TestDecidedMsgEncodingRoundTrips(t *testing.T) {
+	key := crypto.SeededKeyPair("dec-enc", 1)
+	value := []byte("decided-value")
+	digest := crypto.HashBytes(value)
+	sig, err := SignAccept(key, 9, 2, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm := decidedMsg{Instance: 9, Epoch: 2, Value: value,
+		Proof: crypto.Certificate{Digest: digest, Sigs: []crypto.Signature{{Signer: 1, Sig: sig}}}}
+	got, err := decodeDecided(dm.encode())
+	if err != nil {
+		t.Fatalf("decided: %v", err)
+	}
+	if got.Instance != 9 || got.Epoch != 2 || !bytes.Equal(got.Value, value) ||
+		got.Proof.Digest != digest || got.Proof.Count() != 1 {
+		t.Fatalf("decided round trip: %+v", got)
+	}
+	// Truncations must fail, not panic.
+	enc := dm.encode()
+	for cut := 1; cut < len(enc); cut += 5 {
+		_, _ = decodeDecided(enc[:cut])
+	}
+}
+
+// TestDecidedCertificateUnblocksReplica feeds a replica — alone on an
+// undecided instance, no quorum reachable — a retransmitted decision
+// certificate. An invalid proof must change nothing; the valid one must
+// decide the instance with the certified value, exactly as an ACCEPT quorum
+// would have.
+func TestDecidedCertificateUnblocksReplica(t *testing.T) {
+	h := newHarness(t, 4, 5*time.Second, nil)
+	eng := h.engines[1] // follower: starting alone can never reach a quorum
+	eng.StartInstance(0, nil)
+
+	value := []byte("certified")
+	// Sub-quorum proof (2 of 4, need 3): must be ignored.
+	weak := fabricateDecided(h, 0, 0, value, []int{0, 2})
+	eng.HandleMessage(transport.Message{From: 2, To: 1, Type: MsgDecided, Payload: weak.encode()})
+	// Proof quorate but for a different value than it signs: must be ignored.
+	forged := fabricateDecided(h, 0, 0, []byte("other"), []int{0, 2, 3})
+	forged.Value = value
+	eng.HandleMessage(transport.Message{From: 2, To: 1, Type: MsgDecided, Payload: forged.encode()})
+	select {
+	case d := <-eng.Decisions():
+		t.Fatalf("replica decided %d from an invalid certificate", d.Instance)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	good := fabricateDecided(h, 0, 0, value, []int{0, 2, 3})
+	eng.HandleMessage(transport.Message{From: 2, To: 1, Type: MsgDecided, Payload: good.encode()})
+	select {
+	case d := <-eng.Decisions():
+		if d.Instance != 0 || !bytes.Equal(d.Value, value) {
+			t.Fatalf("decided (%d, %q), want (0, %q)", d.Instance, d.Value, value)
+		}
+		if err := VerifyDecisionProof(h.view, 0, d.Epoch, crypto.HashBytes(d.Value), &d.Proof, 3); err != nil {
+			t.Fatalf("emitted decision proof does not verify: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("replica never adopted the decision certificate")
+	}
+}
+
+// TestSubFloorTrafficTriggersDecidedRetransmit settles an instance on the
+// whole view, then replays one replica's stale WRITE for it: the receiver —
+// whose floor has moved past the instance — must answer with the retained
+// decision certificate instead of dropping the vote silently.
+func TestSubFloorTrafficTriggersDecidedRetransmit(t *testing.T) {
+	h := newHarness(t, 4, time.Second, nil)
+	value := []byte("settled")
+	h.decideAll(0, value, nil)
+
+	// Stop replica 3's pump so the retransmission stays readable on its
+	// endpoint instead of being consumed by its engine.
+	close(h.stops[3])
+	h.stops[3] = make(chan struct{})
+	time.Sleep(20 * time.Millisecond)
+
+	digest := crypto.HashBytes(value)
+	sig := h.keys[3].MustSign(ctxWrite, voteMessage(0, 0, digest))
+	stale := voteMsg{Instance: 0, Epoch: 0, Digest: digest, Voter: 3, Sig: sig}
+	h.engines[0].HandleMessage(transport.Message{From: 3, To: 0, Type: MsgWrite, Payload: stale.encode()})
+
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m, ok := <-h.eps[3].Receive():
+			if !ok {
+				t.Fatal("endpoint closed before the retransmission arrived")
+			}
+			if m.Type != MsgDecided {
+				continue // late vote traffic from the settled round
+			}
+			dm, err := decodeDecided(m.Payload)
+			if err != nil {
+				t.Fatalf("decode retransmitted certificate: %v", err)
+			}
+			if dm.Instance != 0 || !bytes.Equal(dm.Value, value) {
+				t.Fatalf("retransmitted (%d, %q), want (0, %q)", dm.Instance, dm.Value, value)
+			}
+			if err := VerifyDecisionProof(h.view, 0, dm.Epoch, crypto.HashBytes(dm.Value), &dm.Proof, 3); err != nil {
+				t.Fatalf("retransmitted proof does not verify: %v", err)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no MsgDecided retransmission for sub-floor traffic")
+		}
+	}
+}

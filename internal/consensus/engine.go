@@ -159,6 +159,13 @@ const maxEpochSkew = 64
 // SYNC and drive every correct replica into allocating state up to it.
 const futureWindow = 64
 
+// decidedTailLen is how many settled decisions (value + proof) each replica
+// retains below its floor for certificate retransmission. A peer lagging
+// further behind than this has blocks to fetch and re-synchronizes through
+// state transfer; the tail only needs to span the ordering window plus
+// scheduling slack.
+const decidedTailLen = 64
+
 // New creates an engine. Start must be called to run it.
 func New(cfg Config) *Engine {
 	if cfg.Timeout <= 0 {
@@ -294,8 +301,25 @@ func (e *Engine) loop() {
 		// certificate directly instead of idling until the next epoch
 		// change.
 		lastSync *epochSyncMsg
+		// myStop retains this replica's own EPOCH-STOP vote for the
+		// installed regency (the live votes are GC'd on install). It exists
+		// for one deadlock: a quorum campaigns because the NEXT leader is
+		// unreachable, installs the regency, and then waits for a SYNC from
+		// a leader that never heard the campaign. When that leader heals and
+		// campaigns for the already-installed epoch, nobody can send it a
+		// SYNC (only the missing leader could have built one) — re-sending
+		// our retained vote lets it assemble the stop quorum it missed,
+		// install, and lead.
+		myStop *epochStopMsg
 		// resyncAt rate-limits those re-sends per campaigner.
 		resyncAt = make(map[int32]time.Time)
+		// decidedTail retains recently settled decisions a little past the
+		// floor, so consensus traffic arriving for a sub-floor instance can
+		// be answered with the decision certificate itself (MsgDecided). See
+		// decidedMsg for why no other mechanism closes that gap.
+		decidedTail = make(map[int64]*decidedMsg)
+		// decidedSentAt rate-limits certificate retransmissions per peer.
+		decidedSentAt = make(map[int32]time.Time)
 	)
 	defer func() {
 		for _, t := range timers {
@@ -339,10 +363,21 @@ func (e *Engine) loop() {
 		return lo, found
 	}
 
+	// pruneDecidedTail drops retained decision certificates that have
+	// fallen decidedTailLen behind the floor.
+	pruneDecidedTail := func() {
+		for k := range decidedTail {
+			if k < floor-decidedTailLen {
+				delete(decidedTail, k)
+			}
+		}
+	}
+
 	// gcSettled slides the floor past every decided instance at the front
 	// of the window, releasing its state. Late messages for those
 	// instances are dropped (their quorums already formed everywhere that
-	// matters; stragglers catch up via state transfer).
+	// matters; stragglers either re-fetch the decision certificate from
+	// the retained tail or catch up via state transfer).
 	gcSettled := func() {
 		f := floor
 		for f <= maxStarted {
@@ -361,6 +396,7 @@ func (e *Engine) loop() {
 			disarmTimer(i)
 		}
 		floor = f
+		pruneDecidedTail()
 	}
 
 	advanceTo := func(i int64) {
@@ -387,6 +423,7 @@ func (e *Engine) loop() {
 		if maxStarted < i-1 {
 			maxStarted = i - 1
 		}
+		pruneDecidedTail()
 	}
 
 	st := func(i int64) *instState {
@@ -457,6 +494,7 @@ func (e *Engine) loop() {
 			}
 			s.decidedEpoch = s.epoch
 			s.decisionProof = &proof
+			decidedTail[i] = &decidedMsg{Instance: i, Epoch: s.epoch, Value: s.proposal, Proof: proof}
 			dec := Decision{Instance: i, Epoch: s.epoch, Value: s.proposal, Proof: proof}
 			disarmTimer(i)
 			select {
@@ -530,7 +568,12 @@ func (e *Engine) loop() {
 		s.sentAccept = false
 		s.proposal = nil
 		s.digest = crypto.ZeroHash
-		s.timeout *= 2 // back off: the network may still be asynchronous
+		// Back off: the network may still be asynchronous. Capped, or a
+		// slot surviving several changes (each fault in a bursty run adds
+		// one) ends up re-campaigning on a horizon longer than any outage.
+		if s.timeout < 4*e.cfg.Timeout {
+			s.timeout *= 2
+		}
 		armTimer(i, next)
 
 		if e.cfg.View.Leader(next) != e.cfg.Self {
@@ -590,6 +633,10 @@ func (e *Engine) loop() {
 		if next <= regency {
 			return
 		}
+		if sm, voted := epochStops[next][e.cfg.Self]; voted {
+			retained := sm
+			myStop = &retained
+		}
 		regency = next
 		e.regency.Store(next)
 		e.syncRounds.Add(1)
@@ -605,7 +652,9 @@ func (e *Engine) loop() {
 			s.sentAccept = false
 			s.proposal = nil
 			s.digest = crypto.ZeroHash
-			s.timeout *= 2 // back off: the network may still be asynchronous
+			if s.timeout < 4*e.cfg.Timeout { // capped backoff, as in enterEpoch
+				s.timeout *= 2
+			}
 			armTimer(i, next)
 		}
 		for ep := range epochStops {
@@ -782,6 +831,33 @@ func (e *Engine) loop() {
 	// single Byzantine member could park verified stops for arbitrarily
 	// many future epochs in memory (they are only GC'd when the regency
 	// passes them).
+	// offerDecidedTail retransmits retained decision certificates for
+	// [from, floor) to one peer whose commit floor is behind ours. The
+	// trigger is an EPOCH-STOP carrying a low Floor: a replica stuck below
+	// the quorum's floor stops sending per-instance traffic — installRegency
+	// cleared its gap slots' proposals and the SYNC re-proposes only slots
+	// at or above the leader's floor — so its campaigns are the only signal
+	// left. When the gap instances held empty batches, no other mechanism
+	// can hand it the decisions (state transfer ships blocks, and our
+	// epoch-change claims below the floor are garbage-collected). One burst
+	// closes the whole gap: the receiver verifies each certificate and
+	// decides in place. Rate-limited per peer.
+	offerDecidedTail := func(to int32, from int64) {
+		if from >= floor || time.Since(decidedSentAt[to]) < e.cfg.Timeout/2 {
+			return
+		}
+		sent := 0
+		for i := from; i < floor && sent < decidedTailLen; i++ {
+			if dm, ok := decidedTail[i]; ok {
+				e.cfg.Send(to, MsgDecided, dm.encode())
+				sent++
+			}
+		}
+		if sent > 0 {
+			decidedSentAt[to] = time.Now()
+		}
+	}
+
 	onEpochStop := func(m transport.Message) {
 		sm, err := decodeEpochStop(m.Payload)
 		if err != nil || sm.Voter != m.From || !e.cfg.View.Contains(sm.Voter) {
@@ -805,6 +881,30 @@ func (e *Engine) loop() {
 					e.cfg.Send(sm.Voter, MsgEpochSync, lastSync.encode())
 				}
 			}
+			// The stale campaigner IS the installed regency's leader: it
+			// missed its own election (the quorum campaigned precisely
+			// because it was unreachable), no SYNC for this regency exists
+			// anywhere, and without help the view waits out a full backoff
+			// while the leader's own campaigns are dismissed as stale — a
+			// standing deadlock. Re-send our retained EPOCH-STOP vote so it
+			// can assemble the quorum it missed and lead. Rate-limited per
+			// campaigner; the vote is the original signed message, so the
+			// receiver verifies it like any other.
+			if sm.NextEpoch == regency && sm.Voter == e.cfg.View.Leader(regency) &&
+				myStop != nil && myStop.NextEpoch == regency &&
+				time.Since(resyncAt[sm.Voter]) >= e.cfg.Timeout/2 {
+				if sm.verify(e.cfg.View, e.quorum) == nil {
+					resyncAt[sm.Voter] = time.Now()
+					e.cfg.Send(sm.Voter, MsgEpochStop, myStop.encode())
+				}
+			}
+			// A stale campaigner whose floor is behind ours is stuck on
+			// instances we settled: offer the retained certificates
+			// (signature-verified first, like the branches above).
+			if sm.Floor < floor && time.Since(decidedSentAt[sm.Voter]) >= e.cfg.Timeout/2 &&
+				sm.verify(e.cfg.View, e.quorum) == nil {
+				offerDecidedTail(sm.Voter, sm.Floor)
+			}
 			return
 		}
 		if sm.NextEpoch > regency+maxEpochSkew {
@@ -820,6 +920,7 @@ func (e *Engine) loop() {
 			epochStops[sm.NextEpoch] = make(map[int32]epochStopMsg)
 		}
 		epochStops[sm.NextEpoch][sm.Voter] = sm
+		offerDecidedTail(sm.Voter, sm.Floor) // close a campaigner's floor gap
 		if len(epochStops[sm.NextEpoch]) >= e.cfg.View.F()+1 {
 			startEpochChange(sm.NextEpoch) // join the campaign
 		}
@@ -865,6 +966,38 @@ func (e *Engine) loop() {
 		}
 	}
 
+	// onDecided adopts a retransmitted decision certificate: verify the
+	// quorum proof and decide in place, exactly as an ACCEPT quorum would.
+	// This is the only path that can close an empty-instance floor gap —
+	// the decided slots produced no blocks, so state transfer sees nothing
+	// to ship, and peers past the slots carry no epoch-change claims for
+	// them.
+	onDecided := func(m transport.Message, s *instState, inst int64) {
+		dm, err := decodeDecided(m.Payload)
+		if err != nil || dm.Instance != inst || s.decided {
+			return
+		}
+		if dm.Value == nil {
+			dm.Value = []byte{}
+		}
+		digest := crypto.HashBytes(dm.Value)
+		if VerifyDecisionProof(e.cfg.View, inst, dm.Epoch, digest, &dm.Proof, e.quorum) != nil {
+			return
+		}
+		s.proposal = dm.Value
+		s.digest = digest
+		s.decided = true
+		s.decidedEpoch = dm.Epoch
+		s.decisionProof = &dm.Proof
+		decidedTail[inst] = &dm
+		dec := Decision{Instance: inst, Epoch: dm.Epoch, Value: dm.Value, Proof: dm.Proof}
+		disarmTimer(inst)
+		select {
+		case e.decisions <- dec:
+		case <-e.stop:
+		}
+	}
+
 	handleMsg := func(m transport.Message) {
 		switch m.Type {
 		case MsgEpochStop:
@@ -887,7 +1020,18 @@ func (e *Engine) loop() {
 			return
 		}
 		if inst < floor {
-			return // stale: settled long ago
+			// Settled long ago. Consensus traffic this far behind means the
+			// sender is stuck on an instance whose quorum dissolved here; if
+			// the retained tail still covers it, answer with the decision
+			// certificate so the sender can decide in place (rate-limited
+			// per peer — one certificate unblocks the whole pipeline).
+			if m.Type == MsgPropose || m.Type == MsgWrite || m.Type == MsgAccept {
+				if dm, ok := decidedTail[inst]; ok && time.Since(decidedSentAt[m.From]) >= e.cfg.Timeout/4 {
+					decidedSentAt[m.From] = time.Now()
+					e.cfg.Send(m.From, MsgDecided, dm.encode())
+				}
+			}
+			return
 		}
 		if inst > maxStarted {
 			// Future instance: buffer within a bounded window ahead of the
@@ -908,6 +1052,8 @@ func (e *Engine) loop() {
 			e.onWrite(m, s, inst, maybeProgress, echoVotes)
 		case MsgAccept:
 			e.onAccept(m, s, inst, maybeProgress)
+		case MsgDecided:
+			onDecided(m, s, inst)
 		case MsgStop:
 			e.onStop(m, s, inst, startSync, enterEpoch)
 		}
@@ -1024,7 +1170,7 @@ func (e *Engine) loop() {
 // message without a full decode.
 func peekInstance(m transport.Message) (int64, bool) {
 	switch m.Type {
-	case MsgPropose, MsgWrite, MsgAccept:
+	case MsgPropose, MsgWrite, MsgAccept, MsgDecided:
 		if len(m.Payload) < 8 {
 			return 0, false
 		}

@@ -283,7 +283,7 @@ func TestEpochSyncSettledVotersCannotAttestUnlocked(t *testing.T) {
 func TestStaleCampaignerReceivesSyncResend(t *testing.T) {
 	h := newHarness(t, 4, 200*time.Millisecond, nil)
 	// One-way partition: engine 3 sends, but receives nothing.
-	h.net.SetFilter(func(m transport.Message) bool { return m.To == 3 })
+	deaf3 := h.net.AddFilter(func(m transport.Message) bool { return m.To == 3 })
 	h.kill(0)
 	const W = 4
 	for inst := int64(1); inst <= W; inst++ {
@@ -310,7 +310,7 @@ func TestStaleCampaignerReceivesSyncResend(t *testing.T) {
 	// Heal: 3's re-broadcast stale campaign must pull the retained SYNC
 	// certificate from the regency-1 leader and the window must decide on
 	// every live engine (nothing can decide without 3's votes).
-	h.net.SetFilter(nil)
+	h.net.RemoveFilter(deaf3)
 	for i := 1; i <= 3; i++ {
 		decisions := collectWindow(t, fmt.Sprintf("replica %d", i), h.engines[i], W)
 		for inst := int64(1); inst <= W; inst++ {

@@ -25,6 +25,7 @@ const (
 	MsgStop
 	MsgEpochStop // regency-wide synchronization vote with per-slot claims
 	MsgEpochSync // new leader's certificate + whole-window re-proposal
+	MsgDecided   // decision-certificate retransmission for settled instances
 )
 
 // Signature domain-separation contexts.
@@ -144,6 +145,65 @@ func decodePropose(data []byte) (proposeMsg, error) {
 	}
 	if err := d.Finish(); err != nil {
 		return proposeMsg{}, fmt.Errorf("decode propose: %w", err)
+	}
+	return m, nil
+}
+
+// ForkProposalValue re-encodes a leader PROPOSE with a different value,
+// keeping instance, epoch, and justification intact. Proposals carry no
+// leader signature — their authenticity rests on the authenticated link —
+// so only the leader itself can equivocate, which is exactly what the
+// chaos subsystem's Byzantine engine wrapper models: the same (instance,
+// epoch) proposed with different values to different peers. Quorum
+// intersection makes such a split undecidable, forcing the correct
+// replicas through an epoch change instead of diverging.
+func ForkProposalValue(payload, value []byte) ([]byte, error) {
+	pm, err := decodePropose(payload)
+	if err != nil {
+		return nil, err
+	}
+	pm.Value = value
+	return pm.encode(), nil
+}
+
+// decidedMsg retransmits a settled decision — the value plus its quorum
+// decision proof — to a replica still campaigning for an instance its peers
+// decided and garbage-collected long ago. It closes the one gap neither
+// state transfer nor the epoch-change protocol can: when the decided
+// instances carried empty batches, every replica sits at the same block
+// height (nothing to ship) and the settled replicas' EPOCH-STOPs carry no
+// claims below their floor (the state is gone), so a replica behind the
+// quorum's floor would otherwise wait forever. The certificate is
+// self-certifying, so the receiver decides in place.
+type decidedMsg struct {
+	Instance int64
+	Epoch    int64 // epoch the decision proof was formed in
+	Value    []byte
+	Proof    crypto.Certificate
+}
+
+func (m *decidedMsg) encode() []byte {
+	e := codec.NewEncoder(128 + len(m.Value))
+	e.Int64(m.Instance)
+	e.Int64(m.Epoch)
+	e.WriteBytes(m.Value)
+	m.Proof.EncodeInto(e)
+	return e.Bytes()
+}
+
+func decodeDecided(data []byte) (decidedMsg, error) {
+	d := codec.NewDecoder(data)
+	var m decidedMsg
+	m.Instance = d.Int64()
+	m.Epoch = d.Int64()
+	m.Value = d.ReadBytesCopy()
+	proof, err := crypto.DecodeCertificateFrom(d)
+	if err != nil {
+		return decidedMsg{}, fmt.Errorf("decode decided: %w", err)
+	}
+	m.Proof = proof
+	if err := d.Finish(); err != nil {
+		return decidedMsg{}, fmt.Errorf("decode decided: %w", err)
 	}
 	return m, nil
 }

@@ -123,13 +123,13 @@ func TestClusterCatchupUnderDonorFaults(t *testing.T) {
 	// joiner (they are counted into the envelope quorum and may serve some
 	// early chunks), then the links go permanently dark.
 	var fromDead atomic.Int32
-	c.Net.SetFilter(func(m transport.Message) bool {
+	dark := c.Net.AddFilter(func(m transport.Message) bool {
 		if (m.From == 2 || m.From == 3) && m.To == 4 {
 			return fromDead.Add(1) > 6
 		}
 		return false
 	})
-	defer c.Net.SetFilter(nil)
+	defer c.Net.RemoveFilter(dark)
 
 	// Sustained client load for the whole transfer: the cluster must keep
 	// serving while it donates state.
@@ -171,7 +171,7 @@ func TestClusterCatchupUnderDonorFaults(t *testing.T) {
 	// lone survivor can never re-form the f+1 envelope quorum — by design),
 	// then catch the joiner up to the final load-extended tip before
 	// comparing state.
-	c.Net.SetFilter(nil)
+	c.Net.RemoveFilter(dark)
 	tip := c.Nodes[0].Node.Ledger().Height()
 	syncUntil(t, n4, peers, tip, 60*time.Second)
 

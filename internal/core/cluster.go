@@ -88,6 +88,11 @@ type ClusterConfig struct {
 	// NewCluster (and whose storage is left empty): fresh replicas that
 	// later catch up via StartDeferred.
 	Deferred []int32
+	// WrapEndpoint, when set, wraps every replica's transport endpoint at
+	// start (and re-start: Recover and Join pass through it too). The chaos
+	// subsystem uses it to interpose its Byzantine engine wrapper below
+	// consensus.
+	WrapEndpoint func(id int32, ep transport.Endpoint) transport.Endpoint
 }
 
 // ChainSpec describes a fabricated pre-committed chain: Blocks application
@@ -128,6 +133,10 @@ type ClusterNode struct {
 	crashed   bool
 	deferred  bool
 }
+
+// Crashed reports whether the replica is currently down (between Crash and
+// Recover).
+func (cn *ClusterNode) Crashed() bool { return cn.crashed }
 
 // Cluster is an in-process SMARTCHAIN deployment.
 type Cluster struct {
@@ -369,12 +378,16 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 	if c.cfg.ExecWorkersFor != nil {
 		execWorkers = c.cfg.ExecWorkersFor(cn.ID)
 	}
+	ep := c.Net.Endpoint(cn.ID)
+	if c.cfg.WrapEndpoint != nil {
+		ep = c.cfg.WrapEndpoint(cn.ID, ep)
+	}
 	node, err := NewNode(Config{
 		Self:                   cn.ID,
 		Genesis:                c.Genesis,
 		Permanent:              cn.Permanent,
 		InitialConsensusKey:    initialKey,
-		Transport:              c.Net.Endpoint(cn.ID),
+		Transport:              ep,
 		Log:                    cn.Log,
 		Snapshots:              cn.Snapshots,
 		KeyFile:                cn.KeyFile,
@@ -418,6 +431,25 @@ func (c *Cluster) Members() []int32 {
 		}
 	}
 	return nil
+}
+
+// Leader reports the consensus leader as seen by the lowest-id live
+// replica, or -1 when none is running.
+func (c *Cluster) Leader() int32 {
+	best := int32(-1)
+	var bestNode *ClusterNode
+	for id, cn := range c.Nodes {
+		if cn.crashed || cn.Node == nil || cn.Node.Retired() {
+			continue
+		}
+		if bestNode == nil || id < best {
+			best, bestNode = id, cn
+		}
+	}
+	if bestNode == nil {
+		return -1
+	}
+	return bestNode.Node.Leader()
 }
 
 // Crash stops replica id abruptly: the process dies, unsynced storage is

@@ -578,6 +578,31 @@ func (n *Node) View() view.View {
 // Ledger exposes the chain tracker (height, cached blocks, …).
 func (n *Node) Ledger() *blockchain.Ledger { return n.ledger }
 
+// Leader reports the consensus leader of this node's current regency, or
+// -1 when no engine is running (stopped, retired, or mid-reconfiguration).
+// Leader-targeted chaos actions resolve their victim through it.
+// Regency returns the consensus engine's installed regency (epoch), or -1
+// when no engine is running.
+func (n *Node) Regency() int64 {
+	n.mu.Lock()
+	eng := n.engine
+	n.mu.Unlock()
+	if eng == nil {
+		return -1
+	}
+	return eng.Regency()
+}
+
+func (n *Node) Leader() int32 {
+	n.mu.Lock()
+	eng := n.engine
+	n.mu.Unlock()
+	if eng == nil {
+		return -1
+	}
+	return eng.Leader()
+}
+
 // Retired reports whether the node has been reconfigured out of the
 // consortium.
 func (n *Node) Retired() bool {

@@ -134,6 +134,25 @@ func (n *Node) runWindow(eng *consensus.Engine) {
 		resync = 2 * time.Second
 	}
 
+	// The resync timer must NOT be a per-iteration time.After: under
+	// sustained client load the batcher's Ready channel fires more often
+	// than the resync period, and a fresh timer every loop iteration would
+	// never expire — a behind replica would then wait forever while its
+	// clients keep retrying (the starvation is precisely worst when traffic
+	// is heaviest). A persistent timer, reset only when a decision actually
+	// arrives, measures what it means to measure: time since last progress.
+	resyncTimer := time.NewTimer(resync)
+	defer resyncTimer.Stop()
+	resetResync := func() {
+		if !resyncTimer.Stop() {
+			select {
+			case <-resyncTimer.C:
+			default:
+			}
+		}
+		resyncTimer.Reset(resync)
+	}
+
 	win := &window{
 		pending:  make(map[int64]consensus.Decision),
 		proposed: make(map[int64]proposal),
@@ -231,7 +250,16 @@ func (n *Node) runWindow(eng *consensus.Engine) {
 				}
 				continue // in-flight decision from a replaced engine
 			}
-			if n.processDecision(win, ed.dec) {
+			floorBefore := n.nextInstance.Load()
+			viewChanged := n.processDecision(win, ed.dec)
+			if n.nextInstance.Load() > floorBefore {
+				// Only a committed decision counts as progress for the
+				// resync clock: decisions parked in the reorder buffer
+				// behind a gap must not hold off the state transfer that
+				// would close the gap.
+				resetResync()
+			}
+			if viewChanged {
 				// A reconfiguration committed: the view changed, the
 				// engine was replaced, and instances beyond the
 				// reconfiguration point restart under the new view.
@@ -240,11 +268,12 @@ func (n *Node) runWindow(eng *consensus.Engine) {
 			}
 		case <-n.batcher.Ready():
 			n.fillSlots(eng, win)
-		case <-time.After(resync):
+		case <-resyncTimer.C:
 			// A replica that fell behind (e.g. just recovered while the
 			// rest of the view moved on) sees no decisions for instances
 			// the others already closed; after a quiet period it re-syncs
 			// via state transfer instead of waiting forever.
+			resyncTimer.Reset(resync)
 			n.mu.Lock()
 			peers := n.curView.Others(n.cfg.Self)
 			n.mu.Unlock()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"smartchain/internal/blockchain"
+	"smartchain/internal/chaos"
 	"smartchain/internal/coin"
 	"smartchain/internal/transport"
 )
@@ -168,7 +169,7 @@ func TestStaleCampaignerResyncsWithoutStateTransfer(t *testing.T) {
 
 	// One-way partition: replica 3 keeps sending (its stop reaches the
 	// campaign) but receives no consensus traffic (it will miss the SYNC).
-	c.Net.SetFilter(func(m transport.Message) bool {
+	deaf3 := c.Net.AddFilter(func(m transport.Message) bool {
 		return m.To == 3 && m.Type >= 100 && m.Type < 120
 	})
 	c.Net.Isolate(0) // and the epoch-0 leader dies
@@ -198,7 +199,7 @@ func TestStaleCampaignerResyncsWithoutStateTransfer(t *testing.T) {
 	// Heal the link. Replica 3's next campaign re-broadcast is now STALE
 	// (regency 1 is installed); the leader's certificate re-send must pull
 	// it into regency 1 and the window must drain with its votes.
-	c.Net.SetFilter(nil)
+	c.Net.RemoveFilter(deaf3)
 	res, err := fut.Result()
 	if err != nil {
 		t.Fatalf("stalled window never committed after the stale-campaigner resync: %v", err)
@@ -230,7 +231,10 @@ func TestStaleCampaignerResyncsWithoutStateTransfer(t *testing.T) {
 // TestPartitionedMinorityCatchesUpViaStateTransfer partitions one follower
 // away while the majority (and the client) keep committing a pipelined
 // workload; after healing, the minority replica recovers the missed suffix
-// through state transfer.
+// through state transfer. The partition is a chaos schedule rather than an
+// ad-hoc filter: the same PartitionAction a generated campaign would play,
+// held (Dur == 0) until the test heals it by clearing the action — so the
+// scenario is expressible as data and composes with any other fault.
 func TestPartitionedMinorityCatchesUpViaStateTransfer(t *testing.T) {
 	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
 		cfg.PipelineDepth = 8
@@ -240,7 +244,16 @@ func TestPartitionedMinorityCatchesUpViaStateTransfer(t *testing.T) {
 	mint(t, p, 1, 10)
 
 	// Split replica 3 from the majority; the client stays with the majority.
-	c.Net.Partition([]int32{0, 1, 2, int32(p.ID())}, []int32{3})
+	part := &chaos.PartitionAction{Groups: [][]int32{{0, 1, 2, int32(p.ID())}, {3}}}
+	env := &chaos.Env{Net: c.Net}
+	events := chaos.Run(context.Background(), env, chaos.Schedule{
+		Steps: []chaos.Step{{Action: part}}, // At 0, Dur 0: apply now, hold
+	})
+	for _, ev := range events {
+		if ev.Kind == chaos.EventError {
+			t.Fatalf("schedule failed: %v", ev)
+		}
+	}
 
 	for i := uint64(2); i <= 6; i++ {
 		mint(t, p, i, 10)
@@ -249,7 +262,9 @@ func TestPartitionedMinorityCatchesUpViaStateTransfer(t *testing.T) {
 		t.Fatalf("partitioned replica advanced to height %d", h)
 	}
 
-	c.Net.Heal()
+	if err := part.Clear(env); err != nil { // heal
+		t.Fatal(err)
+	}
 	// Fresh traffic reaches the healed replica, arming its re-sync path.
 	mint(t, p, 7, 10)
 	target := c.Nodes[0].Node.Ledger().Height()

@@ -183,7 +183,14 @@ func (n *Node) RequestJoin(members []int32, payload []byte, timeout time.Duratio
 
 	needed := view.ReconfigQuorum(len(members), view.FaultTolerance(len(members)))
 	cert := reconfig.Certificate{Kind: reconfig.ChangeJoin, Request: req}
-	if err := n.collectVotes(votes, &cert, req.Hash(), needed, len(members), timeout, 0); err != nil {
+	reAsk := func(seen map[int32]bool) {
+		for _, m := range members {
+			if !seen[m] {
+				_ = n.cfg.Transport.Send(m, MsgJoinAsk, reqPayload)
+			}
+		}
+	}
+	if err := n.collectVotes(votes, &cert, req.Hash(), needed, len(members), timeout, 0, reAsk); err != nil {
 		return err
 	}
 
@@ -207,10 +214,18 @@ func (n *Node) RequestJoin(members []int32, payload []byte, timeout time.Duratio
 // new view's decision proofs and block certificates verifiable by third
 // parties even when the quorum members alone would not suffice (paper §V-D
 // records "at most v.n − v.f" keys as the liveness bound, not a target).
-func (n *Node) collectVotes(votes <-chan reconfig.Vote, cert *reconfig.Certificate, reqHash crypto.Hash, needed, all int, timeout time.Duration, exclude int32) error {
+// resend, when non-nil, is invoked periodically with the voters heard so
+// far so the caller can re-broadcast the ask to the silent ones: a member
+// that was mid-catch-up when the first ask arrived declines it (view
+// mismatch) but votes happily once it installs the current view — without
+// the retry its vote is lost and the quorum can miss by exactly the
+// replicas that were behind, which under churn is the common case.
+func (n *Node) collectVotes(votes <-chan reconfig.Vote, cert *reconfig.Certificate, reqHash crypto.Hash, needed, all int, timeout time.Duration, exclude int32, resend func(seen map[int32]bool)) error {
 	seen := make(map[int32]bool)
 	deadline := time.After(timeout)
 	var grace <-chan time.Time
+	retry := time.NewTicker(500 * time.Millisecond)
+	defer retry.Stop()
 	for {
 		if len(seen) >= all {
 			return nil
@@ -225,6 +240,10 @@ func (n *Node) collectVotes(votes <-chan reconfig.Vote, cert *reconfig.Certifica
 			}
 			seen[v.Voter] = true
 			cert.Votes = append(cert.Votes, v)
+		case <-retry.C:
+			if resend != nil {
+				resend(seen)
+			}
 		case <-grace:
 			return nil
 		case <-deadline:
@@ -300,7 +319,14 @@ func (n *Node) RequestLeave(timeout time.Duration) error {
 	}
 
 	cert := reconfig.Certificate{Kind: reconfig.ChangeLeave, Request: req}
-	if err := n.collectVotes(votes, &cert, req.Hash(), cur.JoinQuorum(), cur.N()-1, timeout, n.cfg.Self); err != nil {
+	reAsk := func(seen map[int32]bool) {
+		for _, m := range cur.Others(n.cfg.Self) {
+			if !seen[m] {
+				_ = n.cfg.Transport.Send(m, MsgJoinAsk, payload)
+			}
+		}
+	}
+	if err := n.collectVotes(votes, &cert, req.Hash(), cur.JoinQuorum(), cur.N()-1, timeout, n.cfg.Self, reAsk); err != nil {
 		return err
 	}
 

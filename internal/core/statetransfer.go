@@ -10,6 +10,7 @@ import (
 	"smartchain/internal/catchup"
 	"smartchain/internal/codec"
 	"smartchain/internal/crypto"
+	"smartchain/internal/reconfig"
 	"smartchain/internal/smr"
 	"smartchain/internal/storage"
 	"smartchain/internal/transport"
@@ -183,12 +184,36 @@ func (n *Node) replayBlock(b *blockchain.Block) error {
 		for _, ck := range u.Keys {
 			keys[ck.Signer] = ck.ConsensusPub
 		}
+		var stopEngine func()
 		n.mu.Lock()
 		for i := range u.Joining {
 			n.permanentKeys[u.Joining[i].ID] = u.Joining[i].PermanentPub
 		}
-		n.curView = viewFromUpdate(u, keys)
+		wasMember := n.curView.Contains(n.cfg.Self) && !n.retired
+		next := viewFromUpdate(u, keys)
+		n.curView = next
+		// The tracker is per-view on the live path (applyViewUpdate); replay
+		// must reset it identically or a caught-up replica could later
+		// combine old-view remove votes into an update no live replica
+		// builds — a state divergence, not just stale memory.
+		n.removeTracker = reconfig.NewRemoveTracker()
+		if wasMember && !next.Contains(n.cfg.Self) {
+			// This replica left (or was removed) in a view change it slept
+			// through: retire exactly as live execution would have. Without
+			// this, a leaver that catches up over its own leave block keeps
+			// its old-view engine campaigning forever and Retired() never
+			// turns true. A joiner syncing before membership (WaitMembership)
+			// never hits this branch: it was not a member of the prior view.
+			if e := n.engine; e != nil {
+				stopEngine = e.Stop
+			}
+			n.engine = nil
+			n.retired = true
+		}
 		n.mu.Unlock()
+		if stopEngine != nil {
+			stopEngine()
+		}
 	}
 	if b.Header.Number > 0 && n.ledger.ShouldCheckpoint(b.Header.Number) {
 		n.ledger.MarkCheckpoint(b.Header.Number)

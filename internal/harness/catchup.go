@@ -2,16 +2,16 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
-	"sync/atomic"
 	"time"
 
+	"smartchain/internal/chaos"
 	"smartchain/internal/coin"
 	"smartchain/internal/core"
 	"smartchain/internal/crypto"
 	"smartchain/internal/smr"
-	"smartchain/internal/transport"
 )
 
 // CatchupPoint is one time-to-sync measurement: a fresh replica joining a
@@ -111,6 +111,7 @@ func catchupScenario(label string, blocks int64, legacy bool, fault string) (Cat
 	}
 	defer cluster.Stop()
 
+	var faultSched *chaos.Schedule
 	switch fault {
 	case "corrupt-chunk":
 		// Donor 1 joins the envelope quorum honestly but serves flipped
@@ -131,16 +132,14 @@ func catchupScenario(label string, blocks int64, legacy bool, fault string) (Cat
 			}
 		}
 	case "donor-death":
-		// Donors 2 and 3 answer the first few requests (enough to be
-		// counted on and assigned work), then go permanently dark.
-		var replies atomic.Int32
-		cluster.Net.SetFilter(func(m transport.Message) bool {
-			if (m.From == 2 || m.From == 3) && m.To == 4 {
-				return replies.Add(1) > 6
-			}
-			return false
-		})
-		defer cluster.Net.SetFilter(nil)
+		// Donors 2 and 3 answer the opening requests (enough to be counted
+		// on and assigned work), then a chaos schedule takes their links to
+		// the joiner permanently dark: Dur == 0 holds the one-way fault for
+		// the rest of the transfer.
+		faultSched = &chaos.Schedule{Steps: []chaos.Step{{
+			At:     250 * time.Millisecond,
+			Action: &chaos.OneWayAction{From: []int32{2, 3}, To: []int32{4}},
+		}}}
 	}
 
 	if err := cluster.StartDeferred(4, nil); err != nil {
@@ -150,6 +149,11 @@ func catchupScenario(label string, blocks int64, legacy bool, fault string) (Cat
 	peers := []int32{0, 1, 2, 3}
 
 	start := time.Now()
+	if faultSched != nil {
+		// The schedule clock starts with the measured sync: the fault lands
+		// mid-transfer, exactly where the ad-hoc filter used to flip.
+		go chaos.Run(context.Background(), &chaos.Env{Net: cluster.Net}, *faultSched)
+	}
 	deadline := start.Add(5 * time.Minute)
 	for joiner.Ledger().Height() < blocks {
 		if time.Now().After(deadline) {

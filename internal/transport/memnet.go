@@ -15,12 +15,25 @@ type MemNetwork struct {
 	endpoints map[int32]*memEndpoint
 
 	latency   time.Duration
+	jitter    DelayDist
 	dropRate  float64
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	partition map[int32]int // process → partition group; 0 = default group
 	isolated  map[int32]bool
-	filter    func(Message) bool // true = drop (targeted fault injection)
+
+	// filters is the composable drop-predicate stack (targeted fault
+	// injection): a message is dropped if ANY active filter says so, so
+	// overlapping chaos scenarios stack instead of clobbering each other.
+	// filterList is the immutable snapshot deliver reads (rebuilt on every
+	// Add/Remove, so the hot path never iterates a mutating map).
+	filters      map[FilterID]func(Message) bool
+	filterList   []func(Message) bool
+	nextFilterID FilterID
+
+	// linkDelays overrides the delivery-delay distribution per directed
+	// link; AnyProcess wildcards one (or both) ends.
+	linkDelays map[[2]int32]DelayDist
 
 	// bandwidth models each sender's uplink in bytes/s (0 = infinite):
 	// messages serialize onto the sender's link, so one donor pushing a
@@ -31,12 +44,67 @@ type MemNetwork struct {
 	busyUntil map[int32]time.Time
 }
 
+// FilterID names one installed drop filter so it can be removed without
+// disturbing the others on the stack.
+type FilterID int64
+
+// AnyProcess is the wildcard process ID for per-link delay rules: a rule
+// keyed on (AnyProcess, to) applies to every sender, and symmetrically.
+const AnyProcess int32 = -1 << 31
+
+// JitterKind selects the shape of a delivery-delay distribution.
+type JitterKind uint8
+
+const (
+	// JitterNone delivers after exactly Base.
+	JitterNone JitterKind = iota
+	// JitterUniform samples uniformly from [Base-Jitter, Base+Jitter].
+	JitterUniform
+	// JitterNormal samples a normal distribution with mean Base and
+	// standard deviation Jitter.
+	JitterNormal
+)
+
+// DelayDist is a one-way delivery-delay distribution. Samples are clamped
+// to ≥ 0 so a wide jitter can never deliver into the past.
+type DelayDist struct {
+	Base   time.Duration
+	Jitter time.Duration
+	Kind   JitterKind
+}
+
+// Sample draws one delay from the distribution using rng (exposed so tests
+// can pin the distribution deterministically).
+func (d DelayDist) Sample(rng *rand.Rand) time.Duration {
+	out := d.Base
+	switch d.Kind {
+	case JitterUniform:
+		if d.Jitter > 0 {
+			out += time.Duration(rng.Int63n(int64(2*d.Jitter)+1)) - d.Jitter
+		}
+	case JitterNormal:
+		out += time.Duration(rng.NormFloat64() * float64(d.Jitter))
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
 // MemOption configures a MemNetwork.
 type MemOption func(*MemNetwork)
 
 // WithLatency adds a fixed one-way delivery delay to every message.
 func WithLatency(d time.Duration) MemOption {
 	return func(n *MemNetwork) { n.latency = d }
+}
+
+// WithJitter spreads every delivery delay around the base latency: kind
+// selects the distribution, jitter its width (uniform half-range or normal
+// standard deviation). Per-link rules installed with SetLinkDelay take
+// precedence.
+func WithJitter(kind JitterKind, jitter time.Duration) MemOption {
+	return func(n *MemNetwork) { n.jitter = DelayDist{Kind: kind, Jitter: jitter} }
 }
 
 // WithDropRate drops each message independently with probability p, using a
@@ -56,11 +124,13 @@ func WithBandwidth(bytesPerSec float64) MemOption {
 // NewMemNetwork creates an empty in-process network.
 func NewMemNetwork(opts ...MemOption) *MemNetwork {
 	n := &MemNetwork{
-		endpoints: make(map[int32]*memEndpoint),
-		partition: make(map[int32]int),
-		isolated:  make(map[int32]bool),
-		busyUntil: make(map[int32]time.Time),
-		rng:       rand.New(rand.NewSource(1)),
+		endpoints:  make(map[int32]*memEndpoint),
+		partition:  make(map[int32]int),
+		isolated:   make(map[int32]bool),
+		busyUntil:  make(map[int32]time.Time),
+		filters:    make(map[FilterID]func(Message) bool),
+		linkDelays: make(map[[2]int32]DelayDist),
+		rng:        rand.New(rand.NewSource(1)),
 	}
 	for _, o := range opts {
 		o(n)
@@ -130,15 +200,75 @@ func (n *MemNetwork) Isolate(id int32) {
 	n.mu.Unlock()
 }
 
-// SetFilter installs a targeted drop predicate: every message for which it
-// returns true is silently lost. Fault-injection tests use it to lose
-// specific protocol messages (e.g. the EPOCH-SYNC certificate to one
-// replica) the way a flaky link would, which coarse partitions cannot
-// express. nil removes the filter; Heal leaves it in place.
-func (n *MemNetwork) SetFilter(f func(Message) bool) {
+// AddFilter pushes a targeted drop predicate onto the filter stack: every
+// message for which ANY active filter returns true is silently lost.
+// Fault-injection schedules use filters to lose specific protocol messages
+// (e.g. the EPOCH-SYNC certificate to one replica) the way a flaky link
+// would, which coarse partitions cannot express — and because filters
+// stack, overlapping fault scenarios compose instead of clobbering each
+// other. The returned ID removes exactly this filter; Heal leaves the
+// stack in place.
+func (n *MemNetwork) AddFilter(f func(Message) bool) FilterID {
 	n.mu.Lock()
-	n.filter = f
-	n.mu.Unlock()
+	defer n.mu.Unlock()
+	n.nextFilterID++
+	id := n.nextFilterID
+	n.filters[id] = f
+	n.rebuildFilterList()
+	return id
+}
+
+// RemoveFilter pops one filter off the stack. Unknown IDs are ignored
+// (removing twice is harmless).
+func (n *MemNetwork) RemoveFilter(id FilterID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.filters, id)
+	n.rebuildFilterList()
+}
+
+// rebuildFilterList refreshes the immutable snapshot deliver iterates.
+// Caller holds n.mu.
+func (n *MemNetwork) rebuildFilterList() {
+	if len(n.filters) == 0 {
+		n.filterList = nil
+		return
+	}
+	list := make([]func(Message) bool, 0, len(n.filters))
+	for _, f := range n.filters {
+		list = append(list, f)
+	}
+	n.filterList = list
+}
+
+// SetLinkDelay installs (or, with nil, removes) a delivery-delay
+// distribution for the directed link from→to, overriding the network-wide
+// latency/jitter. Either end may be AnyProcess; more specific rules win:
+// (from,to) ≻ (from,*) ≻ (*,to) ≻ (*,*).
+func (n *MemNetwork) SetLinkDelay(from, to int32, d *DelayDist) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	key := [2]int32{from, to}
+	if d == nil {
+		delete(n.linkDelays, key)
+		return
+	}
+	n.linkDelays[key] = *d
+}
+
+// delayFor resolves the delay distribution for one message. Caller holds
+// n.mu (read).
+func (n *MemNetwork) delayFor(from, to int32) DelayDist {
+	if len(n.linkDelays) > 0 {
+		for _, key := range [4][2]int32{{from, to}, {from, AnyProcess}, {AnyProcess, to}, {AnyProcess, AnyProcess}} {
+			if d, ok := n.linkDelays[key]; ok {
+				return d
+			}
+		}
+	}
+	d := n.jitter
+	d.Base += n.latency
+	return d
 }
 
 // Heal removes all partitions and isolations.
@@ -153,12 +283,12 @@ func (n *MemNetwork) Heal() {
 func (n *MemNetwork) deliver(m Message) error {
 	n.mu.RLock()
 	dst, ok := n.endpoints[m.To]
-	latency := n.latency
+	dist := n.delayFor(m.From, m.To)
 	bandwidth := n.bandwidth
 	blocked := n.isolated[m.From] || n.isolated[m.To] ||
 		n.partition[m.From] != n.partition[m.To]
 	drop := n.dropRate
-	filter := n.filter
+	filters := n.filterList
 	n.mu.RUnlock()
 
 	if !ok {
@@ -167,8 +297,10 @@ func (n *MemNetwork) deliver(m Message) error {
 	if blocked {
 		return nil // silently dropped, like a real partition
 	}
-	if filter != nil && filter(m) {
-		return nil // targeted loss, indistinguishable from the wire eating it
+	for _, f := range filters {
+		if f(m) {
+			return nil // targeted loss, indistinguishable from the wire eating it
+		}
 	}
 	if drop > 0 {
 		n.rngMu.Lock()
@@ -178,7 +310,12 @@ func (n *MemNetwork) deliver(m Message) error {
 			return nil
 		}
 	}
-	delay := latency
+	delay := dist.Base
+	if dist.Kind != JitterNone {
+		n.rngMu.Lock()
+		delay = dist.Sample(n.rng)
+		n.rngMu.Unlock()
+	}
 	if bandwidth > 0 {
 		// Serialize the message onto the sender's uplink: it transmits only
 		// after everything the sender already queued, then propagates.
@@ -192,7 +329,7 @@ func (n *MemNetwork) deliver(m Message) error {
 		free = free.Add(tx)
 		n.busyUntil[m.From] = free
 		n.bwMu.Unlock()
-		delay = free.Sub(now) + latency
+		delay += free.Sub(now)
 	}
 	if delay > 0 {
 		time.AfterFunc(delay, func() { dst.enqueue(m) })

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -340,5 +341,124 @@ func TestTCPNetworkManyMessages(t *testing.T) {
 		if m.Type != uint16(i) {
 			t.Fatalf("out of order over tcp: got %d want %d", m.Type, i)
 		}
+	}
+}
+
+func TestMemNetworkFilterStackComposes(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint(1)
+	b := net.Endpoint(2)
+	c := net.Endpoint(3)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	// Two overlapping scenarios: one loses everything to 2, the other
+	// everything to 3. Both must hold at once (any-filter-drops semantics).
+	to2 := net.AddFilter(func(m Message) bool { return m.To == 2 })
+	to3 := net.AddFilter(func(m Message) bool { return m.To == 3 })
+	_ = a.Send(2, 0, nil)
+	_ = a.Send(3, 0, nil)
+	expectNone(t, b, 50*time.Millisecond)
+	expectNone(t, c, 50*time.Millisecond)
+
+	// Removing one scenario must not disturb the other.
+	net.RemoveFilter(to2)
+	_ = a.Send(2, 0, nil)
+	_ = a.Send(3, 0, nil)
+	recvOne(t, b, time.Second)
+	expectNone(t, c, 50*time.Millisecond)
+
+	net.RemoveFilter(to3)
+	net.RemoveFilter(to3) // double-remove is harmless
+	_ = a.Send(3, 0, nil)
+	recvOne(t, c, time.Second)
+}
+
+func TestDelayDistSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	fixed := DelayDist{Base: 5 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		if got := fixed.Sample(rng); got != 5*time.Millisecond {
+			t.Fatalf("JitterNone sample %v, want exactly Base", got)
+		}
+	}
+
+	uni := DelayDist{Base: 20 * time.Millisecond, Jitter: 10 * time.Millisecond, Kind: JitterUniform}
+	varied := false
+	var prev time.Duration = -1
+	for i := 0; i < 200; i++ {
+		got := uni.Sample(rng)
+		if got < 10*time.Millisecond || got > 30*time.Millisecond {
+			t.Fatalf("uniform sample %v outside [Base-Jitter, Base+Jitter]", got)
+		}
+		if prev >= 0 && got != prev {
+			varied = true
+		}
+		prev = got
+	}
+	if !varied {
+		t.Fatal("uniform jitter never varied")
+	}
+
+	// A wide normal must clamp at zero, never deliver into the past.
+	norm := DelayDist{Base: time.Millisecond, Jitter: 50 * time.Millisecond, Kind: JitterNormal}
+	clamped := false
+	for i := 0; i < 500; i++ {
+		got := norm.Sample(rng)
+		if got < 0 {
+			t.Fatalf("normal sample %v negative", got)
+		}
+		if got == 0 {
+			clamped = true
+		}
+	}
+	if !clamped {
+		t.Fatal("wide normal never clamped to zero (suspicious distribution)")
+	}
+}
+
+func TestMemNetworkPerLinkDelay(t *testing.T) {
+	net := NewMemNetwork()
+	a := net.Endpoint(1)
+	b := net.Endpoint(2)
+	c := net.Endpoint(3)
+	defer a.Close()
+	defer b.Close()
+	defer c.Close()
+
+	// Wildcard rule: everything INTO 2 takes ≥ 40 ms; other links are
+	// untouched.
+	net.SetLinkDelay(AnyProcess, 2, &DelayDist{Base: 60 * time.Millisecond})
+	start := time.Now()
+	_ = a.Send(3, 0, nil)
+	recvOne(t, c, time.Second)
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("undelayed link took %v", d)
+	}
+	start = time.Now()
+	_ = a.Send(2, 0, nil)
+	recvOne(t, b, time.Second)
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("delayed link took only %v, want ≥ 40ms of the 60ms base", d)
+	}
+
+	// The exact-pair rule beats the wildcard, and removal restores the
+	// fast path.
+	net.SetLinkDelay(1, 2, &DelayDist{Base: 0})
+	start = time.Now()
+	_ = a.Send(2, 0, nil)
+	recvOne(t, b, time.Second)
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("exact-pair override ignored: %v", d)
+	}
+	net.SetLinkDelay(1, 2, nil)
+	net.SetLinkDelay(AnyProcess, 2, nil)
+	start = time.Now()
+	_ = a.Send(2, 0, nil)
+	recvOne(t, b, time.Second)
+	if d := time.Since(start); d > 40*time.Millisecond {
+		t.Fatalf("cleared link still delayed: %v", d)
 	}
 }
