@@ -16,6 +16,7 @@
 //	benchrunner -exp failover          # leader-kill recovery: regency-wide vs sequential drain
 //	benchrunner -exp catchup           # multi-peer pipelined state transfer vs legacy single donor
 //	benchrunner -exp chaos             # seeded fault schedule under load, invariant-gated
+//	benchrunner -exp wire              # memnet vs real-TCP loopback, per-sig vs batched verification
 //	benchrunner -exp verify            # end-to-end chain verification
 //	benchrunner -exp all
 //
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|catchup|chaos|verify|all")
+		exp        = flag.String("exp", "all", "experiment: table1|fig6|table2|fig7|fig8|ablate|window|openloop|reads|execpar|failover|catchup|chaos|wire|verify|all")
 		clients    = flag.Int("clients", 240, "closed-loop clients")
 		measure    = flag.Duration("measure", 2*time.Second, "measured window per configuration")
 		warmup     = flag.Duration("warmup", 500*time.Millisecond, "warmup before measuring")
@@ -54,6 +55,8 @@ func main() {
 		chaosSeed  = flag.Int64("chaos-seed", 1, "schedule seed for -exp chaos (same seed = same fault timeline)")
 		chaosDur   = flag.Duration("chaos-duration", 15*time.Second, "fault window for -exp chaos")
 		chaosChurn = flag.Bool("chaos-churn", false, "interleave membership churn into the -exp chaos schedule")
+		netKind    = flag.String("net", "tcp", "transports for -exp wire: mem (memnet only) or tcp (memnet baseline + TCP sweep)")
+		wireLat    = flag.Duration("wire-latency", 5*time.Millisecond, "injected per-link latency for the WAN-shaped wire points")
 		jsonPath   = flag.String("json", "", "write all measured rows to this JSON file")
 	)
 	flag.Parse()
@@ -84,8 +87,21 @@ func main() {
 
 	chaosOpts := harness.ChaosOptions{Seed: *chaosSeed, Duration: *chaosDur, Churn: *chaosChurn}
 
+	var wireNets []string
+	switch *netKind {
+	case "mem":
+		wireNets = []string{"mem"}
+	case "tcp":
+		// The TCP regression gate needs the memnet baseline for its
+		// goodput ratio, so -net tcp measures both.
+		wireNets = []string{"mem", "tcp"}
+	default:
+		fmt.Fprintf(os.Stderr, "benchrunner: bad -net %q (mem|tcp)\n", *netKind)
+		os.Exit(1)
+	}
+
 	report := make(map[string]any)
-	runErr := run(*exp, opts, *paper, *inflight, *catchupN, chaosOpts, report)
+	runErr := run(*exp, opts, *paper, *inflight, *catchupN, chaosOpts, wireNets, *wireLat, report)
 	if *jsonPath != "" && len(report) > 0 {
 		// Persist whatever completed even when a later experiment failed:
 		// the CI artifact should carry the partial trajectory too.
@@ -128,7 +144,7 @@ func parseWindows(s string) ([]int, error) {
 	return out, nil
 }
 
-func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupBlocks int64, chaosOpts harness.ChaosOptions, report map[string]any) error {
+func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupBlocks int64, chaosOpts harness.ChaosOptions, wireNets []string, wireLat time.Duration, report map[string]any) error {
 	all := exp == "all"
 	ran := false
 	if all || exp == "table1" {
@@ -388,6 +404,67 @@ func run(exp string, opts harness.ExpOptions, paper bool, inflight int, catchupB
 			return fmt.Errorf("chaos: %d invariant violation(s) on seed %d", len(rep.Violations), rep.Seed)
 		}
 		fmt.Println("  invariants: all green")
+	}
+	if all || exp == "wire" {
+		ran = true
+		fmt.Printf("== Wire: memnet vs real TCP (W=8), per-signature vs batched verification (nets=%v) ==\n", wireNets)
+		points, cryptoBench, err := harness.Wire(wireNets, wireLat, opts)
+		report["wire"] = map[string]any{"points": points, "crypto": cryptoBench}
+		if err != nil {
+			return err
+		}
+		for _, p := range points {
+			fmt.Printf("  %s\n", p)
+		}
+		if cryptoBench != nil {
+			fmt.Printf("  crypto: %s\n", cryptoBench)
+		}
+		// Correctness gates, every host. A TCP point on an idle loopback
+		// must carry every frame: any drop, failed dial, authentication
+		// failure, or unconverged replica is a transport bug, not noise.
+		byLabel := make(map[string]harness.WirePoint, len(points))
+		for _, p := range points {
+			byLabel[p.Net+"/"+p.Verify+"/"+fmt.Sprint(p.LatencyMS)] = p
+			if !p.Converged {
+				return fmt.Errorf("wire: %s did not converge to a common height (decided-instance loss)", p.Label)
+			}
+			if p.Net != "tcp" {
+				continue
+			}
+			if p.Drops > 0 {
+				return fmt.Errorf("wire: %s dropped %d frames (queue-full=%d conn-down=%d) on loopback",
+					p.Label, p.Drops, p.DropsQueueFull, p.DropsConnDown)
+			}
+			if p.DialFailures > 0 || p.AuthFailures > 0 || p.ProtocolViolations > 0 {
+				return fmt.Errorf("wire: %s transport errors: dialfail=%d auth=%d proto=%d",
+					p.Label, p.DialFailures, p.AuthFailures, p.ProtocolViolations)
+			}
+			if p.Errors > 0 {
+				return fmt.Errorf("wire: %s had %d failed invocations", p.Label, p.Errors)
+			}
+		}
+		// Batched verification must not pass a corrupted signature or drop
+		// an honest one, anywhere.
+		if cryptoBench != nil && !cryptoBench.FallbackOK {
+			return fmt.Errorf("wire: batch verification fallback mis-attributed a bad signature")
+		}
+		// Perf gates, multi-core hosts only (a single-core runner cannot
+		// show parallel-verification wins, and its TCP goodput is dominated
+		// by the cores the kernel steals from consensus).
+		if cryptoBench != nil && cryptoBench.NumCPU >= 4 && cryptoBench.Speedup < 1.1 {
+			return fmt.Errorf("wire: batched verification speedup %.2fx < 1.1x over per-signature on a %d-core host",
+				cryptoBench.Speedup, cryptoBench.NumCPU)
+		}
+		memPt, okMem := byLabel["mem/batched/0"]
+		tcpPt, okTCP := byLabel["tcp/batched/0"]
+		if okMem && okTCP && memPt.Throughput > 0 {
+			ratio := tcpPt.Throughput / memPt.Throughput
+			fmt.Printf("  tcp/memnet goodput ratio at W=8: %.2f\n", ratio)
+			if tcpPt.NumCPU >= 4 && ratio < 0.5 {
+				return fmt.Errorf("wire: tcpnet keeps only %.0f%% of memnet goodput at W=8 (gate: ≥50%%) on a %d-core host",
+					100*ratio, tcpPt.NumCPU)
+			}
+		}
 	}
 	if all || exp == "verify" {
 		ran = true

@@ -137,7 +137,7 @@ func TestRunAppliesAndAutoClears(t *testing.T) {
 	if events[0].Kind != EventApply || events[1].Kind != EventApply || events[2].Kind != EventClear {
 		t.Fatalf("event order wrong: %v", events)
 	}
-	if pingable(net, 0, 1) == false {
+	if !pingable(net, 0, 1) {
 		t.Fatal("timed fault was not auto-cleared")
 	}
 	if pingable(net, 0, 2) {

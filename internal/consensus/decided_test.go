@@ -109,9 +109,18 @@ func TestSubFloorTrafficTriggersDecidedRetransmit(t *testing.T) {
 	stale := voteMsg{Instance: 0, Epoch: 0, Digest: digest, Voter: 3, Sig: sig}
 	h.engines[0].HandleMessage(transport.Message{From: 3, To: 0, Type: MsgWrite, Payload: stale.encode()})
 
+	// A straggler vote from the settled round may have armed the per-peer
+	// rate limiter (Timeout/4 = 250ms here) just before our stale WRITE,
+	// eating the one-shot answer. A genuinely stuck replica keeps
+	// re-sending its vote, so do the same past the rate-limit window.
+	resend := time.NewTicker(400 * time.Millisecond)
+	defer resend.Stop()
+
 	deadline := time.After(5 * time.Second)
 	for {
 		select {
+		case <-resend.C:
+			h.engines[0].HandleMessage(transport.Message{From: 3, To: 0, Type: MsgWrite, Payload: stale.encode()})
 		case m, ok := <-h.eps[3].Receive():
 			if !ok {
 				t.Fatal("endpoint closed before the retransmission arrived")

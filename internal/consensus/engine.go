@@ -2,6 +2,7 @@ package consensus
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,16 @@ type Config struct {
 	// a synchronization round installs a new epoch (once per round, however
 	// many slots it drains).
 	OnEpochChange func(epoch int64)
+	// Verifier, when non-nil, is a shared worker pool that checks
+	// WRITE/ACCEPT vote signatures before they enter the event loop, so
+	// signature verification no longer serializes consensus. Correctness
+	// never depends on it: the loop re-verifies inline whenever a vote was
+	// not positively pre-verified against the key currently installed for
+	// its voter, and the pool spilling over merely falls back to the inline
+	// path. The pool is owned by the caller (it outlives engine
+	// replacements at view changes) and must not be closed while the engine
+	// runs.
+	Verifier *crypto.VerifyPool
 }
 
 // Engine runs consensus for a single view. All state is owned by the event
@@ -79,6 +90,11 @@ type Engine struct {
 	decisions  chan Decision
 	stop       chan struct{}
 	done       chan struct{}
+
+	// keys mirrors the view's consensus keys for reading outside the loop
+	// (HandleMessage pre-verifies votes against it). The loop is the only
+	// writer: it installs late-announced keys here and in cfg.View together.
+	keys keyMirror
 }
 
 type event struct {
@@ -89,6 +105,10 @@ type event struct {
 	epoch int64 // for timeout staleness check
 	keyID int32
 	key   crypto.PublicKey
+	// vote carries a pre-decoded WRITE/ACCEPT vote; votePub, when non-nil,
+	// is the public key its signature was verified against off the loop.
+	vote    *voteMsg
+	votePub crypto.PublicKey
 }
 
 type eventKind int
@@ -173,7 +193,7 @@ func New(cfg Config) *Engine {
 	}
 	members := make([]int32, len(cfg.View.Members))
 	copy(members, cfg.View.Members)
-	return &Engine{
+	e := &Engine{
 		cfg:       cfg,
 		quorum:    cfg.View.Quorum(),
 		members:   members,
@@ -182,6 +202,32 @@ func New(cfg Config) *Engine {
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	e.keys.keys = make(map[int32]crypto.PublicKey, len(members))
+	for _, id := range members {
+		if pub, ok := cfg.View.PublicKeyOf(id); ok {
+			e.keys.keys[id] = pub
+		}
+	}
+	return e
+}
+
+// keyMirror is a concurrently readable copy of the view's consensus keys.
+type keyMirror struct {
+	mu   sync.RWMutex
+	keys map[int32]crypto.PublicKey
+}
+
+func (k *keyMirror) get(id int32) (crypto.PublicKey, bool) {
+	k.mu.RLock()
+	pub, ok := k.keys[id]
+	k.mu.RUnlock()
+	return pub, ok
+}
+
+func (k *keyMirror) set(id int32, pub crypto.PublicKey) {
+	k.mu.Lock()
+	k.keys[id] = pub
+	k.mu.Unlock()
 }
 
 // Start launches the event loop.
@@ -264,7 +310,40 @@ func (e *Engine) UpdateKey(id int32, key crypto.PublicKey) {
 
 // HandleMessage feeds a consensus wire message into the engine. It is safe
 // to call from any goroutine.
+//
+// With a Verifier configured, WRITE/ACCEPT votes are decoded and their
+// signatures checked on the pool before the event is enqueued, off the
+// loop goroutine. The loop treats the result as a hint: it honors the
+// pre-verification only when the key it was checked against is still the
+// voter's installed key, and re-verifies inline otherwise (including votes
+// that failed here — the mirror key may have been stale). The protocols
+// above tolerate the message reordering this introduces between votes and
+// other traffic, exactly as they tolerate network reordering.
 func (e *Engine) HandleMessage(m transport.Message) {
+	if e.cfg.Verifier != nil && (m.Type == MsgWrite || m.Type == MsgAccept) {
+		vm, err := decodeVote(m.Payload)
+		if err != nil || vm.Voter != m.From {
+			return // malformed either way; drop without burning a verify
+		}
+		if pub, ok := e.keys.get(vm.Voter); ok {
+			ctx := ctxWrite
+			if m.Type == MsgAccept {
+				ctx = ctxAccept
+			}
+			submitted := e.cfg.Verifier.TrySubmit(pub, ctx, voteMessage(vm.Instance, vm.Epoch, vm.Digest), vm.Sig, func(ok bool) {
+				ev := event{kind: evMessage, msg: m, vote: &vm}
+				if ok {
+					ev.votePub = pub
+				}
+				e.enqueue(ev)
+			})
+			if submitted {
+				return
+			}
+		}
+		e.enqueue(event{kind: evMessage, msg: m, vote: &vm})
+		return
+	}
 	e.enqueue(event{kind: evMessage, msg: m})
 }
 
@@ -287,7 +366,7 @@ func (e *Engine) loop() {
 		floor      int64 // instances below this are settled and forgotten
 		maxStarted int64 = -1
 		states           = make(map[int64]*instState)
-		buffered         = make(map[int64][]transport.Message)
+		buffered         = make(map[int64][]event)
 		timers           = make(map[int64]*time.Timer)
 		regency    int64 // current epoch across instances (Mod-SMaRt regency)
 		// epochStops collects regency-wide synchronization votes:
@@ -998,7 +1077,8 @@ func (e *Engine) loop() {
 		}
 	}
 
-	handleMsg := func(m transport.Message) {
+	handleMsg := func(ev event) {
+		m := ev.msg
 		switch m.Type {
 		case MsgEpochStop:
 			if !e.cfg.SequentialSync {
@@ -1040,7 +1120,7 @@ func (e *Engine) loop() {
 				return
 			}
 			if len(buffered[inst]) < 8*e.cfg.View.N() {
-				buffered[inst] = append(buffered[inst], m)
+				buffered[inst] = append(buffered[inst], ev)
 			}
 			return
 		}
@@ -1049,9 +1129,9 @@ func (e *Engine) loop() {
 		case MsgPropose:
 			e.onPropose(m, s, inst, adoptProposal)
 		case MsgWrite:
-			e.onWrite(m, s, inst, maybeProgress, echoVotes)
+			e.onWrite(m, ev.vote, ev.votePub, s, inst, maybeProgress, echoVotes)
 		case MsgAccept:
-			e.onAccept(m, s, inst, maybeProgress)
+			e.onAccept(m, ev.vote, ev.votePub, s, inst, maybeProgress)
 		case MsgDecided:
 			onDecided(m, s, inst)
 		case MsgStop:
@@ -1091,15 +1171,15 @@ func (e *Engine) loop() {
 					adoptProposal(ev.inst, s, ev.value)
 				}
 				// Replay buffered messages for this instance.
-				for _, m := range buffered[ev.inst] {
-					handleMsg(m)
+				for _, bm := range buffered[ev.inst] {
+					handleMsg(bm)
 				}
 				delete(buffered, ev.inst)
 				gcSettled()
 			case evAdvance:
 				advanceTo(ev.inst)
 			case evMessage:
-				handleMsg(ev.msg)
+				handleMsg(ev)
 				gcSettled()
 			case evPropose:
 				s, ok := states[ev.inst]
@@ -1128,6 +1208,7 @@ func (e *Engine) loop() {
 			case evUpdateKey:
 				if e.cfg.View.Contains(ev.keyID) {
 					e.cfg.View = e.cfg.View.WithKey(ev.keyID, ev.key)
+					e.keys.set(ev.keyID, ev.key)
 				}
 			case evTimeout:
 				s, ok := states[ev.inst]
@@ -1320,14 +1401,39 @@ func (e *Engine) validEpochSync(msg *epochSyncMsg) (map[int64]*slotClaim, bool) 
 	return best, true
 }
 
+// voteVerified settles one vote's signature on the loop: a vote positively
+// pre-verified (prePub non-nil) against the key still installed for its
+// voter — and covering the instance it was dispatched to — is accepted
+// as-is; anything else (no Verifier, pool spill-over, stale mirror key,
+// failed pre-verification) is verified inline. Safety therefore never
+// rests on the pre-verification pool.
+func (e *Engine) voteVerified(vm *voteMsg, prePub crypto.PublicKey, ctx string, inst int64) bool {
+	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
+	if !ok {
+		return false
+	}
+	if prePub != nil && vm.Instance == inst && pub.Equal(prePub) {
+		return true
+	}
+	return crypto.Verify(pub, ctx, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig)
+}
+
 // onWrite records a WRITE vote. A vote that arrives after this replica
 // already cast its ACCEPT (or decided) is from a peer running the epoch
 // late; the first such vote from each peer is answered with an echo of our
 // own votes so the late peer can assemble the same quorums.
-func (e *Engine) onWrite(m transport.Message, s *instState, inst int64,
+func (e *Engine) onWrite(m transport.Message, pre *voteMsg, prePub crypto.PublicKey, s *instState, inst int64,
 	progress func(int64, *instState), echo func(int32, int64, *instState)) {
-	vm, err := decodeVote(m.Payload)
-	if err != nil || vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
+	var vm voteMsg
+	if pre != nil {
+		vm = *pre
+	} else {
+		var err error
+		if vm, err = decodeVote(m.Payload); err != nil {
+			return
+		}
+	}
+	if vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
 		return
 	}
 	if vm.Epoch < s.epoch {
@@ -1345,8 +1451,7 @@ func (e *Engine) onWrite(m transport.Message, s *instState, inst int64,
 		if _, dup := s.writes[vm.Epoch][vm.Digest][vm.Voter]; dup {
 			return
 		}
-		pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
-		if !ok || !crypto.Verify(pub, ctxWrite, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+		if !e.voteVerified(&vm, prePub, ctxWrite, inst) {
 			return
 		}
 		e.recordWrite(s, inst, vm)
@@ -1356,8 +1461,7 @@ func (e *Engine) onWrite(m transport.Message, s *instState, inst int64,
 	if _, dup := s.writes[vm.Epoch][vm.Digest][vm.Voter]; dup {
 		return
 	}
-	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
-	if !ok || !crypto.Verify(pub, ctxWrite, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+	if !e.voteVerified(&vm, prePub, ctxWrite, inst) {
 		return
 	}
 	e.recordWrite(s, inst, vm)
@@ -1372,16 +1476,23 @@ func (e *Engine) onWrite(m transport.Message, s *instState, inst int64,
 }
 
 // onAccept records an ACCEPT vote.
-func (e *Engine) onAccept(m transport.Message, s *instState, inst int64, progress func(int64, *instState)) {
-	vm, err := decodeVote(m.Payload)
-	if err != nil || vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
+func (e *Engine) onAccept(m transport.Message, pre *voteMsg, prePub crypto.PublicKey, s *instState, inst int64, progress func(int64, *instState)) {
+	var vm voteMsg
+	if pre != nil {
+		vm = *pre
+	} else {
+		var err error
+		if vm, err = decodeVote(m.Payload); err != nil {
+			return
+		}
+	}
+	if vm.Voter != m.From || !e.cfg.View.Contains(vm.Voter) {
 		return
 	}
 	if vm.Epoch < s.epoch || s.decided {
 		return
 	}
-	pub, ok := e.cfg.View.PublicKeyOf(vm.Voter)
-	if !ok || !crypto.Verify(pub, ctxAccept, voteMessage(inst, vm.Epoch, vm.Digest), vm.Sig) {
+	if !e.voteVerified(&vm, prePub, ctxAccept, inst) {
 		return
 	}
 	e.recordAccept(s, inst, vm)

@@ -93,6 +93,18 @@ type ClusterConfig struct {
 	// subsystem uses it to interpose its Byzantine engine wrapper below
 	// consensus.
 	WrapEndpoint func(id int32, ep transport.Endpoint) transport.Endpoint
+	// TCPWire runs the deployment over real loopback TCP (a TCPFabric of
+	// HMAC-authenticated TCPNetworks) instead of the in-memory transport:
+	// the A/B dimension behind `benchrunner -net {mem,tcp}`. NetLatency maps
+	// to per-frame delivery delay; NetBandwidth and MemNetwork-based fault
+	// filters are not modeled over TCP.
+	TCPWire bool
+	// TCPOptions tunes every TCPNetwork the fabric creates (queue depth,
+	// backpressure policy, TLS, backoff).
+	TCPOptions []transport.TCPOption
+	// VerifyWorkers sizes each replica's signature-verification pool
+	// (Config.VerifyWorkers; 0 = GOMAXPROCS).
+	VerifyWorkers int
 }
 
 // ChainSpec describes a fabricated pre-committed chain: Blocks application
@@ -142,6 +154,7 @@ func (cn *ClusterNode) Crashed() bool { return cn.crashed }
 type Cluster struct {
 	cfg     ClusterConfig
 	Net     *transport.MemNetwork
+	Fabric  *transport.TCPFabric
 	Genesis blockchain.Genesis
 	Nodes   map[int32]*ClusterNode
 
@@ -182,6 +195,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Net:          transport.NewMemNetwork(netOpts...),
 		Nodes:        make(map[int32]*ClusterNode, cfg.N),
 		nextClientID: transport.ClientIDBase,
+	}
+	if cfg.TCPWire {
+		c.Fabric = transport.NewTCPFabric([]byte("smartchain/"+cfg.ChainID), cfg.TCPOptions...)
+		if cfg.NetLatency > 0 {
+			c.Fabric.SetDelay(&transport.DelayDist{Base: cfg.NetLatency})
+		}
 	}
 
 	replicas := make([]blockchain.ReplicaInfo, 0, cfg.N)
@@ -364,6 +383,25 @@ func (c *Cluster) StartDeferred(id int32, syncPeers []int32) error {
 	return c.startNode(cn, c.consKeys[id], syncPeers)
 }
 
+// endpoint builds the transport endpoint for one process ID on whichever
+// wire the cluster runs.
+func (c *Cluster) endpoint(id int32) (transport.Endpoint, error) {
+	if c.Fabric != nil {
+		return c.Fabric.Endpoint(id)
+	}
+	return c.Net.Endpoint(id), nil
+}
+
+// WireStats aggregates the TCP fabric's per-process counters (nil off the
+// TCP wire). The wire experiment's gates read this: a healthy loopback
+// sweep must show zero drops and zero authentication failures.
+func (c *Cluster) WireStats() map[int32]transport.TCPStats {
+	if c.Fabric == nil {
+		return nil
+	}
+	return c.Fabric.Stats()
+}
+
 func (c *Cluster) newDisk() *storage.SimDisk {
 	if c.cfg.DiskFactory == nil {
 		return nil
@@ -378,7 +416,10 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 	if c.cfg.ExecWorkersFor != nil {
 		execWorkers = c.cfg.ExecWorkersFor(cn.ID)
 	}
-	ep := c.Net.Endpoint(cn.ID)
+	ep, err := c.endpoint(cn.ID)
+	if err != nil {
+		return err
+	}
 	if c.cfg.WrapEndpoint != nil {
 		ep = c.cfg.WrapEndpoint(cn.ID, ep)
 	}
@@ -401,6 +442,7 @@ func (c *Cluster) startNode(cn *ClusterNode, initialKey *crypto.KeyPair, syncPee
 		SequentialSync:         c.cfg.SequentialSync,
 		SessionGCBlocks:        c.cfg.SessionGCBlocks,
 		ExecWorkers:            execWorkers,
+		VerifyWorkers:          c.cfg.VerifyWorkers,
 		ReadParkTimeout:        c.cfg.ReadParkTimeout,
 		ReadParkLimit:          c.cfg.ReadParkLimit,
 		MaxBatch:               c.cfg.MaxBatch,
@@ -460,7 +502,11 @@ func (c *Cluster) Crash(id int32) error {
 		return fmt.Errorf("core: unknown replica %d", id)
 	}
 	// Detach first so the dying node cannot flush anything else out.
-	c.Net.Detach(id)
+	if c.Fabric != nil {
+		c.Fabric.Detach(id)
+	} else {
+		c.Net.Detach(id)
+	}
 	cn.Node.Stop()
 	cn.Log.Crash()
 	cn.crashed = true
@@ -585,7 +631,17 @@ func (c *Cluster) Exclude(target int32, timeout time.Duration) error {
 // for concurrent use: load generators spin up client fleets from many
 // goroutines at once.
 func (c *Cluster) ClientEndpoint() transport.Endpoint {
-	return c.Net.Endpoint(atomic.AddInt32(&c.nextClientID, 1) - 1)
+	id := atomic.AddInt32(&c.nextClientID, 1) - 1
+	if c.Fabric != nil {
+		ep, err := c.Fabric.Endpoint(id)
+		if err != nil {
+			// Ephemeral loopback listen can only fail on resource
+			// exhaustion; the load generators have no error path here.
+			panic(fmt.Sprintf("core: tcp client endpoint %d: %v", id, err))
+		}
+		return ep
+	}
+	return c.Net.Endpoint(id)
 }
 
 // Stop shuts every replica down.
@@ -594,6 +650,9 @@ func (c *Cluster) Stop() {
 		if cn.Node != nil && !cn.crashed {
 			cn.Node.Stop()
 		}
+	}
+	if c.Fabric != nil {
+		c.Fabric.Close()
 	}
 }
 

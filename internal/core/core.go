@@ -247,6 +247,12 @@ type Config struct {
 	// ParallelApplication. 0 or 1 keeps the exact legacy sequential
 	// execution path (the A/B baseline and the bisection anchor).
 	ExecWorkers int
+	// VerifyWorkers sizes the signature-verification worker pools: the
+	// request VerifierPool and the consensus vote pre-verification pool
+	// that takes WRITE/ACCEPT signature checks off the engine's event loop.
+	// 0 defaults to GOMAXPROCS (sequential Verify mode still pins the
+	// request pool to one worker).
+	VerifyWorkers int
 	// MaxBatch caps requests per block; 0 uses the genesis value.
 	MaxBatch int
 	// ConsensusTimeout is the leader-progress timeout.
@@ -295,6 +301,7 @@ type Node struct {
 	logger   *smr.DurableLogger
 	batcher  *smr.Batcher
 	verifier *smr.VerifierPool
+	votePool *crypto.VerifyPool
 	persist  *persistCollector
 
 	// joinVotes intercepts protocol replies for in-flight join/leave flows
@@ -423,7 +430,8 @@ func NewNode(cfg Config) (*Node, error) {
 		removeTracker: reconfig.NewRemoveTracker(),
 		ledger:        blockchain.NewLedger(cfg.Genesis),
 		batcher:       smr.NewBatcher(cfg.MaxBatch),
-		verifier:      smr.NewVerifierPool(cfg.Verify, 0),
+		verifier:      smr.NewVerifierPool(cfg.Verify, cfg.VerifyWorkers),
+		votePool:      crypto.NewVerifyPool(cfg.VerifyWorkers, 0),
 		decisions:     make(chan engineDecision, decisionChanCap(depth)),
 		pipelineDepth: depth,
 		stop:          make(chan struct{}),
@@ -525,6 +533,9 @@ func (n *Node) startEngineLocked() {
 		// Epoch changes accumulate across engines (one engine per view) so
 		// the stats survive reconfigurations.
 		OnEpochChange: func(int64) { n.epochChanges.Add(1) },
+		// The vote pool outlives individual engines (one per view); Stop
+		// closes it after the last engine is down.
+		Verifier: n.votePool,
 	})
 	n.engine = eng
 	n.mu.Unlock()
@@ -562,6 +573,7 @@ func (n *Node) Stop() {
 		<-n.done
 		<-n.recvDone
 		n.verifier.Close()
+		n.votePool.Close()
 		if n.logger != nil {
 			n.logger.Close()
 		}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"smartchain/internal/coin"
+	"smartchain/internal/crypto"
+)
+
+// TestClusterTCPWireMintAndSpend runs the full stack — client proxy,
+// ordering, execution, replies — over real loopback TCP and checks the
+// wire stayed clean: no drops, no authentication failures.
+func TestClusterTCPWireMintAndSpend(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.TCPWire = true
+		cfg.ChainID = "core-tcp-test"
+	})
+	p := registeredClient(t, c, minter)
+
+	coins := mint(t, p, 1, 100)
+	alice := crypto.SeededKeyPair("alice-tcp", 1)
+	spend, err := coin.NewSpend(minter, 2, coins, []coin.Output{{Owner: alice.Public(), Value: 100}})
+	if err != nil {
+		t.Fatalf("spend tx: %v", err)
+	}
+	res, err := p.Invoke(context.Background(), WrapAppOp(spend.Encode()))
+	if err != nil {
+		t.Fatalf("invoke spend: %v", err)
+	}
+	code, _, err := coin.ParseResult(res)
+	if err != nil || code != coin.ResultOK {
+		t.Fatalf("spend result: code=%d err=%v", code, err)
+	}
+	if err := c.WaitHeight(2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for id, cn := range c.Nodes {
+		svc := cn.App.(*coin.Service)
+		if got := svc.State().Balance(alice.Public()); got != 100 {
+			t.Fatalf("replica %d: alice balance %d", id, got)
+		}
+	}
+
+	stats := c.WireStats()
+	if stats == nil {
+		t.Fatal("no wire stats on TCP cluster")
+	}
+	for id, s := range stats {
+		if d := s.TotalDrops(); d != 0 {
+			t.Fatalf("process %d dropped %d frames on a healthy loopback", id, d)
+		}
+		if s.AuthFailures != 0 || s.ProtocolViolations != 0 {
+			t.Fatalf("process %d: auth=%d proto=%d", id, s.AuthFailures, s.ProtocolViolations)
+		}
+	}
+}
+
+// TestClusterTCPWireFollowerCrashRecover crashes a follower on the TCP wire
+// and recovers it: survivors must keep ordering while their links to the
+// dead peer cycle through reconnect backoff, and the recovered replica
+// (listening on a fresh port, re-announced through the fabric directory)
+// must catch up.
+func TestClusterTCPWireFollowerCrashRecover(t *testing.T) {
+	c, minter := testCluster(t, 4, func(cfg *ClusterConfig) {
+		cfg.TCPWire = true
+		cfg.ChainID = "core-tcp-crash"
+	})
+	p := registeredClient(t, c, minter)
+
+	mint(t, p, 1, 10)
+	follower := int32(3)
+	if l := c.Leader(); l == follower {
+		follower = 2
+	}
+	if err := c.Crash(follower); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(2); i <= 4; i++ {
+		mint(t, p, i, 10)
+	}
+	if err := c.Recover(follower); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if err := c.WaitHeight(4, 15*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package crypto
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelBatch is the batch size below which fan-out overhead exceeds
+// the win; smaller batches verify inline.
+const minParallelBatch = 4
+
+// batchItem is one deferred verification.
+type batchItem struct {
+	pub     PublicKey
+	context string
+	msg     []byte
+	sig     []byte
+}
+
+// BatchVerifier accumulates signature checks and verifies them together,
+// in the style of ed25519consensus's VerifyBatch. Stdlib Ed25519 exposes no
+// cofactored multi-scalar batch equation (and this module deliberately has
+// zero dependencies), so the aggregation here is parallel fan-out across
+// cores rather than curve-level batching: Verify is the all-or-nothing fast
+// path, VerifyEach the per-item fallback that isolates bad signatures when
+// a batch fails. The API matches what a curve-level implementation would
+// expose, so swapping one in later is a local change.
+//
+// A BatchVerifier is not safe for concurrent Add; verify methods are
+// internally parallel.
+type BatchVerifier struct {
+	items []batchItem
+}
+
+// NewBatchVerifier creates a verifier expecting about capacity items.
+func NewBatchVerifier(capacity int) *BatchVerifier {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &BatchVerifier{items: make([]batchItem, 0, capacity)}
+}
+
+// Add defers one signature check. Slices are retained, not copied — callers
+// must not mutate them before verification.
+func (b *BatchVerifier) Add(pub PublicKey, context string, msg, sig []byte) {
+	b.items = append(b.items, batchItem{pub: pub, context: context, msg: msg, sig: sig})
+}
+
+// Len reports the number of deferred checks.
+func (b *BatchVerifier) Len() int { return len(b.items) }
+
+// Reset empties the verifier, retaining capacity.
+func (b *BatchVerifier) Reset() { b.items = b.items[:0] }
+
+// Verify checks every deferred signature, fanning out across up to workers
+// goroutines (0 = GOMAXPROCS) with early abort on first failure. It is
+// all-or-nothing: false means at least one signature is invalid; use
+// VerifyEach to find out which.
+func (b *BatchVerifier) Verify(workers int) bool {
+	n := len(b.items)
+	if n == 0 {
+		return true
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 || n < minParallelBatch {
+		for i := range b.items {
+			if !verifyItem(&b.items[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	var failed atomic.Bool
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if !verifyItem(&b.items[i]) {
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return !failed.Load()
+}
+
+// VerifyEach checks every deferred signature and reports per-item results
+// (no early abort). This is the fallback path after a failed Verify: one
+// rotten signature in a request batch must not discard its honest siblings.
+func (b *BatchVerifier) VerifyEach(workers int) []bool {
+	n := len(b.items)
+	out := make([]bool, n)
+	if n == 0 {
+		return out
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 || n < minParallelBatch {
+		for i := range b.items {
+			out[i] = verifyItem(&b.items[i])
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = verifyItem(&b.items[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+func verifyItem(it *batchItem) bool {
+	return Verify(it.pub, it.context, it.msg, it.sig)
+}
+
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// verifyReq is one asynchronous verification job.
+type verifyReq struct {
+	item batchItem
+	done func(ok bool)
+}
+
+// VerifyPool is a bounded pool of verification workers for asynchronous
+// single-signature checks — the mechanism that takes vote verification off
+// the consensus event loop. TrySubmit never blocks: when the pool is
+// saturated (or closed) it reports false and the caller verifies inline,
+// so correctness never depends on the pool keeping up.
+type VerifyPool struct {
+	jobs chan verifyReq
+	wg   sync.WaitGroup
+
+	// mu orders TrySubmit's channel send against Close's channel close: a
+	// send holds the read lock, Close takes the write lock before closing.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewVerifyPool starts workers goroutines (0 = GOMAXPROCS) draining a queue
+// of queueDepth jobs (0 = a default sized for a pipelined vote burst).
+func NewVerifyPool(workers, queueDepth int) *VerifyPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queueDepth <= 0 {
+		queueDepth = 1024
+	}
+	p := &VerifyPool{jobs: make(chan verifyReq, queueDepth)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for req := range p.jobs {
+				req.done(verifyItem(&req.item))
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit queues one verification; done runs on a pool worker with the
+// result. Returns false (and does not run done) when the pool is saturated
+// or closed — the caller's cue to verify synchronously.
+func (p *VerifyPool) TrySubmit(pub PublicKey, context string, msg, sig []byte, done func(ok bool)) bool {
+	if p == nil {
+		return false
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- verifyReq{item: batchItem{pub: pub, context: context, msg: msg, sig: sig}, done: done}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close drains the pool; queued jobs still complete.
+func (p *VerifyPool) Close() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.jobs)
+	p.wg.Wait()
+}

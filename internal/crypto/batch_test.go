@@ -1,0 +1,210 @@
+package crypto
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// signedItem builds one valid (pub, context, msg, sig) tuple.
+func signedItem(t *testing.T, id int64, context string) (PublicKey, []byte, []byte) {
+	t.Helper()
+	kp := SeededKeyPair("batch-test", id)
+	msg := []byte(fmt.Sprintf("message-%d", id))
+	sig, err := kp.Sign(context, msg)
+	if err != nil {
+		t.Fatalf("sign: %v", err)
+	}
+	return kp.Public(), msg, sig
+}
+
+func TestBatchVerifierAllValid(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 4, 17, 64} {
+		for _, workers := range []int{0, 1, 4} {
+			t.Run(fmt.Sprintf("n=%d/workers=%d", n, workers), func(t *testing.T) {
+				bv := NewBatchVerifier(n)
+				for i := 0; i < n; i++ {
+					pub, msg, sig := signedItem(t, int64(i), "ctx")
+					bv.Add(pub, "ctx", msg, sig)
+				}
+				if bv.Len() != n {
+					t.Fatalf("Len = %d, want %d", bv.Len(), n)
+				}
+				if !bv.Verify(workers) {
+					t.Fatal("all-valid batch must verify")
+				}
+				for i, ok := range bv.VerifyEach(workers) {
+					if !ok {
+						t.Fatalf("item %d failed in all-valid batch", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchVerifierSingleBadSignature is the fallback contract: one rotten
+// signature makes the all-or-nothing Verify fail, and VerifyEach isolates
+// exactly that item so its honest siblings survive.
+func TestBatchVerifierSingleBadSignature(t *testing.T) {
+	const n = 32
+	for _, bad := range []int{0, n / 2, n - 1} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("bad=%d/workers=%d", bad, workers), func(t *testing.T) {
+				bv := NewBatchVerifier(n)
+				for i := 0; i < n; i++ {
+					pub, msg, sig := signedItem(t, int64(i), "ctx")
+					if i == bad {
+						sig = append([]byte(nil), sig...)
+						sig[0] ^= 0xff
+					}
+					bv.Add(pub, "ctx", msg, sig)
+				}
+				if bv.Verify(workers) {
+					t.Fatal("batch with a bad signature must not verify")
+				}
+				verdicts := bv.VerifyEach(workers)
+				for i, ok := range verdicts {
+					if want := i != bad; ok != want {
+						t.Fatalf("item %d verdict %v, want %v", i, ok, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBatchVerifierContextSeparation(t *testing.T) {
+	bv := NewBatchVerifier(1)
+	pub, msg, sig := signedItem(t, 1, "phase-a")
+	bv.Add(pub, "phase-b", msg, sig)
+	if bv.Verify(1) {
+		t.Fatal("signature must not verify under a different context")
+	}
+}
+
+func TestBatchVerifierReset(t *testing.T) {
+	bv := NewBatchVerifier(4)
+	pub, msg, sig := signedItem(t, 1, "ctx")
+	sig = append([]byte(nil), sig...)
+	sig[0] ^= 0xff
+	bv.Add(pub, "ctx", msg, sig)
+	if bv.Verify(1) {
+		t.Fatal("bad batch verified")
+	}
+	bv.Reset()
+	if bv.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", bv.Len())
+	}
+	if !bv.Verify(1) {
+		t.Fatal("empty verifier must verify")
+	}
+}
+
+func TestVerifyPoolVerdicts(t *testing.T) {
+	p := NewVerifyPool(2, 16)
+	defer p.Close()
+
+	const n = 8
+	results := make(chan struct {
+		i  int
+		ok bool
+	}, n)
+	for i := 0; i < n; i++ {
+		pub, msg, sig := signedItem(t, int64(i), "pool")
+		if i == 3 {
+			sig = append([]byte(nil), sig...)
+			sig[0] ^= 0xff
+		}
+		i := i
+		if !p.TrySubmit(pub, "pool", msg, sig, func(ok bool) {
+			results <- struct {
+				i  int
+				ok bool
+			}{i, ok}
+		}) {
+			t.Fatalf("submit %d rejected by an idle pool", i)
+		}
+	}
+	for k := 0; k < n; k++ {
+		r := <-results
+		if want := r.i != 3; r.ok != want {
+			t.Fatalf("item %d verdict %v, want %v", r.i, r.ok, want)
+		}
+	}
+}
+
+// TestVerifyPoolSaturationFallsBack pins the pool's one worker and fills its
+// one queue slot: the next TrySubmit must report false (caller verifies
+// inline) instead of blocking the submitter.
+func TestVerifyPoolSaturationFallsBack(t *testing.T) {
+	p := NewVerifyPool(1, 1)
+	defer p.Close()
+
+	pub, msg, sig := signedItem(t, 1, "pool")
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	if !p.TrySubmit(pub, "pool", msg, sig, func(bool) {
+		close(blocked)
+		<-release
+	}) {
+		t.Fatal("first submit rejected")
+	}
+	<-blocked // worker is now pinned inside done()
+	if !p.TrySubmit(pub, "pool", msg, sig, func(bool) {}) {
+		t.Fatal("second submit should occupy the queue slot")
+	}
+	if p.TrySubmit(pub, "pool", msg, sig, func(bool) {
+		t.Error("overflow submit must not run its callback")
+	}) {
+		t.Fatal("saturated pool must reject TrySubmit")
+	}
+	close(release)
+}
+
+func TestVerifyPoolCloseSemantics(t *testing.T) {
+	p := NewVerifyPool(1, 4)
+	pub, msg, sig := signedItem(t, 1, "pool")
+
+	got := make(chan bool, 1)
+	if !p.TrySubmit(pub, "pool", msg, sig, func(ok bool) { got <- ok }) {
+		t.Fatal("submit rejected")
+	}
+	p.Close() // queued jobs still complete
+	if ok := <-got; !ok {
+		t.Fatal("queued job lost its verdict across Close")
+	}
+	if p.TrySubmit(pub, "pool", msg, sig, func(bool) {
+		t.Error("callback after Close")
+	}) {
+		t.Fatal("TrySubmit after Close must report false")
+	}
+	p.Close() // idempotent
+
+	var nilPool *VerifyPool
+	if nilPool.TrySubmit(pub, "pool", msg, sig, func(bool) {}) {
+		t.Fatal("nil pool must reject TrySubmit")
+	}
+	nilPool.Close() // no-op
+}
+
+// TestVerifyPoolConcurrentSubmitClose exercises the submit/close race under
+// the race detector: no send on a closed channel, no lost panics.
+func TestVerifyPoolConcurrentSubmitClose(t *testing.T) {
+	pub, msg, sig := signedItem(t, 1, "pool")
+	for round := 0; round < 20; round++ {
+		p := NewVerifyPool(2, 4)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					p.TrySubmit(pub, "pool", msg, sig, func(bool) {})
+				}
+			}()
+		}
+		p.Close()
+		wg.Wait()
+	}
+}

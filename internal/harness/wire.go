@@ -1,0 +1,267 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"smartchain/internal/core"
+	"smartchain/internal/crypto"
+	"smartchain/internal/smr"
+	"smartchain/internal/workload"
+)
+
+// WirePoint is one measurement of the Fig.6-style wire sweep: the same W=8
+// deployment over the in-memory transport or real loopback TCP, with
+// per-signature (sequential) or batched (pooled) verification, optionally
+// under injected link latency. TCP points carry the wire accounting the CI
+// gate hard-fails on.
+type WirePoint struct {
+	Label      string
+	Net        string // "mem" | "tcp"
+	Verify     string // "per-sig" | "batched"
+	Depth      int
+	LatencyMS  float64
+	Throughput float64
+	Std        float64
+	MeanLatMS  float64
+	P99LatMS   float64
+	Errors     int64
+	// Converged reports that every live replica reached the maximum
+	// committed height after the load stopped — the decided-instance-loss
+	// gate (a decided instance a replica never commits would leave it
+	// pinned below the tip forever).
+	Converged bool
+	Height    int64
+	NumCPU    int
+	// TCP wire accounting, summed over every process (zero on memnet).
+	Drops              int64
+	DropsQueueFull     int64
+	DropsConnDown      int64
+	DialFailures       int64
+	Reconnects         int64
+	AuthFailures       int64
+	ProtocolViolations int64
+	FramesIn           int64
+	BytesIn            int64
+	FramesOut          int64
+	Writes             int64
+	Flushes            int64
+}
+
+func (p WirePoint) String() string {
+	s := fmt.Sprintf("%-30s %9.0f ± %6.0f tx/s   lat %6.1fms (p99 %6.1fms)",
+		p.Label, p.Throughput, p.Std, p.MeanLatMS, p.P99LatMS)
+	if p.Net == "tcp" {
+		coalesce := 0.0
+		if p.Writes > 0 {
+			coalesce = float64(p.FramesOut) / float64(p.Flushes+1)
+		}
+		s += fmt.Sprintf("   drops=%d dialfail=%d auth=%d frames/flush=%.1f",
+			p.Drops, p.DialFailures, p.AuthFailures, coalesce)
+	}
+	return s
+}
+
+// WireCrypto is the batched-vs-per-signature microbenchmark: the same set
+// of signed requests verified by a serial per-signature loop and by the
+// BatchVerifier fan-out, plus the single-bad-signature fallback check. It
+// isolates the crypto win from cluster noise, which is what the CI gate
+// needs on shared runners.
+type WireCrypto struct {
+	Batch      int
+	SerialMS   float64
+	BatchedMS  float64
+	Speedup    float64
+	NumCPU     int
+	FallbackOK bool
+}
+
+func (c WireCrypto) String() string {
+	return fmt.Sprintf("batch=%d serial=%.1fms batched=%.1fms speedup=%.2fx fallback-ok=%v (%d cores)",
+		c.Batch, c.SerialMS, c.BatchedMS, c.Speedup, c.FallbackOK, c.NumCPU)
+}
+
+// Wire runs the wire sweep. nets selects the transports to measure ("mem",
+// "tcp"); latency is the injected per-link delay of the WAN-shaped points.
+// Per net: a loopback per-signature point, a loopback batched point (the
+// verification A/B), and a batched point under injected latency.
+func Wire(nets []string, latency time.Duration, o ExpOptions) ([]WirePoint, *WireCrypto, error) {
+	o = o.Defaults()
+	const depth = 8
+	var points []WirePoint
+	for _, netKind := range nets {
+		if netKind != "mem" && netKind != "tcp" {
+			return points, nil, fmt.Errorf("wire: unknown net %q", netKind)
+		}
+		type cfg struct {
+			verify smr.VerifyMode
+			name   string
+			lat    time.Duration
+		}
+		for _, c := range []cfg{
+			{smr.VerifySequential, "per-sig", 0},
+			{smr.VerifyParallel, "batched", 0},
+			{smr.VerifyParallel, "batched", latency},
+		} {
+			if c.lat > 0 && latency <= 0 {
+				continue
+			}
+			p, err := runWirePoint(netKind, c.name, c.verify, depth, c.lat, o)
+			if err != nil {
+				return points, nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	cb := wireCryptoBench(o.MaxBatch)
+	return points, &cb, nil
+}
+
+// runWirePoint measures one wire configuration.
+func runWirePoint(netKind, verifyName string, verify smr.VerifyMode, depth int, lat time.Duration, o ExpOptions) (WirePoint, error) {
+	label := fmt.Sprintf("wire/%s/%s", netKind, verifyName)
+	if lat > 0 {
+		label += fmt.Sprintf("/lat=%s", lat)
+	}
+	appFactory, _ := coinAppFactory(label, o.Clients)
+	cluster, err := core.NewCluster(core.ClusterConfig{
+		N:          4,
+		AppFactory: appFactory,
+		// Memory storage isolates the wire + crypto axes from the disk
+		// model that Table I and Fig. 6 already measure.
+		Persistence:      core.PersistenceWeak,
+		Storage:          smr.StorageMemory,
+		Verify:           verify,
+		Pipeline:         true,
+		PipelineDepth:    depth,
+		MaxBatch:         o.MaxBatch,
+		ConsensusTimeout: 2 * time.Second,
+		NetLatency:       lat,
+		ChainID:          label,
+		TCPWire:          netKind == "tcp",
+	})
+	if err != nil {
+		return WirePoint{}, err
+	}
+	res := Run(cluster, Options{
+		Clients:  o.Clients,
+		Warmup:   o.Warmup,
+		Duration: o.Measure,
+		Scripts: func(i int) workload.Script {
+			return workload.NewMintOnlyScript(label, int64(i))
+		},
+		WrapOp: core.WrapAppOp,
+	})
+
+	p := WirePoint{
+		Label:      label,
+		Net:        netKind,
+		Verify:     verifyName,
+		Depth:      depth,
+		LatencyMS:  float64(lat) / float64(time.Millisecond),
+		Throughput: res.Throughput,
+		Std:        res.ThroughputStd,
+		MeanLatMS:  float64(res.MeanLatency) / float64(time.Millisecond),
+		P99LatMS:   float64(res.P99Latency) / float64(time.Millisecond),
+		Errors:     res.Errors,
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Decided-instance-loss gate: every live replica must converge to the
+	// maximum committed height once the load stops.
+	var maxH int64
+	for _, cn := range cluster.Nodes {
+		if cn.Node != nil && !cn.Crashed() {
+			if h := cn.Node.Ledger().Height(); h > maxH {
+				maxH = h
+			}
+		}
+	}
+	p.Height = maxH
+	p.Converged = cluster.WaitHeight(maxH, 10*time.Second) == nil
+
+	// Wire accounting is read before Stop (Stop tears the fabric down).
+	for _, s := range cluster.WireStats() {
+		p.AuthFailures += s.AuthFailures
+		p.ProtocolViolations += s.ProtocolViolations
+		p.FramesIn += s.FramesIn
+		p.BytesIn += s.BytesIn
+		for _, ps := range s.Peers {
+			p.Drops += ps.Drops()
+			p.DropsQueueFull += ps.DropsQueueFull
+			p.DropsConnDown += ps.DropsConnDown
+			p.DialFailures += ps.DialFailures
+			p.Reconnects += ps.Reconnects
+			p.FramesOut += ps.Sent
+			p.Writes += ps.Writes
+			p.Flushes += ps.Flushes
+		}
+	}
+	cluster.Stop()
+	return p, nil
+}
+
+// wireCryptoBench times per-signature vs batched verification over one
+// synthetic request batch and checks the bad-signature fallback.
+func wireCryptoBench(batch int) WireCrypto {
+	if batch < 64 {
+		batch = 64
+	}
+	key := crypto.SeededKeyPair("wire-crypto", 1)
+	reqs := make([]smr.Request, batch)
+	for i := range reqs {
+		r, err := smr.NewSignedRequest(1, uint64(i+1), []byte("wire-crypto-op"), key)
+		if err != nil {
+			return WireCrypto{}
+		}
+		reqs[i] = r
+	}
+
+	serialPool := smr.NewVerifierPool(smr.VerifySequential, 1)
+	defer serialPool.Close()
+	batchedPool := smr.NewVerifierPool(smr.VerifyParallel, 0)
+	defer batchedPool.Close()
+
+	// Warm both paths once (page in the curve tables etc.) before timing.
+	serialPool.VerifyBatch(reqs[:4])
+	batchedPool.VerifyBatch(reqs[:4])
+
+	const rounds = 3
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		serialPool.VerifyBatch(reqs)
+	}
+	serial := time.Since(start)
+	start = time.Now()
+	for r := 0; r < rounds; r++ {
+		batchedPool.VerifyBatch(reqs)
+	}
+	batched := time.Since(start)
+
+	// Fallback: one corrupted signature must fail exactly its own request.
+	bad := make([]smr.Request, len(reqs))
+	copy(bad, reqs)
+	badSig := append([]byte(nil), bad[batch/2].Sig...)
+	badSig[0] ^= 0xff
+	bad[batch/2].Sig = badSig
+	verdicts := batchedPool.VerifyBatch(bad)
+	fallbackOK := len(verdicts) == batch
+	for i, ok := range verdicts {
+		if ok == (i == batch/2) {
+			fallbackOK = false
+		}
+	}
+
+	c := WireCrypto{
+		Batch:      batch,
+		SerialMS:   float64(serial) / float64(time.Millisecond) / rounds,
+		BatchedMS:  float64(batched) / float64(time.Millisecond) / rounds,
+		NumCPU:     runtime.NumCPU(),
+		FallbackOK: fallbackOK,
+	}
+	if c.BatchedMS > 0 {
+		c.Speedup = c.SerialMS / c.BatchedMS
+	}
+	return c
+}

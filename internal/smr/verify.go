@@ -3,6 +3,8 @@ package smr
 import (
 	"runtime"
 	"sync"
+
+	"smartchain/internal/crypto"
 )
 
 // VerifyMode selects the transaction-signature verification strategy of
@@ -45,6 +47,7 @@ func (m VerifyMode) String() string {
 // the state machine would.
 type VerifierPool struct {
 	mode    VerifyMode
+	workers int
 	jobs    chan verifyJob
 	wg      sync.WaitGroup
 	stopped chan struct{}
@@ -58,16 +61,16 @@ type verifyJob struct {
 // NewVerifierPool starts a pool for the given mode. workers ≤ 0 picks a
 // default based on the mode. Close must be called to release the workers.
 func NewVerifierPool(mode VerifyMode, workers int) *VerifierPool {
-	if workers <= 0 {
-		switch mode {
-		case VerifySequential:
-			workers = 1
-		default:
-			workers = runtime.GOMAXPROCS(0)
-		}
+	if mode == VerifySequential {
+		// Sequential mode is the serialized-CPU baseline; extra workers
+		// would change what it measures.
+		workers = 1
+	} else if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
 	p := &VerifierPool{
 		mode:    mode,
+		workers: workers,
 		jobs:    make(chan verifyJob, workers*4),
 		stopped: make(chan struct{}),
 	}
@@ -104,7 +107,11 @@ func (p *VerifierPool) Submit(req Request, out func(Request, bool)) bool {
 
 // VerifyBatch synchronously verifies all requests of a batch according to
 // the mode, returning per-request verdicts. Used on the delivery path for
-// batches proposed by other replicas.
+// batches proposed by other replicas. The checks are aggregated through a
+// crypto.BatchVerifier: the all-or-nothing Verify fast path covers the
+// overwhelmingly common all-honest batch, and a failed batch falls back to
+// per-item VerifyEach so one rotten signature cannot discard its honest
+// siblings.
 func (p *VerifierPool) VerifyBatch(reqs []Request) []bool {
 	verdicts := make([]bool, len(reqs))
 	if p.mode == VerifyNone {
@@ -113,31 +120,21 @@ func (p *VerifierPool) VerifyBatch(reqs []Request) []bool {
 		}
 		return verdicts
 	}
+	workers := p.workers
 	if p.mode == VerifySequential {
-		for i := range reqs {
-			verdicts[i] = reqs[i].VerifySig() == nil
+		workers = 1
+	}
+	bv := crypto.NewBatchVerifier(len(reqs))
+	for i := range reqs {
+		bv.Add(reqs[i].PubKey, ContextRequest, reqs[i].signedPortion(), reqs[i].Sig)
+	}
+	if bv.Verify(workers) {
+		for i := range verdicts {
+			verdicts[i] = true
 		}
 		return verdicts
 	}
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	stride := (len(reqs) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * stride
-		if lo >= len(reqs) {
-			break
-		}
-		hi := min(lo+stride, len(reqs))
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				verdicts[i] = reqs[i].VerifySig() == nil
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-	return verdicts
+	return bv.VerifyEach(workers)
 }
 
 // Mode returns the pool's verification mode.

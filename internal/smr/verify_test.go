@@ -1,0 +1,75 @@
+package smr
+
+import (
+	"testing"
+
+	"smartchain/internal/crypto"
+)
+
+func signedBatch(t *testing.T, n int) []Request {
+	t.Helper()
+	key := crypto.SeededKeyPair("verify-test", 1)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		r, err := NewSignedRequest(1, uint64(i+1), []byte("verify-op"), key)
+		if err != nil {
+			t.Fatalf("sign request %d: %v", i, err)
+		}
+		reqs[i] = r
+	}
+	return reqs
+}
+
+func corrupt(r Request) Request {
+	sig := append([]byte(nil), r.Sig...)
+	sig[0] ^= 0xff
+	r.Sig = sig
+	return r
+}
+
+// TestVerifyBatchFallbackOnBadSignature is the delivery-path contract for
+// both verification modes: the batched fast path must not let one rotten
+// signature discard the honest requests around it, and must flag exactly the
+// corrupted one.
+func TestVerifyBatchFallbackOnBadSignature(t *testing.T) {
+	const n, bad = 16, 5
+	for _, mode := range []VerifyMode{VerifyParallel, VerifySequential} {
+		t.Run(mode.String(), func(t *testing.T) {
+			pool := NewVerifierPool(mode, 0)
+			defer pool.Close()
+			reqs := signedBatch(t, n)
+			reqs[bad] = corrupt(reqs[bad])
+			verdicts := pool.VerifyBatch(reqs)
+			if len(verdicts) != n {
+				t.Fatalf("got %d verdicts, want %d", len(verdicts), n)
+			}
+			for i, ok := range verdicts {
+				if want := i != bad; ok != want {
+					t.Fatalf("request %d verdict %v, want %v", i, ok, want)
+				}
+			}
+		})
+	}
+}
+
+func TestVerifyBatchAllValid(t *testing.T) {
+	pool := NewVerifierPool(VerifyParallel, 0)
+	defer pool.Close()
+	for _, ok := range pool.VerifyBatch(signedBatch(t, 8)) {
+		if !ok {
+			t.Fatal("valid request rejected")
+		}
+	}
+}
+
+func TestVerifyBatchNoneModeSkipsChecks(t *testing.T) {
+	pool := NewVerifierPool(VerifyNone, 0)
+	defer pool.Close()
+	reqs := signedBatch(t, 4)
+	reqs[0] = corrupt(reqs[0])
+	for i, ok := range pool.VerifyBatch(reqs) {
+		if !ok {
+			t.Fatalf("VerifyNone rejected request %d", i)
+		}
+	}
+}

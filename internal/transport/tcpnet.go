@@ -1,24 +1,199 @@
 package transport
 
 import (
+	"bufio"
 	"crypto/hmac"
 	"crypto/sha256"
+	"crypto/tls"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"io"
+	"math/rand"
 	"net"
+	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // maxFrameSize bounds one wire frame (header + payload). Blocks cap out far
 // below this.
 const maxFrameSize = 96 << 20
 
+// frameHeaderLen is the fixed body prefix: from(4) | to(4) | type(2).
+const frameHeaderLen = 10
+
+// Defaults for the per-peer send queue and the reconnect backoff. The queue
+// depth is counted in frames: deep enough to ride out a reconnect under a
+// pipelined ordering window, shallow enough that a dead peer cannot pin
+// unbounded memory.
+const (
+	DefaultQueueDepth     = 4096
+	defaultDialTimeout    = 2 * time.Second
+	defaultBackoffInitial = 25 * time.Millisecond
+	defaultBackoffMax     = time.Second
+	// writeBufSize is the per-link buffered-writer size: a full ordering
+	// window of vote messages coalesces into one syscall.
+	writeBufSize = 64 << 10
+	readBufSize  = 64 << 10
+)
+
+// QueuePolicy selects what a full per-peer send queue does with new frames.
+type QueuePolicy int
+
+const (
+	// QueueDropOldest evicts the oldest queued frame to admit the new one
+	// (the default). Matches the fair-links model: the protocols above
+	// tolerate loss, and fresher messages are worth more than stale ones.
+	QueueDropOldest QueuePolicy = iota
+	// QueueBlock makes Send block until the queue has room — backpressure
+	// propagates to the producer instead of dropping. Risky under a peer
+	// outage (senders stall); intended for bulk transfers.
+	QueueBlock
+)
+
+// String implements fmt.Stringer for stats and experiment labels.
+func (p QueuePolicy) String() string {
+	if p == QueueBlock {
+		return "block"
+	}
+	return "drop-oldest"
+}
+
+// tcpOptions carries the tunables of a TCPNetwork.
+type tcpOptions struct {
+	queueDepth  int
+	policy      QueuePolicy
+	dialTimeout time.Duration
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	tlsClient   *tls.Config
+	tlsServer   *tls.Config
+	logf        func(format string, args ...any)
+}
+
+// TCPOption configures a TCPNetwork.
+type TCPOption func(*tcpOptions)
+
+// WithQueueDepth bounds the per-peer send queue (frames). depth ≤ 0 keeps
+// the default.
+func WithQueueDepth(depth int) TCPOption {
+	return func(o *tcpOptions) {
+		if depth > 0 {
+			o.queueDepth = depth
+		}
+	}
+}
+
+// WithQueuePolicy selects the full-queue behavior.
+func WithQueuePolicy(p QueuePolicy) TCPOption {
+	return func(o *tcpOptions) { o.policy = p }
+}
+
+// WithDialTimeout bounds one dial attempt.
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if d > 0 {
+			o.dialTimeout = d
+		}
+	}
+}
+
+// WithBackoff sets the reconnect backoff range: attempts start at min and
+// double up to max, with ±50% jitter so a cluster restarting together does
+// not reconnect in lockstep.
+func WithBackoff(minimum, maximum time.Duration) TCPOption {
+	return func(o *tcpOptions) {
+		if minimum > 0 {
+			o.backoffMin = minimum
+		}
+		if maximum >= o.backoffMin {
+			o.backoffMax = maximum
+		}
+	}
+}
+
+// WithTCPTLS layers TLS under the HMAC frames: client dials with clientCfg,
+// the listener wraps accepted connections with serverCfg. Either may be nil
+// to leave that direction plaintext (e.g. a client-only process needs no
+// server config). Frame HMACs stay on regardless — TLS encrypts the link,
+// the deployment secret still authenticates membership.
+func WithTCPTLS(clientCfg, serverCfg *tls.Config) TCPOption {
+	return func(o *tcpOptions) {
+		o.tlsClient = clientCfg
+		o.tlsServer = serverCfg
+	}
+}
+
+// withLogf redirects peer-transition logging (tests capture it).
+func withLogf(logf func(string, ...any)) TCPOption {
+	return func(o *tcpOptions) { o.logf = logf }
+}
+
+// TCPPeerStats is one outbound link's accounting. Everything that can go
+// wrong on the send path is counted here instead of silently vanishing: the
+// original sketch dropped messages on dial failure with no trace.
+type TCPPeerStats struct {
+	// Enqueued counts frames accepted into the send queue.
+	Enqueued int64
+	// Sent / SentBytes count frames (and their bytes) written to the wire.
+	Sent      int64
+	SentBytes int64
+	// DropsQueueFull counts frames evicted by the drop-oldest policy.
+	DropsQueueFull int64
+	// DropsConnDown counts frames abandoned because the connection died
+	// mid-write (the wire may or may not have carried them).
+	DropsConnDown int64
+	// DropsInjected counts frames discarded by the loss-injection hook.
+	DropsInjected int64
+	// Dials / DialFailures / Reconnects count connection attempts, their
+	// failures, and successful re-establishments after a drop.
+	Dials        int64
+	DialFailures int64
+	Reconnects   int64
+	// Writes / Flushes expose write coalescing: Sent/Writes is the average
+	// number of frames per syscall-bound write, Flushes the number of
+	// flush-on-idle boundaries.
+	Writes  int64
+	Flushes int64
+	// Up reports whether the link currently holds a live connection.
+	Up bool
+}
+
+// Drops sums every drop cause on the link.
+func (s TCPPeerStats) Drops() int64 {
+	return s.DropsQueueFull + s.DropsConnDown + s.DropsInjected
+}
+
+// TCPStats is a snapshot of a TCPNetwork's counters.
+type TCPStats struct {
+	Peers map[int32]TCPPeerStats
+	// FramesIn / BytesIn count authenticated inbound frames.
+	FramesIn int64
+	BytesIn  int64
+	// AuthFailures counts inbound frames whose MAC did not verify (the
+	// link is dropped); ProtocolViolations counts malformed frames.
+	AuthFailures       int64
+	ProtocolViolations int64
+}
+
+// TotalDrops sums drops across every peer link.
+func (s TCPStats) TotalDrops() int64 {
+	var n int64
+	for _, p := range s.Peers {
+		n += p.Drops()
+	}
+	return n
+}
+
 // TCPNetwork implements Endpoint over real TCP connections with
 // HMAC-SHA256 per-frame authentication, realizing the "authenticated fair
 // point-to-point links" of the system model. One TCPNetwork is one process:
-// it listens for inbound connections and dials peers on demand, keeping one
-// cached outbound connection per destination.
+// it listens for inbound connections and keeps one outbound link per peer,
+// each with its own bounded send queue, writer goroutine, buffered writer
+// (flush-on-idle write coalescing), and reconnect loop with jittered
+// exponential backoff.
 //
 // Frame layout: 4-byte big-endian length, then body =
 // from(4) | to(4) | type(2) | payload, then mac(32) over the body.
@@ -26,12 +201,27 @@ type TCPNetwork struct {
 	id     int32
 	secret []byte
 	ln     net.Listener
+	opts   tcpOptions
 
 	mu      sync.Mutex
-	peers   map[int32]string   // directory: ID → address
-	conns   map[int32]net.Conn // cached outbound connections
-	inbound map[net.Conn]bool  // accepted connections, closed on shutdown
+	peers   map[int32]string    // directory: ID → address
+	links   map[int32]*peerLink // outbound links, one per destination
+	inbound map[net.Conn]bool   // accepted connections, closed on shutdown
 	done    bool
+
+	// Fault-injection hooks (guarded by mu): per-destination delivery
+	// delay and loss, plus network-wide defaults, so the chaos and harness
+	// layers can shape a loopback deployment like a WAN.
+	defaultDelay DelayDist
+	linkDelay    map[int32]DelayDist
+	defaultLoss  float64
+	linkLoss     map[int32]float64
+	lossRng      *rand.Rand
+
+	framesIn   atomic.Int64
+	bytesIn    atomic.Int64
+	authFails  atomic.Int64
+	protoFails atomic.Int64
 
 	out chan Message
 	wg  sync.WaitGroup
@@ -41,19 +231,41 @@ type TCPNetwork struct {
 // all members of a deployment share it (a deployment-level pre-shared key;
 // per-link keys would be a straightforward extension). peers maps process
 // IDs to dialable addresses and may be extended later with AddPeer.
-func NewTCPNetwork(id int32, addr string, secret []byte, peers map[int32]string) (*TCPNetwork, error) {
+func NewTCPNetwork(id int32, addr string, secret []byte, peers map[int32]string, opts ...TCPOption) (*TCPNetwork, error) {
+	o := tcpOptions{
+		queueDepth:  DefaultQueueDepth,
+		policy:      QueueDropOldest,
+		dialTimeout: defaultDialTimeout,
+		backoffMin:  defaultBackoffInitial,
+		backoffMax:  defaultBackoffMax,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.logf == nil {
+		o.logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("listen %s: %w", addr, err)
 	}
+	if o.tlsServer != nil {
+		ln = tls.NewListener(ln, o.tlsServer)
+	}
 	t := &TCPNetwork{
-		id:      id,
-		secret:  append([]byte(nil), secret...),
-		ln:      ln,
-		peers:   make(map[int32]string, len(peers)),
-		conns:   make(map[int32]net.Conn),
-		inbound: make(map[net.Conn]bool),
-		out:     make(chan Message, 1024),
+		id:        id,
+		secret:    append([]byte(nil), secret...),
+		ln:        ln,
+		opts:      o,
+		peers:     make(map[int32]string, len(peers)),
+		links:     make(map[int32]*peerLink),
+		inbound:   make(map[net.Conn]bool),
+		linkDelay: make(map[int32]DelayDist),
+		linkLoss:  make(map[int32]float64),
+		lossRng:   rand.New(rand.NewSource(int64(id)*7919 + 1)),
+		out:       make(chan Message, 1024),
 	}
 	for pid, a := range peers {
 		t.peers[pid] = a
@@ -66,7 +278,8 @@ func NewTCPNetwork(id int32, addr string, secret []byte, peers map[int32]string)
 // Addr returns the bound listen address (useful with ":0").
 func (t *TCPNetwork) Addr() string { return t.ln.Addr().String() }
 
-// AddPeer registers or updates the address of a peer.
+// AddPeer registers or updates the address of a peer. An updated address
+// takes effect on the link's next (re)connect.
 func (t *TCPNetwork) AddPeer(id int32, addr string) {
 	t.mu.Lock()
 	t.peers[id] = addr
@@ -79,18 +292,130 @@ func (t *TCPNetwork) ID() int32 { return t.id }
 // Receive implements Endpoint.
 func (t *TCPNetwork) Receive() <-chan Message { return t.out }
 
-// Send implements Endpoint.
+// SetDelay installs (or, with nil, removes) a delivery-delay distribution
+// applied to every outbound frame — the loopback equivalent of WAN latency.
+// Per-destination rules from SetLinkDelay take precedence.
+func (t *TCPNetwork) SetDelay(d *DelayDist) {
+	t.mu.Lock()
+	if d == nil {
+		t.defaultDelay = DelayDist{}
+	} else {
+		t.defaultDelay = *d
+	}
+	t.mu.Unlock()
+}
+
+// SetLinkDelay installs (or, with nil, removes) a delivery-delay
+// distribution for the outbound link to one destination.
+func (t *TCPNetwork) SetLinkDelay(to int32, d *DelayDist) {
+	t.mu.Lock()
+	if d == nil {
+		delete(t.linkDelay, to)
+	} else {
+		t.linkDelay[to] = *d
+	}
+	t.mu.Unlock()
+}
+
+// SetLoss drops each outbound frame independently with probability p
+// (0 disables), seeded for replayable experiments. Per-destination rates
+// from SetLinkLoss take precedence.
+func (t *TCPNetwork) SetLoss(p float64, seed int64) {
+	t.mu.Lock()
+	t.defaultLoss = p
+	t.lossRng = rand.New(rand.NewSource(seed))
+	t.mu.Unlock()
+}
+
+// SetLinkLoss sets the loss probability of the outbound link to one
+// destination (negative removes the rule).
+func (t *TCPNetwork) SetLinkLoss(to int32, p float64) {
+	t.mu.Lock()
+	if p < 0 {
+		delete(t.linkLoss, to)
+	} else {
+		t.linkLoss[to] = p
+	}
+	t.mu.Unlock()
+}
+
+// Send implements Endpoint: the frame is queued on the destination's link
+// and written by the link's writer goroutine. Send never blocks on the
+// network (QueueDropOldest) — backpressure shows up in Stats instead. An
+// unknown destination is the only hard error; everything downstream
+// (dial failures, dead connections) is the link's business: frames queue
+// across reconnects and the drop counters account for what was lost.
 func (t *TCPNetwork) Send(to int32, typ uint16, payload []byte) error {
-	conn, err := t.conn(to)
-	if err != nil {
-		return err
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	if _, ok := t.peers[to]; !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownDest, to)
+	}
+	link := t.links[to]
+	if link == nil {
+		link = newPeerLink(t, to)
+		t.links[to] = link
+	}
+	// Resolve injection hooks under the same lock.
+	delay, lost := t.injectLocked(to, frameHeaderLen+len(payload))
+	t.mu.Unlock()
+
+	if lost {
+		link.dropsInjected.Add(1)
+		return nil
 	}
 	frame := t.encodeFrame(Message{From: t.id, To: to, Type: typ, Payload: payload})
-	if _, err := conn.Write(frame); err != nil {
-		t.dropConn(to, conn)
-		return fmt.Errorf("send to %d: %w", to, err)
+	if delay > 0 {
+		time.AfterFunc(delay, func() { link.enqueue(frame) })
+		return nil
 	}
+	link.enqueue(frame)
 	return nil
+}
+
+// injectLocked samples the delay/loss hooks for one outbound frame. Caller
+// holds t.mu.
+func (t *TCPNetwork) injectLocked(to int32, _ int) (time.Duration, bool) {
+	p, ok := t.linkLoss[to]
+	if !ok {
+		p = t.defaultLoss
+	}
+	if p > 0 && t.lossRng.Float64() < p {
+		return 0, true
+	}
+	d, ok := t.linkDelay[to]
+	if !ok {
+		d = t.defaultDelay
+	}
+	if d.Base == 0 && d.Jitter == 0 {
+		return 0, false
+	}
+	return d.Sample(t.lossRng), false
+}
+
+// Stats snapshots the network's counters.
+func (t *TCPNetwork) Stats() TCPStats {
+	t.mu.Lock()
+	links := make(map[int32]*peerLink, len(t.links))
+	for id, l := range t.links {
+		links[id] = l
+	}
+	t.mu.Unlock()
+	s := TCPStats{
+		Peers:              make(map[int32]TCPPeerStats, len(links)),
+		FramesIn:           t.framesIn.Load(),
+		BytesIn:            t.bytesIn.Load(),
+		AuthFailures:       t.authFails.Load(),
+		ProtocolViolations: t.protoFails.Load(),
+	}
+	for id, l := range links {
+		s.Peers[id] = l.stats()
+	}
+	return s
 }
 
 // Close implements Endpoint.
@@ -101,68 +426,44 @@ func (t *TCPNetwork) Close() error {
 		return nil
 	}
 	t.done = true
-	conns := make([]net.Conn, 0, len(t.conns)+len(t.inbound))
-	for _, c := range t.conns {
-		conns = append(conns, c)
+	links := make([]*peerLink, 0, len(t.links))
+	for _, l := range t.links {
+		links = append(links, l)
 	}
+	conns := make([]net.Conn, 0, len(t.inbound))
 	for c := range t.inbound {
 		conns = append(conns, c)
 	}
-	t.conns = make(map[int32]net.Conn)
 	t.inbound = make(map[net.Conn]bool)
 	t.mu.Unlock()
 
 	err := t.ln.Close()
+	for _, l := range links {
+		l.close()
+	}
 	for _, c := range conns {
 		_ = c.Close()
 	}
 	t.wg.Wait()
+	for _, l := range links {
+		<-l.writerDone
+	}
 	close(t.out)
 	return err
 }
 
-func (t *TCPNetwork) conn(to int32) (net.Conn, error) {
+func (t *TCPNetwork) closed() bool {
 	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		return nil, ErrClosed
-	}
-	if c, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		return c, nil
-	}
-	addr, ok := t.peers[to]
-	t.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownDest, to)
-	}
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("dial %d at %s: %w", to, addr, err)
-	}
-	t.mu.Lock()
-	if t.done {
-		t.mu.Unlock()
-		_ = c.Close()
-		return nil, ErrClosed
-	}
-	if existing, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		_ = c.Close()
-		return existing, nil
-	}
-	t.conns[to] = c
-	t.mu.Unlock()
-	return c, nil
+	defer t.mu.Unlock()
+	return t.done
 }
 
-func (t *TCPNetwork) dropConn(to int32, c net.Conn) {
+// addrOf resolves the current directory entry for a peer.
+func (t *TCPNetwork) addrOf(id int32) (string, bool) {
 	t.mu.Lock()
-	if t.conns[to] == c {
-		delete(t.conns, to)
-	}
-	t.mu.Unlock()
-	_ = c.Close()
+	defer t.mu.Unlock()
+	a, ok := t.peers[id]
+	return a, ok
 }
 
 func (t *TCPNetwork) acceptLoop() {
@@ -185,6 +486,11 @@ func (t *TCPNetwork) acceptLoop() {
 	}
 }
 
+// readLoop authenticates and decodes frames off one inbound connection. The
+// length header is read into a reused buffer and the frame body into a
+// single exact-size allocation whose payload section is handed to the
+// receiver without another copy (the body buffer is not reused, so aliasing
+// is safe).
 func (t *TCPNetwork) readLoop(c net.Conn) {
 	defer t.wg.Done()
 	defer func() {
@@ -193,64 +499,321 @@ func (t *TCPNetwork) readLoop(c net.Conn) {
 		t.mu.Unlock()
 		_ = c.Close()
 	}()
+	br := bufio.NewReaderSize(c, readBufSize)
+	mac := hmac.New(sha256.New, t.secret)
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(c, lenBuf[:]); err != nil {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
 			return
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
-		if n > maxFrameSize || n < 10+sha256.Size {
+		if n > maxFrameSize || n < frameHeaderLen+sha256.Size {
+			t.protoFails.Add(1)
 			return // protocol violation: drop the link
 		}
 		buf := make([]byte, n)
-		if _, err := io.ReadFull(c, buf); err != nil {
+		if _, err := io.ReadFull(br, buf); err != nil {
 			return
 		}
-		m, err := t.decodeFrame(buf)
+		m, err := t.decodeFrame(buf, mac)
 		if err != nil {
+			t.authFails.Add(1)
 			return // failed authentication: drop the link
 		}
-		t.mu.Lock()
-		done := t.done
-		t.mu.Unlock()
-		if done {
+		t.framesIn.Add(1)
+		t.bytesIn.Add(int64(4 + n))
+		if t.closed() {
 			return
 		}
 		t.out <- m
 	}
 }
 
+// encodeFrame serializes one message: length prefix, body, MAC.
 func (t *TCPNetwork) encodeFrame(m Message) []byte {
-	bodyLen := 10 + len(m.Payload)
+	bodyLen := frameHeaderLen + len(m.Payload)
 	frame := make([]byte, 4+bodyLen+sha256.Size)
 	binary.BigEndian.PutUint32(frame[0:], uint32(bodyLen+sha256.Size))
 	body := frame[4 : 4+bodyLen]
 	binary.BigEndian.PutUint32(body[0:], uint32(m.From))
 	binary.BigEndian.PutUint32(body[4:], uint32(m.To))
 	binary.BigEndian.PutUint16(body[8:], m.Type)
-	copy(body[10:], m.Payload)
+	copy(body[frameHeaderLen:], m.Payload)
 	mac := hmac.New(sha256.New, t.secret)
 	mac.Write(body)
 	mac.Sum(frame[4+bodyLen : 4+bodyLen])
 	return frame
 }
 
-func (t *TCPNetwork) decodeFrame(buf []byte) (Message, error) {
+// decodeFrame authenticates and parses a frame body (without the length
+// prefix). mac is the caller's reused HMAC state. The returned payload
+// aliases buf.
+func (t *TCPNetwork) decodeFrame(buf []byte, mac hash.Hash) (Message, error) {
 	bodyLen := len(buf) - sha256.Size
 	body, tag := buf[:bodyLen], buf[bodyLen:]
-	mac := hmac.New(sha256.New, t.secret)
+	mac.Reset()
 	mac.Write(body)
 	if !hmac.Equal(tag, mac.Sum(nil)) {
 		return Message{}, ErrAuthentication
 	}
-	m := Message{
-		From: int32(binary.BigEndian.Uint32(body[0:])),
-		To:   int32(binary.BigEndian.Uint32(body[4:])),
-		Type: binary.BigEndian.Uint16(body[8:]),
+	return Message{
+		From:    int32(binary.BigEndian.Uint32(body[0:])),
+		To:      int32(binary.BigEndian.Uint32(body[4:])),
+		Type:    binary.BigEndian.Uint16(body[8:]),
+		Payload: body[frameHeaderLen:],
+	}, nil
+}
+
+// peerLink is one outbound link: a bounded frame queue drained by a writer
+// goroutine through a buffered writer, with automatic reconnect.
+type peerLink struct {
+	net *TCPNetwork
+	id  int32
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	up     bool
+
+	writerDone chan struct{}
+
+	enqueued      atomic.Int64
+	sent          atomic.Int64
+	sentBytes     atomic.Int64
+	dropsFull     atomic.Int64
+	dropsConn     atomic.Int64
+	dropsInjected atomic.Int64
+	dials         atomic.Int64
+	dialFails     atomic.Int64
+	reconnects    atomic.Int64
+	writes        atomic.Int64
+	flushes       atomic.Int64
+}
+
+func newPeerLink(t *TCPNetwork, id int32) *peerLink {
+	l := &peerLink{net: t, id: id, writerDone: make(chan struct{})}
+	l.cond = sync.NewCond(&l.mu)
+	go l.writerLoop()
+	return l
+}
+
+func (l *peerLink) stats() TCPPeerStats {
+	l.mu.Lock()
+	up := l.up
+	l.mu.Unlock()
+	return TCPPeerStats{
+		Enqueued:       l.enqueued.Load(),
+		Sent:           l.sent.Load(),
+		SentBytes:      l.sentBytes.Load(),
+		DropsQueueFull: l.dropsFull.Load(),
+		DropsConnDown:  l.dropsConn.Load(),
+		DropsInjected:  l.dropsInjected.Load(),
+		Dials:          l.dials.Load(),
+		DialFailures:   l.dialFails.Load(),
+		Reconnects:     l.reconnects.Load(),
+		Writes:         l.writes.Load(),
+		Flushes:        l.flushes.Load(),
+		Up:             up,
 	}
-	m.Payload = make([]byte, len(body)-10)
-	copy(m.Payload, body[10:])
-	return m, nil
+}
+
+// enqueue admits one encoded frame, applying the queue policy.
+func (l *peerLink) enqueue(frame []byte) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	depth := l.net.opts.queueDepth
+	if len(l.queue) >= depth {
+		if l.net.opts.policy == QueueBlock {
+			for len(l.queue) >= depth && !l.closed {
+				l.cond.Wait()
+			}
+			if l.closed {
+				l.mu.Unlock()
+				return
+			}
+		} else {
+			// Drop-oldest: evict from the front so the freshest protocol
+			// state still goes out.
+			drop := 1 + len(l.queue) - depth
+			l.queue = l.queue[drop:]
+			l.dropsFull.Add(int64(drop))
+		}
+	}
+	l.queue = append(l.queue, frame)
+	l.enqueued.Add(1)
+	l.cond.Signal()
+	l.mu.Unlock()
+}
+
+// dequeue blocks until a frame is available (or the link closes) and
+// returns it. ok is false when the link is shutting down.
+func (l *peerLink) dequeue() (frame []byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.queue) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed && len(l.queue) == 0 {
+		return nil, false
+	}
+	frame = l.queue[0]
+	l.queue = l.queue[1:]
+	l.cond.Broadcast() // wake a QueueBlock producer
+	return frame, true
+}
+
+// tryDequeue returns the next frame without blocking.
+func (l *peerLink) tryDequeue() (frame []byte, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.queue) == 0 {
+		return nil, false
+	}
+	frame = l.queue[0]
+	l.queue = l.queue[1:]
+	l.cond.Broadcast()
+	return frame, true
+}
+
+func (l *peerLink) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.queue = nil
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+// setUp records a link-state transition, logging once per transition (not
+// per message): up→down names the cause, down→up notes the recovery.
+func (l *peerLink) setUp(up bool, cause error) {
+	l.mu.Lock()
+	changed := l.up != up
+	wasUp := l.up
+	l.up = up
+	l.mu.Unlock()
+	if !changed || l.net.closed() {
+		return
+	}
+	if up {
+		if l.dials.Load() > 1 {
+			l.reconnects.Add(1)
+		}
+		if wasUp || l.reconnects.Load() > 0 {
+			l.net.opts.logf("tcpnet %d: peer %d link up (reconnect %d)", l.net.id, l.id, l.reconnects.Load())
+		}
+	} else {
+		l.net.opts.logf("tcpnet %d: peer %d link down: %v", l.net.id, l.id, cause)
+	}
+}
+
+// writerLoop drains the queue through a buffered writer: frames are written
+// back-to-back while the queue has work and flushed exactly when it idles,
+// so a pipelined window amortizes syscalls without adding latency to a lone
+// message. Connection loss re-enters the dial loop with jittered backoff;
+// queued frames survive the outage (up to the queue policy).
+func (l *peerLink) writerLoop() {
+	defer close(l.writerDone)
+	var conn net.Conn
+	var bw *bufio.Writer
+	backoff := l.net.opts.backoffMin
+	defer func() {
+		if conn != nil {
+			_ = conn.Close()
+		}
+	}()
+	for {
+		frame, ok := l.dequeue()
+		if !ok {
+			return
+		}
+		// Ensure a live connection; while down, frames keep arriving and
+		// the queue policy bounds them.
+		for conn == nil {
+			if l.net.closed() {
+				return
+			}
+			c, err := l.dial()
+			if err != nil {
+				l.dialFails.Add(1)
+				l.setUp(false, err)
+				if !l.sleep(jittered(backoff)) {
+					return
+				}
+				if backoff *= 2; backoff > l.net.opts.backoffMax {
+					backoff = l.net.opts.backoffMax
+				}
+				continue
+			}
+			conn, bw = c, bufio.NewWriterSize(c, writeBufSize)
+			backoff = l.net.opts.backoffMin
+			l.setUp(true, nil)
+		}
+		for {
+			if _, err := bw.Write(frame); err != nil {
+				l.dropsConn.Add(1)
+				l.setUp(false, err)
+				_ = conn.Close()
+				conn, bw = nil, nil
+				break
+			}
+			l.writes.Add(1)
+			l.sent.Add(1)
+			l.sentBytes.Add(int64(len(frame)))
+			next, more := l.tryDequeue()
+			if !more {
+				// Queue idle: flush the coalesced burst in one syscall.
+				if err := bw.Flush(); err != nil {
+					l.dropsConn.Add(1)
+					l.setUp(false, err)
+					_ = conn.Close()
+					conn, bw = nil, nil
+				} else {
+					l.flushes.Add(1)
+				}
+				break
+			}
+			frame = next
+		}
+	}
+}
+
+// dial opens one connection to the peer's current directory address.
+func (l *peerLink) dial() (net.Conn, error) {
+	addr, ok := l.net.addrOf(l.id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownDest, l.id)
+	}
+	l.dials.Add(1)
+	d := net.Dialer{Timeout: l.net.opts.dialTimeout}
+	if cfg := l.net.opts.tlsClient; cfg != nil {
+		return tls.DialWithDialer(&d, "tcp", addr, cfg)
+	}
+	return d.Dial("tcp", addr)
+}
+
+// sleep waits for d unless the link closes first.
+func (l *peerLink) sleep(d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for !l.closed && time.Now().Before(deadline) {
+		l.mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		l.mu.Lock()
+	}
+	return !l.closed
+}
+
+// jittered spreads d by ±50% so reconnect storms decorrelate.
+func jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
 }
 
 var _ Endpoint = (*TCPNetwork)(nil)
