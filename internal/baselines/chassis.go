@@ -22,6 +22,7 @@ package baselines
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"smartchain/internal/consensus"
@@ -73,6 +74,10 @@ type Replica struct {
 	nextInstance int64
 	executedTxs  int64
 	statsMu      sync.Mutex
+	// droppedSends counts protocol and reply sends the transport refused
+	// (peer down, queue full). Atomic: the consensus engine's send hook
+	// runs on engine goroutines while sendReplies runs on the driver.
+	droppedSends atomic.Int64
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -99,10 +104,16 @@ func NewReplica(cfg ChassisConfig) *Replica {
 	}
 	ep := cfg.Transport
 	r.engine = consensus.New(consensus.Config{
-		Self:    cfg.Self,
-		View:    cfg.View,
-		Signer:  cfg.Signer,
-		Send:    func(to int32, typ uint16, p []byte) { _ = ep.Send(to, typ, p) },
+		Self:   cfg.Self,
+		View:   cfg.View,
+		Signer: cfg.Signer,
+		Send: func(to int32, typ uint16, p []byte) {
+			// Consensus tolerates message loss (retransmit + view change),
+			// but a silent drop skews baseline measurements — count it.
+			if err := ep.Send(to, typ, p); err != nil {
+				r.droppedSends.Add(1)
+			}
+		},
 		Timeout: cfg.Timeout,
 		Validate: func(_ int64, value []byte) bool {
 			if len(value) == 0 {
@@ -145,6 +156,12 @@ func (r *Replica) ExecutedTxs() int64 {
 	r.statsMu.Lock()
 	defer r.statsMu.Unlock()
 	return r.executedTxs
+}
+
+// DroppedSends returns the number of outbound messages (protocol and
+// client replies) the transport refused to accept.
+func (r *Replica) DroppedSends() int64 {
+	return r.droppedSends.Load()
 }
 
 func (r *Replica) receiveLoop() {
@@ -268,7 +285,11 @@ func (r *Replica) handleDecision(d consensus.Decision) {
 
 func (r *Replica) sendReplies(replies []smr.Reply) {
 	for i := range replies {
-		_ = r.cfg.Transport.Send(int32(replies[i].ClientID), msgReply, replies[i].Encode())
+		// A lost reply is recovered by client retransmission, but the drop
+		// still inflates measured latency — count it so runs can report it.
+		if err := r.cfg.Transport.Send(int32(replies[i].ClientID), msgReply, replies[i].Encode()); err != nil {
+			r.droppedSends.Add(1)
+		}
 	}
 }
 

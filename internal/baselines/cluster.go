@@ -179,6 +179,17 @@ func (c *Cluster) ExecutedTxs() int64 {
 	return sum
 }
 
+// DroppedSends sums transport-refused sends across replicas. Nonzero
+// values mean the baseline measurement ran degraded (lost protocol
+// messages or client replies) and should be reported next to throughput.
+func (c *Cluster) DroppedSends() int64 {
+	var sum int64
+	for _, r := range c.replicas {
+		sum += r.DroppedSends()
+	}
+	return sum
+}
+
 // Stop shuts every replica down.
 func (c *Cluster) Stop() {
 	for _, stop := range c.stoppers {

@@ -80,6 +80,9 @@ type Stats struct {
 	BlocksFetched int64
 	// Redos counts requests reassigned after a timeout or bad response.
 	Redos int64
+	// SendFailures counts catch-up requests the transport refused to
+	// accept (donor unreachable), after any per-send retry.
+	SendFailures int64
 	// Banned counts donors banned for serving payloads that failed
 	// verification.
 	Banned int64

@@ -86,10 +86,27 @@ func (l *Legacy) Sync(ctx context.Context, f Fetcher, peers []int32) (bool, erro
 
 	start := time.Now()
 	have := f.Height()
-	for _, peer := range peers {
-		_ = f.RequestLegacy(peer, have)
-	}
 	need := len(peers)/3 + 1
+	reachable := 0
+	for _, peer := range peers {
+		err := f.RequestLegacy(peer, have)
+		if err != nil {
+			// Catch-up typically runs right after a restart, when transport
+			// reconnects are still settling — retry once before writing the
+			// donor off for this round.
+			err = f.RequestLegacy(peer, have)
+		}
+		if err != nil {
+			l.mu.Lock()
+			l.stats.SendFailures++
+			l.mu.Unlock()
+			continue
+		}
+		reachable++
+	}
+	if reachable < need {
+		return false, fmt.Errorf("catchup: only %d of %d donors reachable, need %d matching offers", reachable, len(peers), need)
+	}
 
 	counts := make(map[crypto.Hash]int)
 	responded := make(map[int32]bool)

@@ -168,6 +168,12 @@ func (p *Pool) addRedo(n int64) {
 	p.mu.Unlock()
 }
 
+func (p *Pool) addSendFailure() {
+	p.mu.Lock()
+	p.stats.SendFailures++
+	p.mu.Unlock()
+}
+
 // discover broadcasts envelope requests and waits for f+1 byte-identical
 // envelopes (excluding each donor's tip claim). The agreeing donors become
 // the round's donor set; the sync target is the (f+1)-th largest tip they
@@ -181,6 +187,8 @@ func (p *Pool) discover(ctx context.Context, f Fetcher, peers []int32, ch chan R
 		}
 		if err := f.RequestEnvelope(peer); err == nil {
 			asked++
+		} else {
+			p.addSendFailure()
 		}
 	}
 	if asked == 0 {
@@ -383,6 +391,7 @@ func (r *poolRound) assign() {
 			// Unreachable donor: drop it for the round, leave the item
 			// pending for the next pick.
 			d.dropped = true
+			r.p.addSendFailure()
 			continue
 		}
 		it.state = itemInFlight

@@ -300,7 +300,7 @@ func (p *Proxy) completeLocked(c *call, k string) {
 func (p *Proxy) resend(payloads [][]byte, members []int32) {
 	for _, payload := range payloads {
 		for _, m := range members {
-			_ = p.ep.Send(m, smr.MsgRequest, payload)
+			_ = p.ep.Send(m, smr.MsgRequest, payload) //smartlint:allow errdrop retransmission path; the next tick retries unreachable members
 		}
 	}
 }
@@ -508,7 +508,7 @@ func (p *Proxy) queryTargetsLocked() []int32 {
 // Called WITHOUT p.mu held.
 func (p *Proxy) sendViewQuery(members []int32) {
 	for _, m := range members {
-		_ = p.ep.Send(m, smr.MsgViewQuery, nil)
+		_ = p.ep.Send(m, smr.MsgViewQuery, nil) //smartlint:allow errdrop best-effort view probe; re-sent on the retransmit ticker
 	}
 }
 
@@ -577,7 +577,7 @@ func (p *Proxy) retransmitLoop() {
 			p.mu.Unlock()
 			for _, payload := range payloads {
 				for _, m := range members {
-					_ = p.ep.Send(m, smr.MsgRequest, payload)
+					_ = p.ep.Send(m, smr.MsgRequest, payload) //smartlint:allow errdrop retransmit tick; continued silence triggers another tick
 				}
 			}
 			p.sendViewQuery(query)
@@ -632,7 +632,7 @@ func (p *Proxy) register(op []byte, unordered bool) (*call, error) {
 	members := p.members
 	p.mu.Unlock()
 	for _, m := range members {
-		_ = p.ep.Send(m, smr.MsgRequest, c.payload)
+		_ = p.ep.Send(m, smr.MsgRequest, c.payload) //smartlint:allow errdrop initial broadcast; the retransmit ticker recovers losses
 	}
 	return c, nil
 }

@@ -481,7 +481,7 @@ func (n *Node) Start() error {
 		// installs nothing — donors unreachable, or already caught up —
 		// ends the loop.
 		for {
-			progressed, _ := n.syncRound(n.cfg.SyncPeers, 2*time.Second)
+			progressed, _ := n.syncRound(n.cfg.SyncPeers, 2*time.Second) //smartlint:allow errdrop best-effort startup sync; the loop ends on the first non-progress round
 			if !progressed {
 				break
 			}
@@ -514,7 +514,7 @@ func (n *Node) startEngineLocked() {
 		Self:    n.cfg.Self,
 		View:    v,
 		Signer:  signer,
-		Send:    func(to int32, typ uint16, p []byte) { _ = ep.Send(to, typ, p) },
+		Send:    func(to int32, typ uint16, p []byte) { _ = ep.Send(to, typ, p) }, //smartlint:allow errdrop consensus tolerates loss via retransmit and epoch change
 		Timeout: n.cfg.ConsensusTimeout,
 		Validate: func(inst int64, value []byte) bool {
 			if len(value) == 0 {
@@ -788,7 +788,7 @@ func (n *Node) dispatch(m transport.Message) {
 			// original replies were lost or came from fewer live executors
 			// than its quorum (replicas that caught up via state transfer
 			// replay blocks without sending replies).
-			_ = n.cfg.Transport.Send(int32(req.ClientID), MsgReply, enc)
+			_ = n.cfg.Transport.Send(int32(req.ClientID), MsgReply, enc) //smartlint:allow errdrop reply-cache resend; the client keeps retransmitting on silence
 			return
 		}
 		n.enqueueRequest(req)

@@ -278,7 +278,7 @@ func (n *Node) runWindow(eng *consensus.Engine) {
 			peers := n.curView.Others(n.cfg.Self)
 			n.mu.Unlock()
 			if len(peers) > 0 && n.batcherOrPeersBusy() {
-				_ = n.SyncFromPeers(peers, time.Second)
+				_ = n.SyncFromPeers(peers, time.Second) //smartlint:allow errdrop opportunistic resync; the timer fires again next period
 			}
 		}
 	}
@@ -584,7 +584,7 @@ func (n *Node) sendReplies(replies []smr.Reply) {
 	for i := range replies {
 		payload := replies[i].Encode()
 		n.replies.store(&replies[i], payload)
-		_ = n.cfg.Transport.Send(int32(replies[i].ClientID), MsgReply, payload)
+		_ = n.cfg.Transport.Send(int32(replies[i].ClientID), MsgReply, payload) //smartlint:allow errdrop reply is cached first; client retransmission triggers a resend
 	}
 	if len(replies) > 0 {
 		n.lastReplyBlock.Store(n.ledger.Height())

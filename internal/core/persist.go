@@ -80,7 +80,7 @@ func (p *persistCollector) localDurable(blk *blockchain.Block, replies []smr.Rep
 	}
 	payload := msg.encode()
 	for _, peer := range v.Others(n.cfg.Self) {
-		_ = n.cfg.Transport.Send(peer, MsgPersist, payload)
+		_ = n.cfg.Transport.Send(peer, MsgPersist, payload) //smartlint:allow errdrop persist proofs need only a quorum of responders; loss is tolerated
 	}
 
 	p.mu.Lock()
@@ -155,7 +155,7 @@ func (p *persistCollector) checkQuorum(round *persistRound) {
 	p.mu.Unlock()
 
 	n := p.n
-	_ = n.ledger.AttachCert(round.number, cert)
+	_ = n.ledger.AttachCert(round.number, cert) //smartlint:allow errdrop asynchronous certificate write (Algorithm 1 line 34)
 	// The certificate write is asynchronous by design (Algorithm 1 line
 	// 34): no callback, no sync requirement.
 	n.logger.Append(blockchain.EncodeCertRecord(round.number, &cert), nil)

@@ -101,7 +101,7 @@ func (n *Node) answerUnordered(r smr.Request) {
 	tag, sig := n.replyTag(n.engineEpoch(), n.ledger.Height())
 	rep := smr.Reply{ReplicaID: n.cfg.Self, ClientID: r.ClientID, Seq: r.Seq,
 		Digest: r.Digest(), Tag: tag, TagSig: sig, Result: result}
-	_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode())
+	_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode()) //smartlint:allow errdrop unordered-read reply; client falls back to an ordered read
 }
 
 // replyBehind answers a read-floor miss: no result, just the flag and the
@@ -111,7 +111,7 @@ func (n *Node) replyBehind(r smr.Request) {
 	tag, sig := n.replyTag(n.engineEpoch(), n.ledger.Height())
 	rep := smr.Reply{ReplicaID: n.cfg.Self, ClientID: r.ClientID, Seq: r.Seq,
 		Digest: r.Digest(), Flags: smr.ReplyFlagBehind, Tag: tag, TagSig: sig}
-	_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode())
+	_ = n.cfg.Transport.Send(int32(r.ClientID), MsgReply, rep.Encode()) //smartlint:allow errdrop advisory behind flag; client falls back to an ordered read
 }
 
 // parkRead enqueues a verified read whose floor is ahead of the executed
@@ -199,5 +199,5 @@ func (n *Node) onViewQuery(from int32) {
 	v := n.curView
 	n.mu.Unlock()
 	vi := smr.ViewInfo{ViewID: v.ID, Members: v.Members}
-	_ = n.cfg.Transport.Send(from, smr.MsgViewInfo, vi.Encode())
+	_ = n.cfg.Transport.Send(from, smr.MsgViewInfo, vi.Encode()) //smartlint:allow errdrop view-info reply; client re-queries on timeout
 }

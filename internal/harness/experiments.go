@@ -70,11 +70,18 @@ type Row struct {
 	Std        float64
 	MeanLat    time.Duration
 	P99Lat     time.Duration
+	// Drops counts outbound sends the transport refused during the run.
+	// Nonzero means the numbers were measured on a degraded cluster.
+	Drops int64
 }
 
 func (r Row) String() string {
-	return fmt.Sprintf("%-28s %9.0f ± %6.0f tx/s   lat %8s (p99 %8s)",
+	s := fmt.Sprintf("%-28s %9.0f ± %6.0f tx/s   lat %8s (p99 %8s)",
 		r.Label, r.Throughput, r.Std, r.MeanLat.Round(time.Millisecond), r.P99Lat.Round(time.Millisecond))
+	if r.Drops > 0 {
+		s += fmt.Sprintf("   [%d dropped sends]", r.Drops)
+	}
+	return s
 }
 
 // coinAppFactory builds per-replica coin services authorizing all workload
@@ -180,7 +187,8 @@ func runBaseline(label string, kind baselines.Kind, n int, storageMode smr.Stora
 		},
 	})
 	return Row{Label: label, Throughput: res.Throughput, Std: res.ThroughputStd,
-		MeanLat: res.MeanLatency, P99Lat: res.P99Latency}, nil
+		MeanLat: res.MeanLatency, P99Lat: res.P99Latency,
+		Drops: cluster.DroppedSends()}, nil
 }
 
 // TableI reproduces Table I: SMaRtCoin average throughput under different

@@ -57,6 +57,6 @@ type Endpoint interface {
 // the protocols above tolerate it.
 func Multicast(ep Endpoint, dests []int32, typ uint16, payload []byte) {
 	for _, d := range dests {
-		_ = ep.Send(d, typ, payload)
+		_ = ep.Send(d, typ, payload) //smartlint:allow errdrop fair-links model permits loss; protocols above tolerate it
 	}
 }

@@ -1,0 +1,59 @@
+// Package analysis is a minimal, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis core: the Analyzer / Pass / Diagnostic
+// contract that smartlint's passes are written against.
+//
+// Only the subset the suite needs is implemented — no Facts, no Requires
+// graph, no SuggestedFixes — but the field names and semantics match
+// upstream, so migrating a pass to the real x/tools package (once the build
+// environment can resolve it) is an import-path change, not a rewrite.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis pass: a named rule with a Run function
+// applied independently to each loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //smartlint:allow directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a one-sentence
+	// summary, the rest elaborates.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings through
+	// pass.Report and returns an optional result (unused by this driver)
+	// plus an error for internal failures — an error is an analyzer bug or
+	// load problem, never a finding.
+	Run func(*Pass) (any, error)
+}
+
+// Pass provides one analyzer run with a single type-checked package and a
+// sink for diagnostics.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. It must not be called after Run
+	// returns.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,13 @@
+// smartlint is its own module so the main module stays zero-dependency and
+// the linter can grow dependencies without touching it.
+//
+// It is written against a local, stdlib-only mirror of the
+// golang.org/x/tools/go/analysis core (see the analysis package) because the
+// build environment is offline: there is no module proxy to resolve a pinned
+// x/tools version from. The pass code follows the upstream Analyzer/Pass
+// shape exactly, so pointing these imports at a pinned
+// golang.org/x/tools/go/analysis is a mechanical swap once a proxy is
+// reachable.
+module smartchain/tools/smartlint
+
+go 1.22

@@ -1,0 +1,83 @@
+// Package directive parses and applies //smartlint:allow suppressions.
+//
+// Format (Go directive convention — no space after the slashes):
+//
+//	//smartlint:allow <analyzer> <reason...>
+//
+// A directive suppresses findings of the named analyzer on the directive's
+// own line (trailing comment) or on the line immediately below it
+// (standalone comment above the offending statement). The reason is
+// mandatory: an allow without a reviewable justification is itself a
+// finding. The driver aggregates all directives into a budget summary so
+// the repo's full suppression inventory is one grep (or one lint run) away.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const prefix = "//smartlint:allow"
+
+// Directive is one parsed //smartlint:allow comment.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	File     string
+	Line     int
+	Used     bool // set by Filter when the directive suppressed a finding
+}
+
+// Malformed is an allow directive that could not be parsed; the driver
+// reports these as findings in their own right.
+type Malformed struct {
+	Pos  token.Position
+	Text string
+	Why  string
+}
+
+// Collect extracts every smartlint:allow directive from the files.
+// knownAnalyzers guards against typos: a directive naming an unknown
+// analyzer is malformed, not silently inert.
+func Collect(fset *token.FileSet, files []*ast.File, knownAnalyzers map[string]bool) ([]*Directive, []Malformed) {
+	var dirs []*Directive
+	var bad []Malformed
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, prefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //smartlint:allowed — not this directive
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Malformed{pos, c.Text, "missing analyzer name and reason"})
+				case !knownAnalyzers[fields[0]]:
+					bad = append(bad, Malformed{pos, c.Text, "unknown analyzer " + fields[0]})
+				case len(fields) < 2:
+					bad = append(bad, Malformed{pos, c.Text, "missing reason (format: //smartlint:allow <analyzer> <reason>)"})
+				default:
+					dirs = append(dirs, &Directive{
+						Analyzer: fields[0],
+						Reason:   strings.Join(fields[1:], " "),
+						File:     pos.Filename,
+						Line:     pos.Line,
+					})
+				}
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// Suppresses reports whether d covers a finding of analyzer at file:line.
+func (d *Directive) Suppresses(analyzer, file string, line int) bool {
+	return d.Analyzer == analyzer && d.File == file &&
+		(d.Line == line || d.Line == line-1)
+}

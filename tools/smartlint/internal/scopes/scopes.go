@@ -1,0 +1,42 @@
+// Package scopes centralizes which repo packages each invariant applies to.
+//
+// The analyzers are written for this codebase, so the scopes are explicit
+// import paths rather than configuration. Packages under the smartlint.test
+// module (the analyzers' own testdata) are always in scope, so golden tests
+// exercise every rule without masquerading as real repo paths.
+package scopes
+
+import "strings"
+
+// testbed reports whether path belongs to the analyzers' testdata module.
+func testbed(path string) bool {
+	return path == "smartlint.test" || strings.HasPrefix(path, "smartlint.test/")
+}
+
+// Deterministic reports whether path is a deterministic-execution package:
+// code that must produce bit-identical results on every replica (PR 6's
+// parallel-execution invariant). detexec applies package-wide here; outside
+// these packages it still covers ExecuteBatch/ExecuteOne method bodies.
+func Deterministic(path string) bool {
+	switch path {
+	case "smartchain/internal/exec", "smartchain/internal/coin":
+		return true
+	}
+	return testbed(path)
+}
+
+// MessageHandling reports whether path hosts wire-message handlers whose
+// bodies must verify before mutating protocol state (verifyfirst).
+func MessageHandling(path string) bool {
+	switch path {
+	case "smartchain/internal/consensus", "smartchain/internal/smr", "smartchain/internal/catchup":
+		return true
+	}
+	return testbed(path)
+}
+
+// EventLoop reports whether path hosts consensus event-loop goroutines
+// whose call graphs must stay free of blocking operations (looptime).
+func EventLoop(path string) bool {
+	return path == "smartchain/internal/consensus" || testbed(path)
+}

@@ -1,0 +1,177 @@
+// Command smartlint runs the repo's custom invariant analyzers over Go
+// package patterns and fails on any unannotated finding.
+//
+// Usage, from the repository root:
+//
+//	go run ./tools/smartlint ./...
+//
+// Each finding is either fixed or annotated at the offending line with
+//
+//	//smartlint:allow <analyzer> <reason>
+//
+// (same line or the line directly above). The run ends with a budget
+// summary of every directive in force, so the repo's whole suppression
+// inventory is reviewable in one place. Unused directives are reported as
+// findings too: a suppression that no longer suppresses anything is stale
+// documentation and must be deleted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+
+	"smartchain/tools/smartlint/analysis"
+	"smartchain/tools/smartlint/internal/directive"
+	"smartchain/tools/smartlint/internal/load"
+	"smartchain/tools/smartlint/passes/boundedchan"
+	"smartchain/tools/smartlint/passes/detexec"
+	"smartchain/tools/smartlint/passes/errdrop"
+	"smartchain/tools/smartlint/passes/looptime"
+	"smartchain/tools/smartlint/passes/verifyfirst"
+)
+
+// Suite is the full analyzer set, in reporting order.
+var Suite = []*analysis.Analyzer{
+	boundedchan.Analyzer,
+	detexec.Analyzer,
+	errdrop.Analyzer,
+	looptime.Analyzer,
+	verifyfirst.Analyzer,
+}
+
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve package patterns in")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	code, err := runSuite(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smartlint: %v\n", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+func runSuite(dir string, patterns []string) (int, error) {
+	pkgs, err := load.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+
+	known := make(map[string]bool, len(Suite))
+	for _, a := range Suite {
+		known[a.Name] = true
+	}
+
+	var findings []finding
+	var directives []*directive.Directive
+	for _, pkg := range pkgs {
+		dirs, malformed := directive.Collect(pkg.Fset, pkg.Files, known)
+		directives = append(directives, dirs...)
+		for _, m := range malformed {
+			findings = append(findings, finding{pos: m.Pos, analyzer: "directive", message: m.Why})
+		}
+
+		for _, a := range Suite {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if _, err := a.Run(pass); err != nil {
+				return 0, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		diag:
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				for _, dir := range dirs {
+					if dir.Suppresses(a.Name, pos.Filename, pos.Line) {
+						dir.Used = true
+						continue diag
+					}
+				}
+				findings = append(findings, finding{pos: pos, analyzer: a.Name, message: d.Message})
+			}
+		}
+	}
+
+	// A directive that suppressed nothing is stale: the violation it
+	// documented is gone, so the annotation must go too.
+	for _, d := range directives {
+		if !d.Used {
+			findings = append(findings, finding{
+				pos:      token.Position{Filename: d.File, Line: d.Line},
+				analyzer: "directive",
+				message:  fmt.Sprintf("stale //smartlint:allow %s directive: it suppresses nothing; delete it", d.Analyzer),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.message)
+	}
+
+	printBudget(directives)
+
+	if len(findings) > 0 {
+		fmt.Printf("smartlint: %d finding(s)\n", len(findings))
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// printBudget prints the suppression inventory: how many allow directives
+// are in force, per analyzer.
+func printBudget(directives []*directive.Directive) {
+	perAnalyzer := make(map[string]int)
+	for _, d := range directives {
+		if d.Used {
+			perAnalyzer[d.Analyzer]++
+		}
+	}
+	names := make([]string, 0, len(perAnalyzer))
+	total := 0
+	for name, n := range perAnalyzer {
+		names = append(names, name)
+		total += n
+	}
+	sort.Strings(names)
+	if total == 0 {
+		fmt.Println("smartlint: allow budget: 0 directives in force")
+		return
+	}
+	fmt.Printf("smartlint: allow budget: %d directive(s) in force (", total)
+	for i, name := range names {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s %d", name, perAnalyzer[name])
+	}
+	fmt.Println(")")
+}

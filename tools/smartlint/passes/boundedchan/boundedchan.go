@@ -1,0 +1,58 @@
+// Package boundedchan enforces PR 9's backpressure discipline: every
+// channel in non-test code is either a pure signal channel (chan struct{})
+// or carries an explicit capacity chosen by its author.
+//
+// An unbuffered data channel is an implicit rendezvous — a hidden blocking
+// point that erodes the "every queue is bounded and sized on purpose"
+// rule the production transport is built on. make(chan T, 0) is allowed:
+// an explicit zero states that the rendezvous is a decision, not an
+// accident.
+package boundedchan
+
+import (
+	"go/ast"
+	"go/types"
+
+	"smartchain/tools/smartlint/analysis"
+)
+
+// Analyzer flags make(chan T) with no capacity argument for non-struct{}
+// element types.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedchan",
+	Doc:  "flags unbuffered data channels: make(chan T) must be a signal channel (chan struct{}) or carry an explicit capacity",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "make" {
+				return true
+			}
+			if len(call.Args) != 1 {
+				return true // capacity given (or not a valid make at all)
+			}
+			ch, ok := pass.TypesInfo.Types[call.Args[0]].Type.Underlying().(*types.Chan)
+			if !ok {
+				return true
+			}
+			if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+				return true // signal channel
+			}
+			pass.Reportf(call.Pos(),
+				"unbuffered data channel make(chan %s): give it an explicit capacity so backpressure is a decision, or use chan struct{} for pure signalling",
+				types.TypeString(ch.Elem(), types.RelativeTo(pass.Pkg)))
+			return true
+		})
+	}
+	return nil, nil
+}

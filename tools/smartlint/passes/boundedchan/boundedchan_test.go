@@ -1,0 +1,12 @@
+package boundedchan_test
+
+import (
+	"testing"
+
+	"smartchain/tools/smartlint/analysistest"
+	"smartchain/tools/smartlint/passes/boundedchan"
+)
+
+func TestBoundedchan(t *testing.T) {
+	analysistest.Run(t, "../../testdata/src", boundedchan.Analyzer, "./boundedchan")
+}

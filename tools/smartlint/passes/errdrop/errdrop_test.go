@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"smartchain/tools/smartlint/analysistest"
+	"smartchain/tools/smartlint/passes/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "../../testdata/src", errdrop.Analyzer, "./errdrop")
+}

@@ -1,0 +1,241 @@
+// Package looptime keeps blocking operations out of the consensus
+// event-loop goroutines. The engine's loop owns all protocol state for
+// every in-flight instance of the pipelining window; one blocked iteration
+// stalls the whole window, so the loop's call graph must never sleep, never
+// block on a bare channel send, and never hold a mutex across a transport
+// send.
+//
+// The loop goroutines are found by call-graph reachability from methods
+// named run or loop in the scoped packages (internal/consensus:
+// (*Engine).loop). The graph covers direct calls and method calls resolved
+// by static type within the package, plus function literals defined in
+// reachable bodies — except literals handed to `go` statements or passed as
+// call arguments (timer callbacks, pool callbacks), which execute on other
+// goroutines.
+//
+// Three things are flagged inside the reachable set:
+//
+//  1. time.Sleep.
+//  2. A channel send statement outside any select: `ch <- v` blocks until a
+//     receiver arrives. Sends written as a select case are fine — the
+//     engine's decision delivery pairs them with a <-stop case.
+//  3. A call whose name starts with Send/Broadcast made between a .Lock()
+//     and the matching .Unlock() on the same receiver (or under a deferred
+//     Unlock): transport sends can block on the peer queue, and holding a
+//     lock across one turns backpressure into a pile-up.
+package looptime
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smartchain/tools/smartlint/analysis"
+	"smartchain/tools/smartlint/internal/scopes"
+)
+
+// Analyzer flags blocking operations reachable from consensus event loops.
+var Analyzer = &analysis.Analyzer{
+	Name: "looptime",
+	Doc:  "flags blocking calls (time.Sleep, bare channel sends, locks held across Send) reachable from consensus event-loop goroutines (run/loop methods)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scopes.EventLoop(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Map every package-level function object to its declaration.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	var roots []*types.Func
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls[fn] = fd
+			if fd.Recv != nil && (fd.Name.Name == "run" || fd.Name.Name == "loop") {
+				roots = append(roots, fn)
+			}
+		}
+	}
+	if len(roots) == 0 {
+		return nil, nil
+	}
+
+	// Breadth-first reachability over same-package static calls.
+	reached := make(map[*types.Func]bool)
+	queue := append([]*types.Func(nil), roots...)
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if reached[fn] {
+			continue
+		}
+		reached[fn] = true
+		fd := decls[fn]
+		if fd == nil {
+			continue
+		}
+		for callee := range callees(pass, fd.Body) {
+			if _, local := decls[callee]; local && !reached[callee] {
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for fn := range reached {
+		checkBody(pass, fn, decls[fn].Body)
+	}
+	return nil, nil
+}
+
+// callees collects the *types.Func targets of calls in body, skipping
+// function literals that escape to other goroutines (go statements, call
+// arguments).
+func callees(pass *analysis.Pass, body ast.Node) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	walkLoopCode(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		var obj types.Object
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			obj = pass.TypesInfo.Uses[fun]
+		case *ast.SelectorExpr:
+			obj = pass.TypesInfo.Uses[fun.Sel]
+		}
+		if fn, ok := obj.(*types.Func); ok {
+			out[fn] = true
+		}
+	})
+	return out
+}
+
+// walkLoopCode visits the nodes of body that execute on the same goroutine:
+// it descends into function literals that stay local (assigned to variables
+// or invoked directly) but not into `go` statements or literals passed as
+// arguments to other calls.
+func walkLoopCode(body ast.Node, visit func(ast.Node)) {
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Everything under `go ...` runs elsewhere; still visit the
+			// call's arguments evaluated on this goroutine? They cannot
+			// block, so skipping the whole subtree is fine.
+			return false
+		case *ast.CallExpr:
+			// A literal passed as an argument is a callback for someone
+			// else's goroutine (time.AfterFunc, verifier pools). A literal
+			// called directly — func(){...}() — stays local and is visited.
+			for _, arg := range n.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					skip[lit] = true
+				}
+			}
+		}
+		visit(n)
+		return true
+	})
+}
+
+func checkBody(pass *analysis.Pass, fn *types.Func, body *ast.BlockStmt) {
+	// selectCases marks send statements that appear as a select case
+	// communication — those pair the send with alternatives and are the
+	// sanctioned shape.
+	selectCases := make(map[ast.Stmt]bool)
+	walkLoopCode(body, func(n ast.Node) {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return
+		}
+		for _, clause := range sel.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+				selectCases[cc.Comm] = true
+			}
+		}
+	})
+
+	// Deferred unlocks release at function exit, not at their source
+	// position: an Unlock under defer must not close the lock window.
+	deferred := make(map[ast.Node]bool)
+	walkLoopCode(body, func(n ast.Node) {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+	})
+
+	type lockState struct {
+		recv string
+		pos  token.Pos
+	}
+	var locks []lockState // open (un-unlocked) locks by source order, per body walk
+
+	walkLoopCode(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !selectCases[ast.Stmt(n)] {
+				pass.Reportf(n.Pos(),
+					"bare channel send in %s, reachable from the consensus event loop: a send outside select blocks the whole ordering window; use a select with a stop/default case", fn.Name())
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return
+			}
+			name := sel.Sel.Name
+			recv := exprString(sel.X)
+			switch {
+			case name == "Sleep" && isTimePkg(pass, sel):
+				pass.Reportf(n.Pos(),
+					"time.Sleep in %s, reachable from the consensus event loop: sleeping stalls every in-flight instance; drive timing through timers feeding the event channel", fn.Name())
+			case name == "Lock":
+				locks = append(locks, lockState{recv: recv, pos: n.Pos()})
+			case name == "Unlock":
+				if deferred[ast.Node(n)] {
+					return
+				}
+				for i := len(locks) - 1; i >= 0; i-- {
+					if locks[i].recv == recv {
+						locks = append(locks[:i], locks[i+1:]...)
+						break
+					}
+				}
+			case strings.HasPrefix(name, "Send") || strings.HasPrefix(name, "Broadcast"):
+				if len(locks) > 0 {
+					pass.Reportf(n.Pos(),
+						"%s called in %s while %s is locked (reachable from the consensus event loop): a transport send can block on the peer queue; release the lock first", name, fn.Name(), locks[len(locks)-1].recv)
+				}
+			}
+		}
+	})
+}
+
+// exprString renders a (small) expression for lock-receiver matching.
+func exprString(e ast.Expr) string {
+	var sb strings.Builder
+	_ = printer.Fprint(&sb, token.NewFileSet(), e)
+	return sb.String()
+}
+
+func isTimePkg(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}

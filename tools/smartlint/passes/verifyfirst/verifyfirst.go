@@ -1,0 +1,201 @@
+// Package verifyfirst enforces the verify-before-trust rule on message
+// handlers: a handler for bytes off the wire must reach a verification
+// call before it mutates protocol state.
+//
+// Scope: internal/consensus, internal/smr, internal/catchup — the packages
+// whose handlers feed BFT-critical state. A handler is any function or
+// method named on*/handle*/Handle* (onWrite, handleDecision, ...). Protocol
+// state is the receiver plus every pointer-typed parameter (handlers here
+// receive per-instance state as *instState-style params).
+//
+// The check is ordering-based, not path-sensitive: the first mutation of
+// protocol state must appear after the first verification call in source
+// order (Verify*/verify*/Valid*/valid*/AcceptSignedMessage). That is
+// deliberately cheap — it catches the dangerous shape, a new handler that
+// records or acts on a message with no verification step at all, without
+// modeling every guard clause. Genuine pre-verification bookkeeping
+// (counters, dedup caches keyed on untrusted bytes) is annotated with
+// //smartlint:allow verifyfirst <reason> and thereby inventoried.
+package verifyfirst
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"smartchain/tools/smartlint/analysis"
+	"smartchain/tools/smartlint/internal/scopes"
+)
+
+// Analyzer flags message handlers that mutate protocol state before any
+// verification call.
+var Analyzer = &analysis.Analyzer{
+	Name: "verifyfirst",
+	Doc:  "flags message handlers that mutate receiver/protocol state before reaching a Verify*/AcceptSignedMessage call",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if !scopes.MessageHandling(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !handlerName(fd.Name.Name) {
+				continue
+			}
+			checkHandler(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func handlerName(name string) bool {
+	for _, prefix := range []string{"on", "handle", "Handle"} {
+		if rest, ok := strings.CutPrefix(name, prefix); ok && rest != "" && rest[0] >= 'A' && rest[0] <= 'Z' {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHandler(pass *analysis.Pass, fd *ast.FuncDecl) {
+	state := stateObjects(pass, fd)
+	if len(state) == 0 {
+		return
+	}
+
+	// First verification call, in source order. token.NoPos means the
+	// handler never verifies.
+	firstVerify := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if firstVerify.IsValid() {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if verificationCall(call) {
+			firstVerify = call.Pos()
+			return false
+		}
+		return true
+	})
+
+	// First mutation of protocol state, in source order.
+	var mutPos token.Pos
+	var mutObj types.Object
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if mutPos.IsValid() {
+			return false
+		}
+		var targets []ast.Expr
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			targets = n.Lhs
+		case *ast.IncDecStmt:
+			targets = []ast.Expr{n.X}
+		default:
+			return true
+		}
+		for _, lhs := range targets {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+				continue
+			}
+			obj := rootObject(pass, lhs)
+			if obj == nil || !state[obj] {
+				continue
+			}
+			// Writing the bare parameter/receiver variable itself (s = nil)
+			// rebinds a local name; only writes *through* it reach shared
+			// state.
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				continue
+			}
+			mutPos, mutObj = n.Pos(), obj
+			return false
+		}
+		return true
+	})
+
+	if !mutPos.IsValid() {
+		return
+	}
+	if !firstVerify.IsValid() {
+		pass.Reportf(mutPos,
+			"handler %s mutates protocol state (%s) but contains no verification call: verify the message before trusting it", fd.Name.Name, mutObj.Name())
+		return
+	}
+	if mutPos < firstVerify {
+		pass.Reportf(mutPos,
+			"handler %s mutates protocol state (%s) before its first verification call: move the Verify ahead of the write", fd.Name.Name, mutObj.Name())
+	}
+}
+
+// stateObjects collects the handler's protocol-state roots: the receiver
+// and every pointer-typed parameter.
+func stateObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	state := make(map[types.Object]bool)
+	add := func(fields *ast.FieldList, recv bool) {
+		if fields == nil {
+			return
+		}
+		for _, field := range fields.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Pointer); ok || recv {
+					state[obj] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv, true)
+	add(fd.Type.Params, false)
+	return state
+}
+
+// verificationCall reports whether a call looks like signature or proof
+// verification: the callee's name starts with verify/valid (any case) or is
+// AcceptSignedMessage.
+func verificationCall(call *ast.CallExpr) bool {
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		name = fun.Name
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	default:
+		return false
+	}
+	if name == "AcceptSignedMessage" {
+		return true
+	}
+	lower := strings.ToLower(name)
+	return strings.HasPrefix(lower, "verify") || strings.HasPrefix(lower, "valid")
+}
+
+// rootObject digs to the base identifier of an assignable expression.
+func rootObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return pass.TypesInfo.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package verifyfirst_test
+
+import (
+	"testing"
+
+	"smartchain/tools/smartlint/analysistest"
+	"smartchain/tools/smartlint/passes/verifyfirst"
+)
+
+func TestVerifyfirst(t *testing.T) {
+	analysistest.Run(t, "../../testdata/src", verifyfirst.Analyzer, "./verifyfirst")
+}

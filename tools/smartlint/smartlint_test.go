@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestSuiteOverRepo is the smoke gate: the full analyzer suite must load,
+// type-check, and run over the real tree without internal errors, and the
+// tree must be clean — every finding either fixed or carrying a reviewed
+// //smartlint:allow annotation. This mirrors exactly what the CI smartlint
+// step enforces with `go run ./tools/smartlint ./...`.
+func TestSuiteOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the whole main module; skipped in -short mode")
+	}
+	code, err := runSuite("../..", []string{"./internal/...", "./cmd/...", "."})
+	if err != nil {
+		t.Fatalf("suite failed to run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("suite reported findings (exit %d); fix them or annotate with //smartlint:allow", code)
+	}
+}

@@ -1,0 +1,25 @@
+package boundedchan
+
+type msg struct{ b []byte }
+
+func hits() {
+	_ = make(chan int)   // want `unbuffered data channel make\(chan int\)`
+	ch := make(chan msg) // want `unbuffered data channel make\(chan msg\)`
+	_ = ch
+}
+
+func clean() {
+	_ = make(chan struct{})    // signal channel
+	_ = make(chan int, 8)      // sized
+	_ = make(chan msg, 0)      // explicit zero: rendezvous on purpose
+	_ = make(map[string]int)   // not a channel
+	_ = make([]byte, 16)       // not a channel
+	_ = make(chan struct{}, 1) // sized signal
+}
+
+func suppressed() {
+	//smartlint:allow boundedchan handshake channel, rendezvous is the point
+	_ = make(chan int)
+	ch := make(chan msg) //smartlint:allow boundedchan paired with a dedicated receiver goroutine
+	_ = ch
+}

@@ -1,0 +1,100 @@
+package detexec
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic-execution code`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since in deterministic-execution code`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the global randomness source`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the global randomness source`
+}
+
+func seededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed)) // explicit seeded source: fine
+	return r.Intn(10)
+}
+
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a range over a map`
+	}
+	return keys
+}
+
+func mapConcat(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string concatenation into "s" inside a range over a map`
+	}
+	return s
+}
+
+func mapSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // commutative integer accumulation: order-independent
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sorted below: iteration order never leaks
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // sort.Slice below erases the order
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func collectNoSort(m map[string]int) []string {
+	var keys, other []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a range over a map`
+	}
+	sort.Strings(other) // sorting a different slice does not help
+	return keys
+}
+
+func iterationLocal(m map[string]int) {
+	for k := range m {
+		var tmp []string
+		tmp = append(tmp, k) // per-iteration slice: no order leak
+		_ = tmp
+	}
+}
+
+func sliceRange(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x) // range over a slice is ordered
+	}
+	return out
+}
+
+func suppressedClock() time.Time {
+	//smartlint:allow detexec node-local log timestamp, never enters replicated state
+	return time.Now()
+}

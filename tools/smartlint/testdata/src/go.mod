@@ -1,0 +1,6 @@
+// Fixture module for smartlint's analysistest golden files. The module
+// path is what puts these packages in every analyzer's scope (see
+// internal/scopes).
+module smartlint.test
+
+go 1.22

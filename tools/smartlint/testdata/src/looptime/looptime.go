@@ -1,0 +1,68 @@
+package looptime
+
+import (
+	"sync"
+	"time"
+)
+
+type transportT struct{}
+
+func (transportT) Send(to int32, b []byte) {}
+
+type Engine struct {
+	mu   sync.Mutex
+	out  chan int
+	stop chan struct{}
+	tr   transportT
+}
+
+func (e *Engine) loop() {
+	for {
+		e.step()
+		e.lockedSend()
+		e.spawn()
+		e.suppressedSleep()
+		closure := func() {
+			e.out <- 3 // want `bare channel send in loop`
+		}
+		closure()
+		select {
+		case e.out <- 1: // select send paired with stop: fine
+		case <-e.stop:
+			return
+		}
+	}
+}
+
+func (e *Engine) step() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in step`
+	e.out <- 2                   // want `bare channel send in step`
+}
+
+func (e *Engine) lockedSend() {
+	e.mu.Lock()
+	e.tr.Send(1, nil) // want `Send called in lockedSend while e\.mu is locked`
+	e.mu.Unlock()
+	e.tr.Send(2, nil) // lock released: fine
+}
+
+func (e *Engine) spawn() {
+	go e.worker() // worker runs on its own goroutine
+	time.AfterFunc(time.Second, func() {
+		time.Sleep(time.Millisecond) // timer goroutine, not the loop
+	})
+}
+
+func (e *Engine) worker() {
+	time.Sleep(time.Second) // not reachable from the loop: fine
+	e.out <- 9
+}
+
+func (e *Engine) suppressedSleep() {
+	//smartlint:allow looptime startup settling only, loop is not serving yet
+	time.Sleep(time.Microsecond)
+}
+
+func (e *Engine) notReachable() {
+	time.Sleep(time.Hour) // never called from loop: fine
+}

@@ -1,0 +1,63 @@
+package verifyfirst
+
+type msg struct {
+	From int32
+	Sig  []byte
+}
+
+type state struct {
+	votes map[int32][]byte
+	seen  int
+}
+
+type engine struct {
+	epoch int64
+}
+
+func (e *engine) verifySig(m *msg) bool { return len(m.Sig) > 0 }
+
+func (e *engine) onGood(m *msg, s *state) {
+	if !e.verifySig(m) {
+		return
+	}
+	s.votes[m.From] = m.Sig // verified first: fine
+}
+
+func (e *engine) onBad(m *msg, s *state) {
+	s.votes[m.From] = m.Sig // want `handler onBad mutates protocol state \(s\) but contains no verification call`
+}
+
+func (e *engine) onEarly(m *msg, s *state) {
+	s.seen++ // want `handler onEarly mutates protocol state \(s\) before its first verification call`
+	if !e.verifySig(m) {
+		return
+	}
+	s.votes[m.From] = m.Sig
+}
+
+func (e *engine) handleReceiverWrite(m *msg) {
+	e.epoch = 1 // want `handler handleReceiverWrite mutates protocol state \(e\) but contains no verification call`
+}
+
+func (e *engine) onReadOnly(m *msg, s *state) int {
+	return s.seen // no mutation: fine
+}
+
+func (e *engine) onLocalsOnly(m *msg) int {
+	n := 0
+	n++ // locals are not protocol state
+	return n
+}
+
+func (e *engine) handleSuppressed(m *msg, s *state) {
+	//smartlint:allow verifyfirst dedup counter keyed on untrusted bytes, bounded and reset per epoch
+	s.seen++
+	if !e.verifySig(m) {
+		return
+	}
+	s.votes[m.From] = m.Sig
+}
+
+func recordVote(s *state, m *msg) {
+	s.votes[m.From] = m.Sig // not a handler name: out of scope
+}
